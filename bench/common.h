@@ -1,0 +1,48 @@
+// Shared helpers for the paper-reproduction benches.
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "core/simulation.h"
+
+namespace crkhacc::bench {
+
+/// Standard miniature problem scaled per rank: `np_per_rank^3` particle
+/// pairs per rank, particle-to-mesh ratio 1:2 like production HACC runs.
+inline core::SimConfig scaled_config(int ranks, std::size_t np_per_rank,
+                                     bool hydro) {
+  core::SimConfig config;
+  // Keep per-rank particle load fixed: total np^3 = ranks * np_per_rank^3.
+  std::size_t np = np_per_rank;
+  while (np * np * np < static_cast<std::size_t>(ranks) * np_per_rank *
+                            np_per_rank * np_per_rank) {
+    ++np;
+  }
+  config.np = np;
+  config.box = 2.0 * static_cast<double>(np);  // fixed mass resolution
+  config.ng = 2 * np;
+  config.rs_cells = 1.0;
+  config.z_init = 30.0;
+  config.z_final = 10.0;  // high-z regime, like the paper's scaling runs
+  config.num_pm_steps = 2;
+  config.bins.max_depth = 4;
+  config.hydro = hydro;
+  config.subgrid_on = hydro;
+  config.seed = 20250705;
+  return config;
+}
+
+inline void print_rule(char c = '-', int width = 78) {
+  for (int i = 0; i < width; ++i) std::putchar(c);
+  std::putchar('\n');
+}
+
+inline void print_header(const std::string& title) {
+  print_rule('=');
+  std::printf("%s\n", title.c_str());
+  print_rule('=');
+}
+
+}  // namespace crkhacc::bench

@@ -1,0 +1,125 @@
+// Figure 1: the simulation landscape.
+//
+// Reproduces the paper's comparison of large-volume simulations: box size
+// vs resolution elements (dark matter-baryon particle pairs for hydro
+// runs, single-species particles for gravity-only runs), the Frontier-E
+// point breaking the trillion-element barrier, and the dotted
+// equal-mass-resolution line M_res(Frontier-E) as a function of volume.
+//
+// Published points are taken from the paper's text and references; the
+// bench recomputes the derived columns (resolution elements, particle
+// mass) and renders the figure as a log-log ASCII scatter.
+#include <cmath>
+#include <cstdio>
+#include <vector>
+
+#include "common.h"
+#include "cosmology/background.h"
+#include "cosmology/units.h"
+
+using namespace crkhacc;
+
+namespace {
+
+struct SimEntry {
+  const char* name;
+  double box_gpc;      ///< comoving box side [Gpc/h or Gpc as published]
+  double elements;     ///< resolution elements (pairs for hydro)
+  bool hydro;
+  bool gpu;
+};
+
+}  // namespace
+
+int main() {
+  bench::print_header(
+      "Fig. 1 — Large-volume simulation landscape (resolution elements vs "
+      "box size)");
+
+  // Published landscape (paper Fig. 1 and Section III).
+  const std::vector<SimEntry> sims = {
+      // Gravity-only campaigns.
+      {"Euclid Flagship (PKDGRAV3)", 3.78, 2.0e12, false, true},
+      {"Last Journey (HACC)", 3.4, 1.24e12, false, false},
+      {"Uchuu (GreeM)", 2.0, 2.1e12, false, false},
+      {"Outer Rim (HACC)", 3.0, 1.07e12, false, false},
+      // Hydrodynamic simulations (elements = dm+baryon pairs).
+      {"FLAMINGO-10", 2.8, 1.26e11, true, false},
+      {"MillenniumTNG", 0.74, 8.7e10, true, false},
+      {"Magneticum Box0", 2.688, 2.2e10, true, false},
+      // This paper.
+      {"Frontier-E (CRK-HACC)", 4.7 / 0.6766 / 1000.0 * 1000.0, 2.0e12, true,
+       true},
+  };
+  // Frontier-E: 4.7 Gpc box, 2 x 12,600^3 particles = 2e12 pairs.
+  const double frontier_box_gpc = 4.7;
+  const double frontier_elements = std::pow(12600.0, 3.0);
+
+  std::printf("%-28s %-10s %-16s %-8s %-6s %-14s\n", "simulation", "box[Gpc]",
+              "res. elements", "hydro", "GPU", "m_pair[Msun/h]");
+  bench::print_rule();
+  const cosmo::Parameters params;
+  for (const auto& sim : sims) {
+    const bool is_frontier = std::string(sim.name).find("Frontier") == 0;
+    const double box = is_frontier ? frontier_box_gpc : sim.box_gpc;
+    const double elements = is_frontier ? frontier_elements : sim.elements;
+    // Pair mass = Omega_m rho_crit V / N_pairs (code units -> Msun/h).
+    const double volume =
+        std::pow(box * 1000.0, 3.0);  // (Mpc/h)^3, treating Gpc ~ Gpc/h
+    const double mass_per_pair =
+        params.omega_m * units::kRhoCrit0 * volume / elements * 1e10;
+    std::printf("%-28s %-10.2f %-16.3e %-8s %-6s %-14.3e\n", sim.name, box,
+                elements, sim.hydro ? "yes" : "no", sim.gpu ? "yes" : "no",
+                mass_per_pair);
+  }
+  bench::print_rule();
+
+  // Headline claims recomputed.
+  const double largest_prev_hydro = 1.26e11;  // FLAMINGO-10
+  std::printf("\nFrontier-E / largest previous hydro = %.1fx  (paper: \"more "
+              "than 15-fold increase\")\n",
+              frontier_elements / largest_prev_hydro);
+  std::printf("total particles = 2 x 12,600^3 = %.2e  (paper: four "
+              "trillion)\n",
+              2.0 * frontier_elements);
+
+  // Equal-mass-resolution line: N(V) to match Frontier-E's pair mass.
+  const double frontier_volume = std::pow(frontier_box_gpc * 1000.0, 3.0);
+  const double frontier_pair_mass =
+      params.omega_m * units::kRhoCrit0 * frontier_volume / frontier_elements;
+  std::printf("\nmass-resolution-matching line (dotted in Fig. 1):\n");
+  for (double box_gpc : {0.5, 1.0, 2.0, 4.0, 4.7}) {
+    const double volume = std::pow(box_gpc * 1000.0, 3.0);
+    const double n_required =
+        params.omega_m * units::kRhoCrit0 * volume / frontier_pair_mass;
+    std::printf("  box %.1f Gpc -> %.2e elements\n", box_gpc, n_required);
+  }
+
+  // ASCII scatter: x = log box in [0.3, 6] Gpc, y = log elements [1e10, 4e12].
+  std::printf("\nlog-log landscape (G = gravity-only, h = hydro, F = "
+              "Frontier-E):\n");
+  const int rows = 12, cols = 56;
+  std::vector<std::string> canvas(rows, std::string(cols, ' '));
+  auto plot = [&](double box, double elements, char mark) {
+    const double fx =
+        (std::log10(box) - std::log10(0.3)) / (std::log10(6.0) - std::log10(0.3));
+    const double fy = (std::log10(elements) - 10.0) / (12.7 - 10.0);
+    const int col = std::min(cols - 1, std::max(0, static_cast<int>(fx * cols)));
+    const int row =
+        std::min(rows - 1, std::max(0, rows - 1 - static_cast<int>(fy * rows)));
+    canvas[static_cast<std::size_t>(row)][static_cast<std::size_t>(col)] = mark;
+  };
+  for (const auto& sim : sims) {
+    const bool is_frontier = std::string(sim.name).find("Frontier") == 0;
+    plot(is_frontier ? frontier_box_gpc : sim.box_gpc,
+         is_frontier ? frontier_elements : sim.elements,
+         is_frontier ? 'F' : (sim.hydro ? 'h' : 'G'));
+  }
+  std::printf("  4e12 +%s+\n", std::string(cols, '-').c_str());
+  for (const auto& line : canvas) {
+    std::printf("       |%s|\n", line.c_str());
+  }
+  std::printf("  1e10 +%s+\n", std::string(cols, '-').c_str());
+  std::printf("       0.3 Gpc %*s 6 Gpc\n", cols - 10, "");
+  return 0;
+}

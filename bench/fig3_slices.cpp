@@ -1,0 +1,98 @@
+// Figure 3: density and temperature slices at high vs low redshift.
+//
+// The paper's Fig. 3 contrasts the homogeneous early universe (z = 9,
+// well-balanced workload) with the clustered late universe (z = 0, strong
+// node-to-node imbalance, feedback-heated gas). We run the miniature
+// campaign, capture slices at a high and a low redshift, and report the
+// statistics the figure communicates visually: density clumping growth,
+// gas temperature evolution, and the per-rank workload spread.
+#include <cstdio>
+#include <mutex>
+#include <vector>
+
+#include "common.h"
+#include "comm/world.h"
+#include "core/simulation.h"
+
+using namespace crkhacc;
+
+int main() {
+  bench::print_header("Fig. 3 — high-z vs low-z density/temperature slices");
+
+  const int ranks = 4;
+  core::SimConfig config;
+  config.np = 10;
+  config.box = 20.0;
+  config.ng = 20;
+  config.rs_cells = 1.0;
+  config.z_init = 30.0;
+  config.z_final = 0.5;
+  config.num_pm_steps = 10;
+  config.bins.max_depth = 4;
+  config.hydro = true;
+  config.subgrid_on = true;
+  config.seed = 333;
+
+  struct Epoch {
+    double z = 0.0;
+    analysis::SliceResult slice;
+    double gas_clumping = 1.0;
+    double work_imbalance = 0.0;  ///< max/mean particle-updates per rank
+  };
+  std::vector<Epoch> epochs;
+  std::mutex mutex;
+
+  comm::World world(ranks);
+  world.run([&](comm::Communicator& comm) {
+    core::Simulation sim(comm, config);
+    sim.initialize();
+    // Capture after the first step (high z) and at the end (low z).
+    for (int s = 0; s < config.num_pm_steps; ++s) {
+      const auto report = sim.step();
+      if (s == 0 || s == config.num_pm_steps - 1) {
+        const auto updates = static_cast<std::int64_t>(report.active_updates);
+        const auto max_updates =
+            comm.allreduce_scalar(updates, comm::ReduceOp::kMax);
+        const auto sum_updates =
+            comm.allreduce_scalar(updates, comm::ReduceOp::kSum);
+        const auto analysis = sim.run_analysis();
+        if (comm.rank() == 0) {
+          std::lock_guard<std::mutex> lock(mutex);
+          Epoch epoch;
+          epoch.z = 1.0 / sim.scale_factor() - 1.0;
+          epoch.slice = analysis.slice;
+          epoch.gas_clumping = analysis.gas_clumping;
+          epoch.work_imbalance = static_cast<double>(max_updates) * ranks /
+                                 std::max<double>(1.0, sum_updates);
+          epochs.push_back(epoch);
+        }
+      }
+    }
+  });
+
+  for (const auto& epoch : epochs) {
+    std::printf("\n--- z = %.2f ---\n", epoch.z);
+    std::printf("density slice (log overdensity):\n%s",
+                analysis::render_density_ascii(epoch.slice, 48).c_str());
+    std::printf("gas clumping <rho^2>_V/<rho>_V^2 = %.3f (slice-grid value "
+                "%.2f includes shot noise)\n",
+                epoch.gas_clumping, epoch.slice.clumping);
+    std::printf("gas temperature: median %.2e K, max %.2e K\n",
+                epoch.slice.t_median_K, epoch.slice.t_max_K);
+    std::printf("per-rank work imbalance (max/mean updates): %.2f\n",
+                epoch.work_imbalance);
+  }
+  if (epochs.size() == 2) {
+    std::printf("\npaper's qualitative claims, recomputed:\n");
+    std::printf("  gas clumping grows %.1fx from high z to low z (paper: "
+                "homogeneous -> strongly clustered)\n",
+                epochs[1].gas_clumping / epochs[0].gas_clumping);
+    std::printf("  peak gas temperature rises %.1fx (shock + feedback "
+                "heating)\n",
+                epochs[1].slice.t_max_K / std::max(1.0, epochs[0].slice.t_max_K));
+    std::printf("  workload imbalance grows from %.2f to %.2f (paper: "
+                "balanced early, uneven late)\n",
+                epochs[0].work_imbalance, epochs[1].work_imbalance);
+  }
+  return 0;
+}

@@ -1,0 +1,127 @@
+// Figure 4: strong and weak scaling of the solver.
+//
+// The paper scales CRK-HACC from 128 to 9,000 Frontier nodes, reporting
+// 92% strong- and 95% weak-scaling efficiency and 46.6 billion particles
+// processed per second at full scale. We reproduce the experiment's
+// *shape* on the simulated machine: the identical rank program runs at
+// 1..8 ranks with (weak) fixed per-rank load and (strong) fixed total
+// load, timing the solver (short-range + spectral) over early high-z
+// steps exactly as Section VI-A does.
+//
+// Note on the substitute machine: ranks are threads on one physical core,
+// so ideal scaling keeps the particles/s *constant* for weak scaling
+// (total work grows with ranks on fixed silicon) and shrinks wall time
+// proportionally to work for strong scaling. Efficiencies are defined
+// against those ideals — the communication/imbalance overheads measured
+// are the same ones the real machine pays.
+#include <cstdio>
+#include <mutex>
+#include <vector>
+
+#include "common.h"
+#include "comm/world.h"
+#include "core/simulation.h"
+
+using namespace crkhacc;
+
+namespace {
+
+struct ScalingPoint {
+  int ranks;
+  double solver_seconds;   ///< max over ranks
+  std::uint64_t particles; ///< global particle count
+  double gflops;           ///< aggregate kernel GFLOP executed
+};
+
+ScalingPoint run_case(int ranks, const core::SimConfig& config) {
+  ScalingPoint point{ranks, 0.0, 0, 0.0};
+  std::mutex mutex;
+  comm::World world(ranks);
+  world.run([&](comm::Communicator& comm) {
+    core::Simulation sim(comm, config);
+    sim.initialize();
+    for (int s = 0; s < config.num_pm_steps; ++s) {
+      sim.step();
+    }
+    const double solver_seconds = sim.timers().total(timers::kShortRange) +
+                                  sim.timers().total(timers::kLongRange) +
+                                  sim.timers().total(timers::kTreeBuild);
+    const double max_seconds =
+        comm.allreduce_scalar(solver_seconds, comm::ReduceOp::kMax);
+    std::int64_t owned = 0;
+    const auto& p = sim.particles();
+    for (std::size_t i = 0; i < p.size(); ++i) owned += p.is_owned(i);
+    const auto total = comm.allreduce_scalar(owned, comm::ReduceOp::kSum);
+    const double flops = comm.allreduce_scalar(sim.flops().total_flops(),
+                                               comm::ReduceOp::kSum);
+    if (comm.rank() == 0) {
+      std::lock_guard<std::mutex> lock(mutex);
+      point.solver_seconds = max_seconds;
+      point.particles = static_cast<std::uint64_t>(total);
+      point.gflops = flops / 1e9;
+    }
+  });
+  return point;
+}
+
+}  // namespace
+
+int main() {
+  const std::vector<int> rank_counts = {1, 2, 4, 8};
+
+  bench::print_header("Fig. 4 — Weak scaling (fixed per-rank load)");
+  std::printf("%-8s %-12s %-12s %-14s %-12s %-14s\n", "ranks", "particles",
+              "solver[s]", "particles/s", "GFLOP/s", "efficiency");
+  bench::print_rule();
+  std::vector<ScalingPoint> weak;
+  for (int ranks : rank_counts) {
+    const auto config = bench::scaled_config(ranks, 8, /*hydro=*/true);
+    weak.push_back(run_case(ranks, config));
+    const auto& pt = weak.back();
+    const double rate = static_cast<double>(pt.particles) *
+                        config.num_pm_steps / pt.solver_seconds;
+    // Weak ideal on shared silicon: constant aggregate GFLOP rate (the
+    // extra ghost work of smaller subdomains is real work, as on the
+    // production machine, and is charged to the rate, not to overhead).
+    const double gflop_rate = pt.gflops / pt.solver_seconds;
+    const double base_rate = weak.front().gflops / weak.front().solver_seconds;
+    std::printf("%-8d %-12llu %-12.2f %-14.3e %-12.2f %-14.1f%%\n", ranks,
+                static_cast<unsigned long long>(pt.particles),
+                pt.solver_seconds, rate, gflop_rate,
+                100.0 * gflop_rate / base_rate);
+  }
+  std::printf("\npaper: 95%% weak-scaling efficiency, 128 -> 9000 nodes; "
+              "46.6e9 particles/s at full scale.\n\n");
+
+  bench::print_header("Fig. 4 — Strong scaling (fixed total problem)");
+  std::printf("%-8s %-12s %-12s %-12s %-14s %-12s\n", "ranks", "particles",
+              "solver[s]", "GFLOP", "GFLOP/s", "efficiency");
+  bench::print_rule();
+  std::vector<ScalingPoint> strong;
+  {
+    // Fixed total: the 8-rank weak problem (np chosen for 8 ranks).
+    auto config = bench::scaled_config(8, 8, /*hydro=*/true);
+    for (int ranks : rank_counts) {
+      strong.push_back(run_case(ranks, config));
+      const auto& pt = strong.back();
+      // Ghost layers make total work grow with rank count (as on the real
+      // machine at shrinking subdomains); the FLOP rate isolates the
+      // communication/synchronization overhead the figure probes.
+      const double gflop_rate = pt.gflops / pt.solver_seconds;
+      const double base_rate =
+          strong.front().gflops / strong.front().solver_seconds;
+      std::printf("%-8d %-12llu %-12.2f %-12.1f %-14.2f %-12.1f%%\n", ranks,
+                  static_cast<unsigned long long>(pt.particles),
+                  pt.solver_seconds, pt.gflops, gflop_rate,
+                  100.0 * gflop_rate / base_rate);
+    }
+  }
+  std::printf("\npaper: 92%% strong-scaling efficiency over nearly two "
+              "orders of magnitude in node count.\n");
+  std::printf("(efficiency = aggregate kernel-FLOP rate retained relative "
+              "to 1 rank; ghost-layer growth at shrinking subdomains is\n"
+              " real work and charged to the rate, so the loss isolates "
+              "exchange/transpose/synchronization overhead — the quantity\n"
+              " the paper's figure demonstrates.)\n");
+  return 0;
+}

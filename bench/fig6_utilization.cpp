@@ -1,0 +1,140 @@
+// Figure 6: device utilization across vendors and across the machine.
+//
+// Left panel analog — "single node, three vendors": the solver runs with
+// each vendor's warp width (AMD 64, Intel 32, Nvidia 32) on the identical
+// workload; utilization = counted kernel FLOPs / elapsed / calibrated host
+// peak. The paper's point is that utilization is consistent across
+// vendors; here the warp width is the vendor-visible knob.
+//
+// Right panel analog — "full machine at high and low redshift": per-rank
+// utilization distributions on an 8-rank run, early (homogeneous) vs late
+// (clustered), plus the artificial "low-z Flat" configuration where all
+// ranks are forced to the deepest synchronized timestep. The paper's
+// conclusions to check: low-z utilization is no worse than high-z, the
+// low-z distribution is broader, and Flat tightens it without changing
+// the mean much (adaptive stepping costs nothing).
+#include <cstdio>
+#include <mutex>
+#include <vector>
+
+#include "common.h"
+#include "comm/world.h"
+#include "core/simulation.h"
+#include "util/histogram.h"
+
+using namespace crkhacc;
+
+namespace {
+
+/// Per-rank utilization samples for one configuration.
+std::vector<double> run_distribution(int ranks, const core::SimConfig& config) {
+  std::vector<double> utilization(static_cast<std::size_t>(ranks), 0.0);
+  const double peak = gpu::host_peak_gflops();
+  comm::World world(ranks);
+  std::mutex mutex;
+  world.run([&](comm::Communicator& comm) {
+    core::Simulation sim(comm, config);
+    sim.initialize();
+    sim.run();
+    const double sustained = sim.flops().sustained_gflops();
+    std::lock_guard<std::mutex> lock(mutex);
+    utilization[static_cast<std::size_t>(comm.rank())] = sustained / peak;
+  });
+  return utilization;
+}
+
+void print_distribution(const char* label, const std::vector<double>& samples) {
+  double lo = samples[0], hi = samples[0];
+  for (double s : samples) {
+    lo = std::min(lo, s);
+    hi = std::max(hi, s);
+  }
+  const double pad = std::max(1e-4, 0.3 * (hi - lo));
+  Histogram hist(lo - pad, hi + pad, 8);
+  hist.add_all(samples);
+  std::printf("\n%s: mean %.4f, spread (max-min) %.4f\n", label, hist.mean(),
+              hist.max() - hist.min());
+  std::printf("%s", hist.ascii(40).c_str());
+}
+
+}  // namespace
+
+int main() {
+  bench::print_header("Fig. 6 (left) — single-node utilization across vendors");
+  const double peak = gpu::host_peak_gflops();
+  std::printf("calibrated host peak: %.2f GFLOP/s\n\n", peak);
+  std::printf("%-28s %-10s %-14s %-12s\n", "vendor device", "warp", "sustained",
+              "utilization");
+  bench::print_rule();
+  for (const auto& device : gpu::known_devices()) {
+    auto config = bench::scaled_config(1, 12, /*hydro=*/true);
+    config.sph.warp_size = static_cast<std::uint32_t>(device.warp_size);
+    config.gravity.warp_size = static_cast<std::uint32_t>(device.warp_size);
+    double sustained = 0.0;
+    comm::World world(1);
+    world.run([&](comm::Communicator& comm) {
+      core::Simulation sim(comm, config);
+      sim.initialize();
+      sim.run();
+      sustained = sim.flops().sustained_gflops();
+    });
+    std::printf("%-28s %-10d %-14.2f %-12.1f%%\n", device.name.c_str(),
+                device.warp_size, sustained, 100.0 * sustained / peak);
+  }
+  std::printf("\npaper: sustained utilization consistent across Nvidia, AMD, "
+              "Intel (26-34%% of peak FP32).\n");
+
+  bench::print_header(
+      "Fig. 6 (right) — per-rank utilization distribution, 8 ranks");
+  const int ranks = 8;
+
+  // High redshift: homogeneous workload.
+  auto high_z = bench::scaled_config(ranks, 8, /*hydro=*/true);
+  high_z.z_init = 30.0;
+  high_z.z_final = 15.0;
+  const auto high_samples = run_distribution(ranks, high_z);
+  print_distribution("high-z", high_samples);
+
+  // Low redshift: clustered workload (evolve further).
+  auto low_z = bench::scaled_config(ranks, 8, /*hydro=*/true);
+  low_z.z_init = 30.0;
+  low_z.z_final = 1.0;
+  low_z.num_pm_steps = 6;
+  const auto low_samples = run_distribution(ranks, low_z);
+  print_distribution("low-z (native adaptive)", low_samples);
+
+  // Low-z Flat: all ranks synchronized to the deepest timestep.
+  auto flat = low_z;
+  flat.flat_stepping = true;
+  const auto flat_samples = run_distribution(ranks, flat);
+  print_distribution("low-z Flat (synchronized)", flat_samples);
+
+  auto spread = [](const std::vector<double>& samples) {
+    double lo = samples[0], hi = samples[0], sum = 0.0;
+    for (double s : samples) {
+      lo = std::min(lo, s);
+      hi = std::max(hi, s);
+      sum += s;
+    }
+    return std::make_pair(sum / static_cast<double>(samples.size()), hi - lo);
+  };
+  const auto [high_mean, high_spread] = spread(high_samples);
+  const auto [low_mean, low_spread] = spread(low_samples);
+  const auto [flat_mean, flat_spread] = spread(flat_samples);
+
+  std::printf("\npaper claims, recomputed on the substitute machine:\n");
+  std::printf("  low-z mean utilization >= high-z mean: %.3f vs %.3f (%s)\n",
+              low_mean, high_mean, low_mean >= 0.9 * high_mean ? "ok" : "DIFFERS");
+  std::printf("  adaptive stepping does not degrade low-z mean vs Flat: "
+              "%.3f vs %.3f (%s)\n",
+              low_mean, flat_mean,
+              low_mean >= 0.8 * flat_mean ? "ok" : "DIFFERS");
+  std::printf("  distribution width, Flat vs native: %.4f vs %.4f\n",
+              flat_spread, low_spread);
+  std::printf("  (the paper's Flat-narrowing is driven by rank-to-rank "
+              "timestep-depth variance; on a single-core substitute all\n"
+              "   ranks share the silicon, so both spreads sit at the "
+              "measurement-noise floor — the meaningful check here is that\n"
+              "   the means agree, i.e. adaptivity is free.)\n");
+  return 0;
+}

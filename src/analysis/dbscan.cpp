@@ -1,0 +1,64 @@
+#include "analysis/dbscan.h"
+
+#include "analysis/union_find.h"
+#include "tree/lbvh.h"
+#include "util/assertions.h"
+
+namespace crkhacc::analysis {
+
+DbscanResult dbscan(std::span<const float> x, std::span<const float> y,
+                    std::span<const float> z, float eps, std::size_t min_pts) {
+  const std::size_t n = x.size();
+  CHECK(y.size() == n && z.size() == n);
+  DbscanResult result;
+  result.cluster_of.assign(n, DbscanResult::kNoise);
+  result.is_core.assign(n, 0);
+  if (n == 0) return result;
+
+  const tree::Bvh bvh(x, y, z);
+
+  // Pass 1: core identification (neighbor count includes the point).
+  for (std::size_t i = 0; i < n; ++i) {
+    if (bvh.count_within(x[i], y[i], z[i], eps) >= min_pts) {
+      result.is_core[i] = 1;
+    }
+  }
+
+  // Pass 2: union core points that are eps-neighbors.
+  UnionFind dsu(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    if (!result.is_core[i]) continue;
+    bvh.radius_query(x[i], y[i], z[i], eps, [&](std::uint32_t j) {
+      if (j > i && result.is_core[j]) {
+        dsu.unite(static_cast<std::uint32_t>(i), j);
+      }
+    });
+  }
+
+  // Dense ids for core components.
+  std::vector<std::int32_t> id_of_root(n, DbscanResult::kNoise);
+  std::int32_t next_id = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (!result.is_core[i]) continue;
+    const std::uint32_t r = dsu.find(static_cast<std::uint32_t>(i));
+    if (id_of_root[r] == DbscanResult::kNoise) id_of_root[r] = next_id++;
+    result.cluster_of[i] = id_of_root[r];
+  }
+
+  // Pass 3: border points join any neighboring core's cluster.
+  for (std::size_t i = 0; i < n; ++i) {
+    if (result.is_core[i]) continue;
+    std::int32_t assigned = DbscanResult::kNoise;
+    bvh.radius_query(x[i], y[i], z[i], eps, [&](std::uint32_t j) {
+      if (assigned == DbscanResult::kNoise && result.is_core[j]) {
+        assigned = result.cluster_of[j];
+      }
+    });
+    result.cluster_of[i] = assigned;
+  }
+
+  result.num_clusters = static_cast<std::size_t>(next_id);
+  return result;
+}
+
+}  // namespace crkhacc::analysis

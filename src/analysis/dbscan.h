@@ -1,0 +1,27 @@
+// DBSCAN density-based clustering (Ester et al. 1996).
+//
+// Part of the in situ analysis toolbox alongside FOF (Section IV-B3).
+// Core points have at least `min_pts` neighbors (self included) within
+// eps; clusters are connected components of core points, with border
+// points attached to a neighboring core's cluster; everything else is
+// noise. Neighborhoods come from the ArborX-analog BVH.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace crkhacc::analysis {
+
+struct DbscanResult {
+  static constexpr std::int32_t kNoise = -1;
+  /// Cluster id per point (kNoise for noise points).
+  std::vector<std::int32_t> cluster_of;
+  std::vector<std::uint8_t> is_core;
+  std::size_t num_clusters = 0;
+};
+
+DbscanResult dbscan(std::span<const float> x, std::span<const float> y,
+                    std::span<const float> z, float eps, std::size_t min_pts);
+
+}  // namespace crkhacc::analysis

@@ -1,0 +1,60 @@
+#include "analysis/galaxies.h"
+
+#include <algorithm>
+
+#include "analysis/dbscan.h"
+
+namespace crkhacc::analysis {
+
+std::vector<Galaxy> find_galaxies(const Particles& particles,
+                                  const GalaxyFinderConfig& config) {
+  // Collect owned stars.
+  std::vector<std::uint32_t> stars;
+  for (std::size_t i = 0; i < particles.size(); ++i) {
+    if (!particles.is_owned(i)) continue;
+    if (particles.species[i] == static_cast<std::uint8_t>(Species::kStar)) {
+      stars.push_back(static_cast<std::uint32_t>(i));
+    }
+  }
+  std::vector<Galaxy> galaxies;
+  if (stars.size() < config.min_stars) return galaxies;
+
+  std::vector<float> x(stars.size()), y(stars.size()), z(stars.size());
+  for (std::size_t s = 0; s < stars.size(); ++s) {
+    x[s] = particles.x[stars[s]];
+    y[s] = particles.y[stars[s]];
+    z[s] = particles.z[stars[s]];
+  }
+  const auto clusters =
+      dbscan(x, y, z, config.linking_length, config.min_stars);
+
+  galaxies.resize(clusters.num_clusters);
+  for (std::size_t s = 0; s < stars.size(); ++s) {
+    const auto c = clusters.cluster_of[s];
+    if (c == DbscanResult::kNoise) continue;
+    auto& galaxy = galaxies[static_cast<std::size_t>(c)];
+    const std::uint32_t i = stars[s];
+    const double m = particles.mass[i];
+    ++galaxy.star_count;
+    galaxy.stellar_mass += m;
+    galaxy.center[0] += m * particles.x[i];
+    galaxy.center[1] += m * particles.y[i];
+    galaxy.center[2] += m * particles.z[i];
+    galaxy.velocity[0] += m * particles.vx[i];
+    galaxy.velocity[1] += m * particles.vy[i];
+    galaxy.velocity[2] += m * particles.vz[i];
+  }
+  for (auto& galaxy : galaxies) {
+    if (galaxy.stellar_mass <= 0.0) continue;
+    for (int d = 0; d < 3; ++d) {
+      galaxy.center[d] /= galaxy.stellar_mass;
+      galaxy.velocity[d] /= galaxy.stellar_mass;
+    }
+  }
+  std::sort(galaxies.begin(), galaxies.end(), [](const Galaxy& a, const Galaxy& b) {
+    return a.stellar_mass > b.stellar_mass;
+  });
+  return galaxies;
+}
+
+}  // namespace crkhacc::analysis

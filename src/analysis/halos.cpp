@@ -1,0 +1,71 @@
+#include "analysis/halos.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace crkhacc::analysis {
+
+std::vector<Halo> halo_catalog(const Particles& particles,
+                               const FofResult& groups,
+                               const comm::Box3* owned_box) {
+  std::vector<Halo> catalog;
+  catalog.reserve(groups.num_groups());
+  for (const auto& members : groups.groups) {
+    Halo halo;
+    halo.count = members.size();
+    halo.tag = std::numeric_limits<std::uint64_t>::max();
+    for (std::uint32_t i : members) {
+      const double m = particles.mass[i];
+      halo.mass += m;
+      halo.tag = std::min(halo.tag, particles.id[i]);
+      halo.center[0] += m * particles.x[i];
+      halo.center[1] += m * particles.y[i];
+      halo.center[2] += m * particles.z[i];
+      halo.velocity[0] += m * particles.vx[i];
+      halo.velocity[1] += m * particles.vy[i];
+      halo.velocity[2] += m * particles.vz[i];
+      if (particles.is_gas(i)) {
+        halo.gas_mass += m;
+      } else if (particles.species[i] ==
+                 static_cast<std::uint8_t>(Species::kStar)) {
+        halo.star_mass += m;
+      }
+    }
+    if (halo.mass <= 0.0) continue;
+    for (int d = 0; d < 3; ++d) {
+      halo.center[d] /= halo.mass;
+      halo.velocity[d] /= halo.mass;
+    }
+    for (std::uint32_t i : members) {
+      const double dx = particles.x[i] - halo.center[0];
+      const double dy = particles.y[i] - halo.center[1];
+      const double dz = particles.z[i] - halo.center[2];
+      halo.radius = std::max(halo.radius,
+                             std::sqrt(dx * dx + dy * dy + dz * dz));
+    }
+    if (owned_box && !owned_box->contains(halo.center)) continue;
+    catalog.push_back(halo);
+  }
+  std::sort(catalog.begin(), catalog.end(),
+            [](const Halo& a, const Halo& b) { return a.mass > b.mass; });
+  return catalog;
+}
+
+std::vector<std::size_t> mass_function(const std::vector<Halo>& halos,
+                                       double m_lo, double m_hi,
+                                       std::size_t bins) {
+  std::vector<std::size_t> counts(bins, 0);
+  if (bins == 0 || m_hi <= m_lo) return counts;
+  const double log_lo = std::log10(m_lo);
+  const double log_hi = std::log10(m_hi);
+  for (const auto& halo : halos) {
+    if (halo.mass <= 0.0) continue;
+    const double t = (std::log10(halo.mass) - log_lo) / (log_hi - log_lo);
+    if (t < 0.0 || t >= 1.0) continue;
+    ++counts[static_cast<std::size_t>(t * static_cast<double>(bins))];
+  }
+  return counts;
+}
+
+}  // namespace crkhacc::analysis

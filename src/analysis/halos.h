@@ -1,0 +1,47 @@
+// Halo catalogs and summary statistics from FOF groups.
+//
+// The in situ pipeline reduces each FOF group to a compact halo record
+// (mass, center of mass, bulk velocity, extent, per-species masses) so
+// that full particle snapshots never need to be stored — the core idea of
+// the paper's in situ strategy. Catalog reduction is rank-local; halos
+// whose center falls outside the rank's owned box are dropped (their
+// owning rank keeps the authoritative copy), de-duplicating overloaded
+// boundary halos.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "analysis/fof.h"
+#include "comm/decomposition.h"
+#include "core/particles.h"
+
+namespace crkhacc::analysis {
+
+struct Halo {
+  std::uint64_t tag = 0;  ///< smallest member particle id (stable label)
+  std::size_t count = 0;
+  double mass = 0.0;
+  double gas_mass = 0.0;
+  double star_mass = 0.0;
+  std::array<double, 3> center{0.0, 0.0, 0.0};    ///< center of mass
+  std::array<double, 3> velocity{0.0, 0.0, 0.0};  ///< mass-weighted mean
+  double radius = 0.0;  ///< max member distance from center
+};
+
+/// Reduce FOF groups to halo records. If `owned_box` is non-null, halos
+/// centered outside it are dropped (cross-rank de-duplication). Centers
+/// handle no periodic wrap: positions are assumed local-domain coherent
+/// (true for rank-local overloaded sets).
+std::vector<Halo> halo_catalog(const Particles& particles,
+                               const FofResult& groups,
+                               const comm::Box3* owned_box);
+
+/// dn/dlog10(M) style counts: histogram of halo masses in log-spaced
+/// bins over [m_lo, m_hi); returns counts per bin.
+std::vector<std::size_t> mass_function(const std::vector<Halo>& halos,
+                                       double m_lo, double m_hi,
+                                       std::size_t bins);
+
+}  // namespace crkhacc::analysis

@@ -1,0 +1,74 @@
+#include "analysis/power_spectrum.h"
+
+#include <cmath>
+#include <numbers>
+
+namespace crkhacc::analysis {
+
+PowerSpectrumResult measure_power(comm::Communicator& comm, mesh::PMSolver& pm,
+                                  const Particles& particles,
+                                  bool subtract_shot_noise) {
+  const auto spectrum = pm.overdensity_spectrum(comm, particles);
+  const std::size_t ng = pm.config().ng;
+  const double box = pm.config().box;
+  const double k_fundamental = 2.0 * std::numbers::pi / box;
+  // Shells of width k_f up to the Nyquist wavenumber.
+  const std::size_t nshells = ng / 2;
+  std::vector<double> k_sum(nshells, 0.0);
+  std::vector<double> p_sum(nshells, 0.0);
+  std::vector<double> mode_count(nshells, 0.0);
+
+  const double n3 = static_cast<double>(ng) * ng * ng;
+  const double volume = box * box * box;
+  const double norm = volume / (n3 * n3);
+
+  const auto& dfft = pm.fft();
+  const std::size_t kx0 = dfft.local_kx_start();
+  const std::size_t nx_local = dfft.local_kx_count();
+  for (std::size_t xl = 0; xl < nx_local; ++xl) {
+    const double kx = k_fundamental *
+                      static_cast<double>(fft::freq_of(kx0 + xl, ng));
+    for (std::size_t y = 0; y < ng; ++y) {
+      const double ky = k_fundamental *
+                        static_cast<double>(fft::freq_of(y, ng));
+      for (std::size_t z = 0; z < ng; ++z) {
+        const double kz = k_fundamental *
+                          static_cast<double>(fft::freq_of(z, ng));
+        const double kmag = std::sqrt(kx * kx + ky * ky + kz * kz);
+        if (kmag <= 0.0) continue;
+        const auto shell = static_cast<std::size_t>(kmag / k_fundamental - 0.5);
+        if (shell >= nshells) continue;
+        const auto& mode = spectrum[(xl * ng + y) * ng + z];
+        k_sum[shell] += kmag;
+        p_sum[shell] += std::norm(mode) * norm;
+        mode_count[shell] += 1.0;
+      }
+    }
+  }
+
+  comm.allreduce(std::span<double>(k_sum), comm::ReduceOp::kSum);
+  comm.allreduce(std::span<double>(p_sum), comm::ReduceOp::kSum);
+  comm.allreduce(std::span<double>(mode_count), comm::ReduceOp::kSum);
+
+  // Global particle count for shot noise.
+  std::int64_t n_owned = 0;
+  for (std::size_t i = 0; i < particles.size(); ++i) {
+    if (particles.is_owned(i)) ++n_owned;
+  }
+  const auto n_global =
+      static_cast<double>(comm.allreduce_scalar(n_owned, comm::ReduceOp::kSum));
+  const double shot = (subtract_shot_noise && n_global > 0.0)
+                          ? volume / n_global
+                          : 0.0;
+
+  PowerSpectrumResult result;
+  for (std::size_t s = 0; s < nshells; ++s) {
+    if (mode_count[s] <= 0.0) continue;
+    result.k.push_back(k_sum[s] / mode_count[s]);
+    result.power.push_back(std::max(0.0, p_sum[s] / mode_count[s] - shot));
+    result.modes.push_back(static_cast<std::uint64_t>(mode_count[s]));
+  }
+  return result;
+}
+
+}  // namespace crkhacc::analysis

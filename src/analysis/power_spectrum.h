@@ -1,0 +1,31 @@
+// In situ matter power spectrum measurement.
+//
+// Bins |delta_k|^2 from the distributed PM mesh into spherical k shells:
+// P(k) = <|delta_k|^2> V / N^6 (our unnormalized-forward convention),
+// optionally shot-noise subtracted. Rank-local shell sums are allreduced,
+// so every rank returns the identical full spectrum — one of the
+// "clustering probes" the simulation computes on the fly.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "comm/world.h"
+#include "core/particles.h"
+#include "mesh/pm_solver.h"
+
+namespace crkhacc::analysis {
+
+struct PowerSpectrumResult {
+  std::vector<double> k;        ///< shell-averaged wavenumber [h/Mpc]
+  std::vector<double> power;    ///< P(k) [(Mpc/h)^3]
+  std::vector<std::uint64_t> modes;  ///< modes per shell
+};
+
+/// Measure P(k) of the particle distribution with the given PM solver's
+/// mesh. `subtract_shot_noise` removes V/N_particles.
+PowerSpectrumResult measure_power(comm::Communicator& comm, mesh::PMSolver& pm,
+                                  const Particles& particles,
+                                  bool subtract_shot_noise);
+
+}  // namespace crkhacc::analysis

@@ -1,0 +1,100 @@
+#include "analysis/slices.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/assertions.h"
+
+namespace crkhacc::analysis {
+
+SliceResult density_temperature_slice(comm::Communicator& comm,
+                                      const Particles& particles,
+                                      const SliceConfig& config) {
+  const std::size_t res = config.resolution;
+  CHECK(res >= 2);
+  SliceResult slice;
+  slice.resolution = res;
+  slice.density.assign(res * res, 0.0);
+  std::vector<double> t_mass(res * res, 0.0);  // sum m*T (gas)
+  std::vector<double> gas_mass(res * res, 0.0);
+
+  const double cell = config.box / static_cast<double>(res);
+  for (std::size_t i = 0; i < particles.size(); ++i) {
+    if (!particles.is_owned(i)) continue;
+    const double z = particles.z[i];
+    if (z < config.z_lo || z >= config.z_hi) continue;
+    const auto cx = std::min(res - 1, static_cast<std::size_t>(particles.x[i] / cell));
+    const auto cy = std::min(res - 1, static_cast<std::size_t>(particles.y[i] / cell));
+    const std::size_t c = cy * res + cx;
+    const double m = particles.mass[i];
+    slice.density[c] += m;
+    if (particles.is_gas(i)) {
+      const double t_K =
+          units::temperature_K(particles.u[i], units::kMuIonized);
+      t_mass[c] += m * t_K;
+      gas_mass[c] += m;
+    }
+  }
+
+  comm.allreduce(std::span<double>(slice.density), comm::ReduceOp::kSum);
+  comm.allreduce(std::span<double>(t_mass), comm::ReduceOp::kSum);
+  comm.allreduce(std::span<double>(gas_mass), comm::ReduceOp::kSum);
+
+  slice.temperature.assign(res * res, 0.0);
+  std::vector<double> temps;
+  for (std::size_t c = 0; c < res * res; ++c) {
+    if (gas_mass[c] > 0.0) {
+      slice.temperature[c] = t_mass[c] / gas_mass[c];
+      temps.push_back(slice.temperature[c]);
+    }
+  }
+
+  double sum = 0.0, sum_sq = 0.0;
+  for (double d : slice.density) {
+    sum += d;
+    sum_sq += d * d;
+  }
+  const double n_cells = static_cast<double>(res * res);
+  slice.mean_density = sum / n_cells;
+  if (slice.mean_density > 0.0) {
+    slice.clumping = (sum_sq / n_cells) / (slice.mean_density * slice.mean_density);
+    slice.density_variance = slice.clumping - 1.0;
+  }
+  if (!temps.empty()) {
+    std::sort(temps.begin(), temps.end());
+    slice.t_median_K = temps[temps.size() / 2];
+    slice.t_max_K = temps.back();
+  }
+  return slice;
+}
+
+std::string render_density_ascii(const SliceResult& slice,
+                                 std::size_t max_width) {
+  static const char kShades[] = " .:-=+*#%@";
+  const std::size_t res = slice.resolution;
+  if (res == 0 || slice.mean_density <= 0.0) return "";
+  const std::size_t stride = std::max<std::size_t>(1, res / max_width);
+  std::string out;
+  for (std::size_t y = 0; y < res; y += stride) {
+    for (std::size_t x = 0; x < res; x += stride) {
+      // Block-average to the display resolution.
+      double total = 0.0;
+      std::size_t count = 0;
+      for (std::size_t yy = y; yy < std::min(res, y + stride); ++yy) {
+        for (std::size_t xx = x; xx < std::min(res, x + stride); ++xx) {
+          total += slice.density[yy * res + xx];
+          ++count;
+        }
+      }
+      const double overdensity = total / (static_cast<double>(count) * slice.mean_density);
+      // log scale from 0.1x to 100x mean.
+      const double t =
+          std::clamp((std::log10(std::max(overdensity, 1e-3)) + 1.0) / 3.0, 0.0, 1.0);
+      out += kShades[static_cast<std::size_t>(t * 9.0)];
+    }
+    out += '\n';
+  }
+  return out;
+}
+
+}  // namespace crkhacc::analysis

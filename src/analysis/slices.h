@@ -1,0 +1,46 @@
+// Density and temperature slices (Fig. 3 diagnostics).
+//
+// Deposits owned particles inside a thin z-slab onto a 2-D (x, y) grid:
+// total matter surface density and mass-weighted gas temperature. Grids
+// are allreduced so every rank holds the full slice. Summary statistics
+// (density variance, clumping factor, temperature percentiles) quantify
+// the homogeneous-early / clustered-late contrast the paper's Fig. 3
+// shows visually; an ASCII renderer gives a human-checkable picture.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "comm/world.h"
+#include "core/particles.h"
+#include "cosmology/units.h"
+
+namespace crkhacc::analysis {
+
+struct SliceConfig {
+  double z_lo = 0.0;          ///< slab bounds (code length)
+  double z_hi = 1.0;
+  std::size_t resolution = 64;  ///< 2-D cells per dimension
+  double box = 64.0;
+};
+
+struct SliceResult {
+  std::size_t resolution = 0;
+  std::vector<double> density;      ///< mass per cell, all species
+  std::vector<double> temperature;  ///< mass-weighted gas T [K] per cell
+  double mean_density = 0.0;
+  double clumping = 1.0;            ///< <rho^2> / <rho>^2
+  double density_variance = 0.0;    ///< variance of overdensity delta
+  double t_median_K = 0.0;
+  double t_max_K = 0.0;
+};
+
+SliceResult density_temperature_slice(comm::Communicator& comm,
+                                      const Particles& particles,
+                                      const SliceConfig& config);
+
+/// Coarse ASCII rendering of log overdensity (for run logs/examples).
+std::string render_density_ascii(const SliceResult& slice,
+                                 std::size_t max_width = 64);
+
+}  // namespace crkhacc::analysis

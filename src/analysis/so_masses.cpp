@@ -1,0 +1,75 @@
+#include "analysis/so_masses.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+
+#include "tree/lbvh.h"
+#include "util/assertions.h"
+
+namespace crkhacc::analysis {
+
+std::vector<SoHalo> so_masses(const Particles& particles,
+                              const std::vector<Halo>& seeds,
+                              const SoConfig& config) {
+  CHECK(config.delta > 0.0);
+  CHECK(config.reference_density > 0.0);
+  CHECK(config.r_max > 0.0);
+
+  std::vector<SoHalo> catalog;
+  if (particles.empty() || seeds.empty()) return catalog;
+  const tree::Bvh bvh(particles.x, particles.y, particles.z);
+
+  catalog.reserve(seeds.size());
+  for (const auto& seed : seeds) {
+    SoHalo halo;
+    halo.tag = seed.tag;
+    halo.center = seed.center;
+
+    // Gather (r^2, mass) inside r_max, then walk the cumulative profile
+    // outward until the enclosed density crosses Delta * rho_ref.
+    std::vector<std::pair<float, float>> members;  // (dist^2, mass)
+    bvh.radius_query(static_cast<float>(seed.center[0]),
+                     static_cast<float>(seed.center[1]),
+                     static_cast<float>(seed.center[2]),
+                     static_cast<float>(config.r_max),
+                     [&](std::uint32_t j) {
+                       const float dx = particles.x[j] -
+                                        static_cast<float>(seed.center[0]);
+                       const float dy = particles.y[j] -
+                                        static_cast<float>(seed.center[1]);
+                       const float dz = particles.z[j] -
+                                        static_cast<float>(seed.center[2]);
+                       members.emplace_back(dx * dx + dy * dy + dz * dz,
+                                            particles.mass[j]);
+                     });
+    if (members.size() < config.min_particles) {
+      catalog.push_back(halo);
+      continue;
+    }
+    std::sort(members.begin(), members.end(),
+              [](const auto& a, const auto& b) { return a.first < b.first; });
+
+    const double threshold = config.delta * config.reference_density;
+    double enclosed = 0.0;
+    std::size_t count = 0;
+    // Scan outward; remember the outermost radius still above threshold.
+    for (const auto& [r2, mass] : members) {
+      enclosed += mass;
+      ++count;
+      const double r = std::sqrt(static_cast<double>(r2));
+      if (r <= 0.0 || count < config.min_particles) continue;
+      const double volume = 4.0 / 3.0 * std::numbers::pi * r * r * r;
+      if (enclosed / volume >= threshold) {
+        halo.m_delta = enclosed;
+        halo.r_delta = r;
+        halo.count = count;
+        halo.converged = true;
+      }
+    }
+    catalog.push_back(halo);
+  }
+  return catalog;
+}
+
+}  // namespace crkhacc::analysis

@@ -1,0 +1,44 @@
+// Spherical-overdensity (SO) halo masses.
+//
+// Survey-facing halo catalogs report M_Delta / R_Delta — the mass inside
+// the radius where the enclosed mean density falls to Delta times a
+// reference density (200x mean matter is the default "M200m" convention).
+// The paper's in situ pipeline produces exactly such survey measurements
+// for its ~570,000 clusters. Centers come from FOF; the enclosed-mass
+// profile is accumulated from BVH range queries, so the cost matches the
+// rest of the on-device analysis stack.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "analysis/halos.h"
+#include "core/particles.h"
+
+namespace crkhacc::analysis {
+
+struct SoHalo {
+  std::uint64_t tag = 0;           ///< FOF tag of the seed halo
+  std::array<double, 3> center{};  ///< input center
+  double m_delta = 0.0;            ///< enclosed mass at R_Delta
+  double r_delta = 0.0;            ///< SO radius
+  std::size_t count = 0;           ///< particles within R_Delta
+  bool converged = false;          ///< profile crossed Delta inside r_max
+};
+
+struct SoConfig {
+  double delta = 200.0;        ///< overdensity threshold
+  double reference_density = 0.0;  ///< rho_ref (e.g. mean matter, comoving)
+  double r_max = 2.0;          ///< maximum search radius (code length)
+  std::size_t min_particles = 8;
+};
+
+/// Compute SO masses around the given centers (typically FOF halo
+/// centers) over the local particle cloud. Centers whose enclosed
+/// density never reaches Delta * rho_ref report converged = false.
+std::vector<SoHalo> so_masses(const Particles& particles,
+                              const std::vector<Halo>& seeds,
+                              const SoConfig& config);
+
+}  // namespace crkhacc::analysis

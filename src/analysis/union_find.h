@@ -1,0 +1,51 @@
+// Disjoint-set union with path halving and union by size.
+//
+// The backbone of the clustering analyses: FOF and DBSCAN both reduce to
+// connected components over neighbor relations discovered by BVH queries.
+#pragma once
+
+#include <cstdint>
+#include <numeric>
+#include <vector>
+
+namespace crkhacc::analysis {
+
+class UnionFind {
+ public:
+  explicit UnionFind(std::size_t n) : parent_(n), size_(n, 1) {
+    std::iota(parent_.begin(), parent_.end(), 0u);
+  }
+
+  std::uint32_t find(std::uint32_t x) {
+    while (parent_[x] != x) {
+      parent_[x] = parent_[parent_[x]];  // path halving
+      x = parent_[x];
+    }
+    return x;
+  }
+
+  /// Union the sets of a and b; returns the new root.
+  std::uint32_t unite(std::uint32_t a, std::uint32_t b) {
+    std::uint32_t ra = find(a);
+    std::uint32_t rb = find(b);
+    if (ra == rb) return ra;
+    if (size_[ra] < size_[rb]) std::swap(ra, rb);
+    parent_[rb] = ra;
+    size_[ra] += size_[rb];
+    return ra;
+  }
+
+  bool connected(std::uint32_t a, std::uint32_t b) {
+    return find(a) == find(b);
+  }
+
+  std::uint32_t component_size(std::uint32_t x) { return size_[find(x)]; }
+
+  std::size_t size() const { return parent_.size(); }
+
+ private:
+  std::vector<std::uint32_t> parent_;
+  std::vector<std::uint32_t> size_;
+};
+
+}  // namespace crkhacc::analysis

@@ -1,0 +1,196 @@
+#include "comm/world.h"
+
+#include <algorithm>
+#include <thread>
+
+namespace crkhacc::comm {
+namespace {
+
+// Internal tags (negative so they never collide with user tags, which are
+// required to be non-negative). Collectives are built on point-to-point;
+// correctness of back-to-back collectives follows from per-(source, tag)
+// FIFO message ordering.
+constexpr int kTagAllgather = -1;
+constexpr int kTagBcast = -2;
+constexpr int kTagAlltoall = -3;
+
+}  // namespace
+
+// --------------------------------------------------------------------------
+// World
+
+World::World(int num_ranks) : num_ranks_(num_ranks) {
+  CHECK(num_ranks >= 1);
+  mailboxes_.reserve(static_cast<std::size_t>(num_ranks));
+  for (int i = 0; i < num_ranks; ++i) {
+    mailboxes_.push_back(std::make_unique<Mailbox>());
+  }
+}
+
+World::~World() = default;
+
+void World::run(const std::function<void(Communicator&)>& rank_main) {
+  // Any leftover state from a previous (buggy) run would corrupt this one.
+  for (auto& box : mailboxes_) {
+    CHECK(box->messages.empty());
+  }
+  std::vector<std::thread> threads;
+  threads.reserve(static_cast<std::size_t>(num_ranks_));
+  for (int r = 0; r < num_ranks_; ++r) {
+    threads.emplace_back([this, r, &rank_main] {
+      Communicator comm(*this, r);
+      rank_main(comm);
+    });
+  }
+  for (auto& t : threads) t.join();
+}
+
+void World::deliver(int dest, Message message) {
+  CHECK(dest >= 0 && dest < num_ranks_);
+  Mailbox& box = *mailboxes_[static_cast<std::size_t>(dest)];
+  {
+    std::lock_guard<std::mutex> lock(box.mutex);
+    box.messages.push_back(std::move(message));
+  }
+  box.cv.notify_all();
+}
+
+std::vector<std::uint8_t> World::wait_for(int self, int source, int tag) {
+  Mailbox& box = *mailboxes_[static_cast<std::size_t>(self)];
+  std::unique_lock<std::mutex> lock(box.mutex);
+  while (true) {
+    auto it = std::find_if(box.messages.begin(), box.messages.end(),
+                           [&](const Message& m) {
+                             return m.source == source && m.tag == tag;
+                           });
+    if (it != box.messages.end()) {
+      auto payload = std::move(it->payload);
+      box.messages.erase(it);
+      return payload;
+    }
+    box.cv.wait(lock);
+  }
+}
+
+void World::barrier_wait() {
+  std::unique_lock<std::mutex> lock(barrier_mutex_);
+  const std::uint64_t generation = barrier_generation_;
+  if (++barrier_arrived_ == num_ranks_) {
+    barrier_arrived_ = 0;
+    ++barrier_generation_;
+    barrier_cv_.notify_all();
+    return;
+  }
+  barrier_cv_.wait(lock, [&] { return barrier_generation_ != generation; });
+}
+
+// --------------------------------------------------------------------------
+// Communicator
+
+int Communicator::size() const { return world_.num_ranks_; }
+
+void Communicator::send_bytes(int dest, int tag, const void* data,
+                              std::size_t size) {
+  CHECK(tag >= 0);
+  const auto* bytes = static_cast<const std::uint8_t*>(data);
+  bytes_sent_ += size;
+  world_.deliver(dest, World::Message{rank_, tag,
+                                      std::vector<std::uint8_t>(bytes, bytes + size)});
+}
+
+std::vector<std::uint8_t> Communicator::recv_bytes(int source, int tag) {
+  CHECK(tag >= 0);
+  return world_.wait_for(rank_, source, tag);
+}
+
+void Communicator::barrier() { world_.barrier_wait(); }
+
+std::vector<std::vector<std::uint8_t>> Communicator::allgather_bytes(
+    const std::vector<std::uint8_t>& mine) {
+  const int n = size();
+  for (int d = 0; d < n; ++d) {
+    bytes_sent_ += mine.size();
+    world_.deliver(d, World::Message{rank_, kTagAllgather, mine});
+  }
+  std::vector<std::vector<std::uint8_t>> out(static_cast<std::size_t>(n));
+  for (int s = 0; s < n; ++s) {
+    out[static_cast<std::size_t>(s)] = world_.wait_for(rank_, s, kTagAllgather);
+  }
+  return out;
+}
+
+void Communicator::allreduce(std::span<double> values, ReduceOp op) {
+  std::vector<std::uint8_t> mine(values.size_bytes());
+  std::memcpy(mine.data(), values.data(), mine.size());
+  auto all = allgather_bytes(mine);
+  for (std::size_t s = 0; s < all.size(); ++s) {
+    if (static_cast<int>(s) == rank_) continue;
+    CHECK(all[s].size() == values.size_bytes());
+    const auto* other = reinterpret_cast<const double*>(all[s].data());
+    for (std::size_t i = 0; i < values.size(); ++i) {
+      switch (op) {
+        case ReduceOp::kSum: values[i] += other[i]; break;
+        case ReduceOp::kMin: values[i] = std::min(values[i], other[i]); break;
+        case ReduceOp::kMax: values[i] = std::max(values[i], other[i]); break;
+      }
+    }
+  }
+}
+
+void Communicator::allreduce(std::span<std::int64_t> values, ReduceOp op) {
+  std::vector<std::uint8_t> mine(values.size_bytes());
+  std::memcpy(mine.data(), values.data(), mine.size());
+  auto all = allgather_bytes(mine);
+  for (std::size_t s = 0; s < all.size(); ++s) {
+    if (static_cast<int>(s) == rank_) continue;
+    CHECK(all[s].size() == values.size_bytes());
+    const auto* other = reinterpret_cast<const std::int64_t*>(all[s].data());
+    for (std::size_t i = 0; i < values.size(); ++i) {
+      switch (op) {
+        case ReduceOp::kSum: values[i] += other[i]; break;
+        case ReduceOp::kMin: values[i] = std::min(values[i], other[i]); break;
+        case ReduceOp::kMax: values[i] = std::max(values[i], other[i]); break;
+      }
+    }
+  }
+}
+
+double Communicator::allreduce_scalar(double value, ReduceOp op) {
+  allreduce(std::span<double>(&value, 1), op);
+  return value;
+}
+
+std::int64_t Communicator::allreduce_scalar(std::int64_t value, ReduceOp op) {
+  allreduce(std::span<std::int64_t>(&value, 1), op);
+  return value;
+}
+
+void Communicator::bcast_bytes(std::vector<std::uint8_t>& bytes, int root) {
+  if (rank_ == root) {
+    for (int d = 0; d < size(); ++d) {
+      if (d == root) continue;
+      bytes_sent_ += bytes.size();
+      world_.deliver(d, World::Message{rank_, kTagBcast, bytes});
+    }
+  } else {
+    bytes = world_.wait_for(rank_, root, kTagBcast);
+  }
+}
+
+std::vector<std::vector<std::uint8_t>> Communicator::alltoallv_bytes(
+    const std::vector<std::vector<std::uint8_t>>& sends) {
+  const int n = size();
+  CHECK(static_cast<int>(sends.size()) == n);
+  for (int d = 0; d < n; ++d) {
+    bytes_sent_ += sends[static_cast<std::size_t>(d)].size();
+    world_.deliver(d, World::Message{rank_, kTagAlltoall,
+                                     sends[static_cast<std::size_t>(d)]});
+  }
+  std::vector<std::vector<std::uint8_t>> out(static_cast<std::size_t>(n));
+  for (int s = 0; s < n; ++s) {
+    out[static_cast<std::size_t>(s)] = world_.wait_for(rank_, s, kTagAlltoall);
+  }
+  return out;
+}
+
+}  // namespace crkhacc::comm

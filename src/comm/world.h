@@ -1,0 +1,211 @@
+// In-process message-passing substrate.
+//
+// CRK-HACC is an MPI code: one rank per GPU tile, 72,000 ranks on the full
+// Frontier-E run. This module substitutes a faithful in-process model for
+// MPI — N simulated ranks, each running the identical rank program on its
+// own thread, communicating only through explicit messages and collectives
+// with MPI semantics (matched tagged point-to-point, barrier, allreduce,
+// bcast, alltoallv, allgather). Algorithms above this layer are written
+// exactly as they would be against MPI, so rank-count scaling exercises the
+// same decomposition, exchange, and reduction patterns as the real machine.
+//
+// Messages are deep-copied byte buffers: no shared mutable state leaks
+// between ranks, preserving the distributed-memory discipline that makes
+// the overload/ghost-zone design of the paper necessary in the first place.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <cstring>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <vector>
+
+#include "util/assertions.h"
+
+namespace crkhacc::comm {
+
+/// Reduction operators for allreduce.
+enum class ReduceOp { kSum, kMin, kMax };
+
+class World;
+
+/// Per-rank communication handle. Valid only inside World::run.
+///
+/// All operations are blocking with MPI semantics. Point-to-point matching
+/// is by (source, tag) in FIFO order per pair.
+class Communicator {
+ public:
+  int rank() const { return rank_; }
+  int size() const;
+
+  // --- point-to-point ----------------------------------------------------
+  void send_bytes(int dest, int tag, const void* data, std::size_t size);
+  /// Blocks until a matching message arrives; returns its payload.
+  std::vector<std::uint8_t> recv_bytes(int source, int tag);
+
+  template <typename T>
+  void send(int dest, int tag, std::span<const T> data) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    send_bytes(dest, tag, data.data(), data.size_bytes());
+  }
+
+  template <typename T>
+  void send_value(int dest, int tag, const T& value) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    send_bytes(dest, tag, &value, sizeof(T));
+  }
+
+  template <typename T>
+  std::vector<T> recv(int source, int tag) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    auto bytes = recv_bytes(source, tag);
+    CHECK(bytes.size() % sizeof(T) == 0);
+    std::vector<T> out(bytes.size() / sizeof(T));
+    std::memcpy(out.data(), bytes.data(), bytes.size());
+    return out;
+  }
+
+  template <typename T>
+  T recv_value(int source, int tag) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    auto bytes = recv_bytes(source, tag);
+    CHECK(bytes.size() == sizeof(T));
+    T value;
+    std::memcpy(&value, bytes.data(), sizeof(T));
+    return value;
+  }
+
+  // --- collectives --------------------------------------------------------
+  /// All ranks must call; returns when every rank has arrived.
+  void barrier();
+
+  /// Element-wise reduction of `values` across ranks; result on all ranks.
+  void allreduce(std::span<double> values, ReduceOp op);
+  void allreduce(std::span<std::int64_t> values, ReduceOp op);
+  double allreduce_scalar(double value, ReduceOp op);
+  std::int64_t allreduce_scalar(std::int64_t value, ReduceOp op);
+
+  /// Broadcast `bytes` from `root` to every rank (resized on receivers).
+  void bcast_bytes(std::vector<std::uint8_t>& bytes, int root);
+
+  template <typename T>
+  void bcast(std::vector<T>& data, int root) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    std::vector<std::uint8_t> bytes;
+    if (rank_ == root) {
+      bytes.resize(data.size() * sizeof(T));
+      std::memcpy(bytes.data(), data.data(), bytes.size());
+    }
+    bcast_bytes(bytes, root);
+    data.resize(bytes.size() / sizeof(T));
+    std::memcpy(data.data(), bytes.data(), bytes.size());
+  }
+
+  /// Gather one T from each rank onto all ranks (allgather).
+  template <typename T>
+  std::vector<T> allgather_value(const T& value) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    std::vector<std::uint8_t> mine(sizeof(T));
+    std::memcpy(mine.data(), &value, sizeof(T));
+    auto gathered = allgather_bytes(mine);
+    std::vector<T> out(gathered.size());
+    for (std::size_t i = 0; i < gathered.size(); ++i) {
+      CHECK(gathered[i].size() == sizeof(T));
+      std::memcpy(&out[i], gathered[i].data(), sizeof(T));
+    }
+    return out;
+  }
+
+  /// Gather a variable-size byte buffer from each rank onto all ranks.
+  std::vector<std::vector<std::uint8_t>> allgather_bytes(
+      const std::vector<std::uint8_t>& mine);
+
+  /// Personalized all-to-all: sends[d] goes to rank d; returns one buffer
+  /// received from each rank (empty buffers allowed).
+  std::vector<std::vector<std::uint8_t>> alltoallv_bytes(
+      const std::vector<std::vector<std::uint8_t>>& sends);
+
+  template <typename T>
+  std::vector<std::vector<T>> alltoallv(
+      const std::vector<std::vector<T>>& sends) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    CHECK(static_cast<int>(sends.size()) == size());
+    std::vector<std::vector<std::uint8_t>> raw(sends.size());
+    for (std::size_t d = 0; d < sends.size(); ++d) {
+      raw[d].resize(sends[d].size() * sizeof(T));
+      std::memcpy(raw[d].data(), sends[d].data(), raw[d].size());
+    }
+    auto got = alltoallv_bytes(raw);
+    std::vector<std::vector<T>> out(got.size());
+    for (std::size_t s = 0; s < got.size(); ++s) {
+      CHECK(got[s].size() % sizeof(T) == 0);
+      out[s].resize(got[s].size() / sizeof(T));
+      std::memcpy(out[s].data(), got[s].data(), got[s].size());
+    }
+    return out;
+  }
+
+  /// Total bytes this rank has sent point-to-point (diagnostics).
+  std::uint64_t bytes_sent() const { return bytes_sent_; }
+
+ private:
+  friend class World;
+  Communicator(World& world, int rank) : world_(world), rank_(rank) {}
+
+  World& world_;
+  int rank_;
+  std::uint64_t bytes_sent_ = 0;
+};
+
+/// A simulated machine: N ranks, each running `rank_main` on its own
+/// thread. Construction is cheap; run() is synchronous and joins all
+/// rank threads before returning.
+class World {
+ public:
+  explicit World(int num_ranks);
+  ~World();
+
+  World(const World&) = delete;
+  World& operator=(const World&) = delete;
+
+  int size() const { return num_ranks_; }
+
+  /// Execute `rank_main(comm)` on every rank concurrently; returns after
+  /// all ranks finish. May be called repeatedly on the same World.
+  void run(const std::function<void(Communicator&)>& rank_main);
+
+ private:
+  friend class Communicator;
+
+  struct Message {
+    int source;
+    int tag;
+    std::vector<std::uint8_t> payload;
+  };
+
+  struct Mailbox {
+    std::mutex mutex;
+    std::condition_variable cv;
+    std::deque<Message> messages;
+  };
+
+  void deliver(int dest, Message message);
+  std::vector<std::uint8_t> wait_for(int self, int source, int tag);
+
+  // Central generation-counted barrier shared by all collectives.
+  void barrier_wait();
+
+  int num_ranks_;
+  std::vector<std::unique_ptr<Mailbox>> mailboxes_;
+
+  std::mutex barrier_mutex_;
+  std::condition_variable barrier_cv_;
+  int barrier_arrived_ = 0;
+  std::uint64_t barrier_generation_ = 0;
+};
+
+}  // namespace crkhacc::comm

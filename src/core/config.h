@@ -1,0 +1,56 @@
+// Run configuration for the CRK-HACC-style simulation driver.
+#pragma once
+
+#include <cstdint>
+
+#include "cosmology/background.h"
+#include "gravity/short_range.h"
+#include "integrator/timestep.h"
+#include "sph/solver.h"
+#include "subgrid/model.h"
+
+namespace crkhacc::core {
+
+struct SimConfig {
+  cosmo::Parameters cosmology;
+
+  // Problem size.
+  std::size_t np = 16;      ///< particle lattice per dimension, per species
+  double box = 32.0;        ///< comoving box side [Mpc/h]
+  double z_init = 50.0;
+  double z_final = 0.0;
+  int num_pm_steps = 16;    ///< global PM steps (uniform in a)
+
+  // Long-range solver.
+  std::size_t ng = 32;      ///< PM mesh per dimension
+  double rs_cells = 1.5;    ///< force-split scale in PM cells
+  double split_threshold = 1e-3;  ///< pair-force tail at the handover radius
+
+  /// Plummer softening and accel-criterion length; < 0 selects the
+  /// resolution-scaled default of 0.1 x mean interparticle spacing.
+  double softening = -1.0;
+
+  // Physics switches.
+  bool hydro = true;         ///< evolve gas with CRKSPH (else gravity-only)
+  bool subgrid_on = true;    ///< cooling / SF / feedback
+  double t_init_K = 200.0;   ///< initial gas temperature
+
+  // Adaptive stepping.
+  bool flat_stepping = false;  ///< "low-z Flat": sync all to deepest bin
+  integrator::TimeBinConfig bins;
+
+  // Ablations.
+  bool rebuild_tree_every_substep = false;  ///< vs refit-only (paper default)
+
+  // Analysis cadence: run in situ analysis every k-th PM step (0 = only
+  // when requested explicitly).
+  int analysis_every = 0;
+
+  std::uint64_t seed = 42;
+
+  sph::SphConfig sph;
+  gravity::GravityConfig gravity;
+  subgrid::SubgridConfig subgrid;
+};
+
+}  // namespace crkhacc::core

@@ -1,0 +1,65 @@
+#include "core/diagnostics.h"
+
+#include <cmath>
+#include <span>
+
+namespace crkhacc::core {
+
+ConservationSnapshot measure_conservation(comm::Communicator& comm,
+                                          const Particles& particles) {
+  // Pack all local sums into one buffer for a single allreduce.
+  enum {
+    kMassTotal, kMassGas, kMassStars, kMassBh, kMassDm,
+    kPx, kPy, kPz,
+    kKinetic, kThermal, kMetal,
+    kAbsMomentum, kCount,
+    kFields,
+  };
+  double sums[kFields] = {};
+  for (std::size_t i = 0; i < particles.size(); ++i) {
+    if (!particles.is_owned(i)) continue;
+    const double m = particles.mass[i];
+    sums[kMassTotal] += m;
+    switch (static_cast<Species>(particles.species[i])) {
+      case Species::kGas:
+        sums[kMassGas] += m;
+        sums[kThermal] += m * particles.u[i];
+        sums[kMetal] += m * particles.metal[i];
+        break;
+      case Species::kStar: sums[kMassStars] += m; break;
+      case Species::kBlackHole: sums[kMassBh] += m; break;
+      case Species::kDarkMatter: sums[kMassDm] += m; break;
+    }
+    const double vx = particles.vx[i];
+    const double vy = particles.vy[i];
+    const double vz = particles.vz[i];
+    sums[kPx] += m * vx;
+    sums[kPy] += m * vy;
+    sums[kPz] += m * vz;
+    const double v2 = vx * vx + vy * vy + vz * vz;
+    sums[kKinetic] += 0.5 * m * v2;
+    sums[kAbsMomentum] += m * std::sqrt(v2);
+    sums[kCount] += 1.0;
+  }
+  comm.allreduce(std::span<double>(sums, kFields), comm::ReduceOp::kSum);
+
+  ConservationSnapshot snapshot;
+  snapshot.mass_total = sums[kMassTotal];
+  snapshot.mass_gas = sums[kMassGas];
+  snapshot.mass_stars = sums[kMassStars];
+  snapshot.mass_bh = sums[kMassBh];
+  snapshot.mass_dm = sums[kMassDm];
+  snapshot.momentum = {sums[kPx], sums[kPy], sums[kPz]};
+  snapshot.kinetic_energy = sums[kKinetic];
+  snapshot.thermal_energy = sums[kThermal];
+  snapshot.metal_mass = sums[kMetal];
+  snapshot.count = static_cast<std::int64_t>(sums[kCount]);
+  const double p_mag = std::sqrt(sums[kPx] * sums[kPx] +
+                                 sums[kPy] * sums[kPy] +
+                                 sums[kPz] * sums[kPz]);
+  snapshot.momentum_asymmetry =
+      sums[kAbsMomentum] > 0.0 ? p_mag / sums[kAbsMomentum] : 0.0;
+  return snapshot;
+}
+
+}  // namespace crkhacc::core

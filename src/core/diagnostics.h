@@ -1,0 +1,47 @@
+// Global conservation diagnostics.
+//
+// Production runs track conserved quantities every step: a drifting mass
+// budget or runaway momentum is the first sign of a decomposition or
+// kernel bug long before it shows in science outputs. The tracker reduces
+// per-species mass, momentum, kinetic/thermal energy and metal budgets
+// over owned particles (allreduced so every rank sees the global values)
+// and reports drifts relative to a reference snapshot.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "comm/world.h"
+#include "core/particles.h"
+
+namespace crkhacc::core {
+
+struct ConservationSnapshot {
+  double mass_total = 0.0;
+  double mass_gas = 0.0;
+  double mass_stars = 0.0;
+  double mass_bh = 0.0;
+  double mass_dm = 0.0;
+  std::array<double, 3> momentum{0.0, 0.0, 0.0};  ///< sum m v (peculiar)
+  double kinetic_energy = 0.0;   ///< sum 1/2 m v^2
+  double thermal_energy = 0.0;   ///< sum m u
+  double metal_mass = 0.0;       ///< sum m Z (gas)
+  std::int64_t count = 0;
+
+  /// |sum m v| / sum m |v| — dimensionless momentum asymmetry; stays
+  /// near zero for a momentum-conserving solver on an isotropic box.
+  double momentum_asymmetry = 0.0;
+};
+
+/// Reduce the global conservation snapshot (collective: all ranks call).
+ConservationSnapshot measure_conservation(comm::Communicator& comm,
+                                          const Particles& particles);
+
+/// Relative mass drift between two snapshots.
+inline double mass_drift(const ConservationSnapshot& before,
+                         const ConservationSnapshot& after) {
+  if (before.mass_total <= 0.0) return 0.0;
+  return (after.mass_total - before.mass_total) / before.mass_total;
+}
+
+}  // namespace crkhacc::core

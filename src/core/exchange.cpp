@@ -1,0 +1,139 @@
+#include "core/exchange.h"
+
+#include <array>
+#include <vector>
+
+#include "util/assertions.h"
+
+namespace crkhacc::core {
+namespace {
+
+/// Intersection of two boxes (possibly empty).
+comm::Box3 intersect(const comm::Box3& a, const comm::Box3& b) {
+  comm::Box3 out;
+  for (int d = 0; d < 3; ++d) {
+    out.lo[d] = std::max(a.lo[d], b.lo[d]);
+    out.hi[d] = std::min(a.hi[d], b.hi[d]);
+  }
+  return out;
+}
+
+bool is_empty(const comm::Box3& b) {
+  for (int d = 0; d < 3; ++d) {
+    if (b.hi[d] <= b.lo[d]) return true;
+  }
+  return false;
+}
+
+/// A precomputed ghost-send rule: owned particles inside `region` are
+/// sent to `target` at position + offset.
+struct GhostRegion {
+  int target;
+  comm::Box3 region;
+  std::array<double, 3> offset;
+};
+
+std::vector<GhostRegion> build_ghost_regions(
+    const comm::CartDecomposition& decomp, int rank, double overload) {
+  const double box = decomp.box_size();
+  const auto my_box = decomp.local_box(rank);
+
+  std::vector<int> targets = decomp.neighbors_of(rank);
+  targets.push_back(rank);  // periodic self-images at small rank counts
+
+  std::vector<GhostRegion> regions;
+  for (int target : targets) {
+    const auto obox = decomp.overloaded_box(target, overload);
+    for (int ox = -1; ox <= 1; ++ox) {
+      for (int oy = -1; oy <= 1; ++oy) {
+        for (int oz = -1; oz <= 1; ++oz) {
+          if (target == rank && ox == 0 && oy == 0 && oz == 0) continue;
+          const std::array<double, 3> offset{ox * box, oy * box, oz * box};
+          // Image p + offset lands in obox  <=>  p in obox - offset.
+          comm::Box3 shifted = obox;
+          for (int d = 0; d < 3; ++d) {
+            shifted.lo[d] -= offset[d];
+            shifted.hi[d] -= offset[d];
+          }
+          const auto region = intersect(shifted, my_box);
+          if (!is_empty(region)) {
+            regions.push_back(GhostRegion{target, region, offset});
+          }
+        }
+      }
+    }
+  }
+  return regions;
+}
+
+}  // namespace
+
+ExchangeStats exchange_and_overload(comm::Communicator& comm,
+                                    const comm::CartDecomposition& decomp,
+                                    Particles& particles, double overload) {
+  ExchangeStats stats;
+  const int rank = comm.rank();
+  const int p = comm.size();
+
+  // 1. Drop stale ghosts.
+  {
+    std::vector<bool> keep(particles.size());
+    for (std::size_t i = 0; i < particles.size(); ++i) {
+      keep[i] = particles.is_owned(i);
+    }
+    particles.compact(keep);
+  }
+
+  // 2. Migrate owned particles to their new home ranks.
+  {
+    std::vector<std::vector<Particles::Record>> sends(static_cast<std::size_t>(p));
+    std::vector<bool> keep(particles.size(), true);
+    for (std::size_t i = 0; i < particles.size(); ++i) {
+      const int owner = decomp.owner_of(
+          {particles.x[i], particles.y[i], particles.z[i]});
+      if (owner != rank) {
+        sends[static_cast<std::size_t>(owner)].push_back(particles.record(i));
+        keep[i] = false;
+        ++stats.migrated;
+      }
+    }
+    particles.compact(keep);
+    auto recvs = comm.alltoallv(sends);
+    for (const auto& batch : recvs) {
+      for (const auto& record : batch) {
+        particles.append_record(record);
+      }
+    }
+  }
+  stats.owned = static_cast<std::int64_t>(particles.size());
+
+  // 3. Re-overload: replicate boundary particles (with image offsets)
+  //    into every overlapping overloaded box.
+  {
+    const auto regions = build_ghost_regions(decomp, rank, overload);
+    std::vector<std::vector<Particles::Record>> sends(static_cast<std::size_t>(p));
+    for (std::size_t i = 0; i < particles.size(); ++i) {
+      const std::array<double, 3> pos{particles.x[i], particles.y[i],
+                                      particles.z[i]};
+      for (const auto& rule : regions) {
+        if (!rule.region.contains(pos)) continue;
+        auto record = particles.record(i);
+        record.x = static_cast<float>(pos[0] + rule.offset[0]);
+        record.y = static_cast<float>(pos[1] + rule.offset[1]);
+        record.z = static_cast<float>(pos[2] + rule.offset[2]);
+        sends[static_cast<std::size_t>(rule.target)].push_back(record);
+      }
+    }
+    auto recvs = comm.alltoallv(sends);
+    for (const auto& batch : recvs) {
+      for (const auto& record : batch) {
+        const std::size_t idx = particles.append_record(record);
+        particles.ghost[idx] = 1;
+        ++stats.ghosts;
+      }
+    }
+  }
+  return stats;
+}
+
+}  // namespace crkhacc::core

@@ -1,0 +1,33 @@
+// Particle migration and overload (ghost) exchange.
+//
+// Once per PM step, each rank: (1) drops its stale ghost replicas,
+// (2) migrates owned particles that drifted into other subdomains, and
+// (3) re-overloads — sends copies of its boundary particles to every rank
+// whose overloaded box contains them, including periodic images (and its
+// own periodic images when a rank wraps onto itself at small rank
+// counts). Ghost copies carry unwrapped image coordinates so the
+// receiving rank's chaining mesh sees a spatially contiguous cloud.
+//
+// After the exchange, all short-range work inside the PM step is
+// communication-free — the core architectural property of CRK-HACC.
+#pragma once
+
+#include "comm/decomposition.h"
+#include "comm/world.h"
+#include "core/particles.h"
+
+namespace crkhacc::core {
+
+struct ExchangeStats {
+  std::int64_t migrated = 0;   ///< owned particles that changed rank
+  std::int64_t ghosts = 0;     ///< overload replicas received
+  std::int64_t owned = 0;      ///< owned count after exchange
+};
+
+/// Full exchange: drop ghosts, migrate owners, rebuild the overload
+/// layer of width `overload`.
+ExchangeStats exchange_and_overload(comm::Communicator& comm,
+                                    const comm::CartDecomposition& decomp,
+                                    Particles& particles, double overload);
+
+}  // namespace crkhacc::core

@@ -1,0 +1,189 @@
+#include "core/param_file.h"
+
+#include <algorithm>
+#include <cctype>
+#include <fstream>
+#include <sstream>
+
+#include "util/log.h"
+
+namespace crkhacc::core {
+namespace {
+
+std::string trim(const std::string& s) {
+  const auto begin = s.find_first_not_of(" \t\r");
+  if (begin == std::string::npos) return "";
+  const auto end = s.find_last_not_of(" \t\r");
+  return s.substr(begin, end - begin + 1);
+}
+
+std::string lower(std::string s) {
+  std::transform(s.begin(), s.end(), s.begin(),
+                 [](unsigned char c) { return std::tolower(c); });
+  return s;
+}
+
+}  // namespace
+
+std::optional<ParamFile> ParamFile::parse(const std::string& text) {
+  ParamFile file;
+  std::istringstream stream(text);
+  std::string line;
+  int line_number = 0;
+  while (std::getline(stream, line)) {
+    ++line_number;
+    const auto comment = line.find('#');
+    if (comment != std::string::npos) line.resize(comment);
+    const auto trimmed = trim(line);
+    if (trimmed.empty()) continue;
+    const auto eq = trimmed.find('=');
+    if (eq == std::string::npos) {
+      HACC_LOG_ERROR("param file: line %d has no '=': %s", line_number,
+                     trimmed.c_str());
+      return std::nullopt;
+    }
+    const auto key = trim(trimmed.substr(0, eq));
+    const auto value = trim(trimmed.substr(eq + 1));
+    if (key.empty()) {
+      HACC_LOG_ERROR("param file: empty key on line %d", line_number);
+      return std::nullopt;
+    }
+    file.values_[key] = value;
+  }
+  return file;
+}
+
+std::optional<ParamFile> ParamFile::load(const std::string& path) {
+  std::ifstream stream(path);
+  if (!stream) return std::nullopt;
+  std::stringstream buffer;
+  buffer << stream.rdbuf();
+  return parse(buffer.str());
+}
+
+bool ParamFile::has(const std::string& key) const {
+  return values_.count(key) > 0;
+}
+
+std::optional<std::string> ParamFile::get_string(const std::string& key) const {
+  auto it = values_.find(key);
+  if (it == values_.end()) return std::nullopt;
+  return it->second;
+}
+
+std::optional<double> ParamFile::get_double(const std::string& key) const {
+  const auto raw = get_string(key);
+  if (!raw) return std::nullopt;
+  try {
+    std::size_t consumed = 0;
+    const double value = std::stod(*raw, &consumed);
+    if (consumed != raw->size()) return std::nullopt;
+    return value;
+  } catch (...) {
+    return std::nullopt;
+  }
+}
+
+std::optional<long> ParamFile::get_int(const std::string& key) const {
+  const auto raw = get_string(key);
+  if (!raw) return std::nullopt;
+  try {
+    std::size_t consumed = 0;
+    const long value = std::stol(*raw, &consumed);
+    if (consumed != raw->size()) return std::nullopt;
+    return value;
+  } catch (...) {
+    return std::nullopt;
+  }
+}
+
+std::optional<bool> ParamFile::get_bool(const std::string& key) const {
+  const auto raw = get_string(key);
+  if (!raw) return std::nullopt;
+  const auto v = lower(*raw);
+  if (v == "true" || v == "1" || v == "yes" || v == "on") return true;
+  if (v == "false" || v == "0" || v == "no" || v == "off") return false;
+  return std::nullopt;
+}
+
+std::vector<std::string> ParamFile::keys() const {
+  std::vector<std::string> out;
+  out.reserve(values_.size());
+  for (const auto& [key, value] : values_) out.push_back(key);
+  return out;
+}
+
+std::vector<std::string> ParamFile::apply(SimConfig& config) const {
+  std::vector<std::string> unknown;
+  for (const auto& [key, value] : values_) {
+    (void)value;
+    bool ok = true;
+    if (key == "np") {
+      if (auto v = get_int(key)) config.np = static_cast<std::size_t>(*v);
+    } else if (key == "box") {
+      if (auto v = get_double(key)) config.box = *v;
+    } else if (key == "ng") {
+      if (auto v = get_int(key)) config.ng = static_cast<std::size_t>(*v);
+    } else if (key == "z_init") {
+      if (auto v = get_double(key)) config.z_init = *v;
+    } else if (key == "z_final") {
+      if (auto v = get_double(key)) config.z_final = *v;
+    } else if (key == "num_pm_steps") {
+      if (auto v = get_int(key)) config.num_pm_steps = static_cast<int>(*v);
+    } else if (key == "rs_cells") {
+      if (auto v = get_double(key)) config.rs_cells = *v;
+    } else if (key == "split_threshold") {
+      if (auto v = get_double(key)) config.split_threshold = *v;
+    } else if (key == "hydro") {
+      if (auto v = get_bool(key)) config.hydro = *v;
+    } else if (key == "subgrid") {
+      if (auto v = get_bool(key)) config.subgrid_on = *v;
+    } else if (key == "flat_stepping") {
+      if (auto v = get_bool(key)) config.flat_stepping = *v;
+    } else if (key == "max_depth") {
+      if (auto v = get_int(key)) config.bins.max_depth = static_cast<int>(*v);
+    } else if (key == "analysis_every") {
+      if (auto v = get_int(key)) config.analysis_every = static_cast<int>(*v);
+    } else if (key == "seed") {
+      if (auto v = get_int(key)) config.seed = static_cast<std::uint64_t>(*v);
+    } else if (key == "softening") {
+      if (auto v = get_double(key)) config.softening = *v;
+    } else if (key == "omega_m") {
+      if (auto v = get_double(key)) config.cosmology.omega_m = *v;
+    } else if (key == "omega_b") {
+      if (auto v = get_double(key)) config.cosmology.omega_b = *v;
+    } else if (key == "omega_l") {
+      if (auto v = get_double(key)) config.cosmology.omega_l = *v;
+    } else if (key == "hubble") {
+      if (auto v = get_double(key)) config.cosmology.h = *v;
+    } else if (key == "sigma8") {
+      if (auto v = get_double(key)) config.cosmology.sigma8 = *v;
+    } else if (key == "n_s") {
+      if (auto v = get_double(key)) config.cosmology.n_s = *v;
+    } else if (key == "sph_eta") {
+      if (auto v = get_double(key)) config.sph.eta = static_cast<float>(*v);
+    } else if (key == "sph_cfl") {
+      if (auto v = get_double(key)) config.sph.cfl = static_cast<float>(*v);
+    } else if (key == "sph_kernel") {
+      const auto v = lower(get_string(key).value_or(""));
+      if (v == "wendland" || v == "wendland_c4") {
+        config.sph.kernel = sph::KernelShape::kWendlandC4;
+      } else if (v == "cubic" || v == "cubic_spline") {
+        config.sph.kernel = sph::KernelShape::kCubicSpline;
+      } else {
+        ok = false;
+      }
+    } else if (key == "warp_size") {
+      if (auto v = get_int(key)) {
+        config.sph.warp_size = static_cast<std::uint32_t>(*v);
+        config.gravity.warp_size = static_cast<std::uint32_t>(*v);
+      }
+    } else {
+      ok = false;
+    }
+    if (!ok) unknown.push_back(key);
+  }
+  return unknown;
+}
+
+}  // namespace crkhacc::core

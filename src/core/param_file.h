@@ -1,0 +1,45 @@
+// Parameter-file configuration (production-code style).
+//
+// Flagship runs are driven by parameter files, not recompiles. This is a
+// minimal "key = value" reader (# comments, blank lines, whitespace
+// tolerant) with typed accessors and a mapper onto SimConfig covering the
+// knobs a campaign would tune. Unknown keys are reported so typos fail
+// loudly instead of silently running the wrong universe.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/config.h"
+
+namespace crkhacc::core {
+
+class ParamFile {
+ public:
+  /// Parse "key = value" text; returns nullopt on malformed lines
+  /// (reported via log).
+  static std::optional<ParamFile> parse(const std::string& text);
+
+  /// Read and parse a file; nullopt if unreadable or malformed.
+  static std::optional<ParamFile> load(const std::string& path);
+
+  bool has(const std::string& key) const;
+  std::optional<std::string> get_string(const std::string& key) const;
+  std::optional<double> get_double(const std::string& key) const;
+  std::optional<long> get_int(const std::string& key) const;
+  std::optional<bool> get_bool(const std::string& key) const;  ///< true/false/1/0/yes/no
+
+  /// All keys present in the file.
+  std::vector<std::string> keys() const;
+
+  /// Apply recognized keys onto `config`; returns the list of keys that
+  /// were NOT recognized (empty = clean).
+  std::vector<std::string> apply(SimConfig& config) const;
+
+ private:
+  std::map<std::string, std::string> values_;
+};
+
+}  // namespace crkhacc::core

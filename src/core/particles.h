@@ -1,0 +1,167 @@
+// Structure-of-arrays particle storage.
+//
+// One container holds every species (dark matter, gas, stars, black holes)
+// exactly as CRK-HACC keeps all tracers in unified per-rank arrays that
+// are pushed to the device each PM step. SoA layout keeps the short-range
+// kernels' memory accesses coalesced-equivalent (unit stride per field).
+//
+// Positions are comoving (Mpc/h), velocities peculiar (km/s), masses in
+// 1e10 Msun/h, internal energy in (km/s)^2. FP32 state matches the paper's
+// mixed-precision split: the short-range solver runs single precision.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "util/assertions.h"
+
+namespace crkhacc {
+
+enum class Species : std::uint8_t {
+  kDarkMatter = 0,
+  kGas = 1,
+  kStar = 2,
+  kBlackHole = 3,
+};
+
+struct Particles {
+  std::vector<std::uint64_t> id;
+  std::vector<float> x, y, z;     ///< comoving position
+  std::vector<float> vx, vy, vz;  ///< peculiar velocity
+  std::vector<float> mass;
+  std::vector<std::uint8_t> species;
+
+  // Hydro / subgrid state (meaningful for kGas; zero elsewhere).
+  std::vector<float> u;      ///< specific internal energy
+  std::vector<float> rho;    ///< SPH mass density (comoving)
+  std::vector<float> hsml;   ///< smoothing length
+  std::vector<float> metal;  ///< metal mass fraction
+
+  // Per-step work arrays.
+  std::vector<float> ax, ay, az;  ///< acceleration accumulator
+  std::vector<float> du;          ///< du/dt accumulator
+  std::vector<std::uint8_t> bin;  ///< hierarchical timestep bin
+  std::vector<std::uint8_t> ghost;  ///< 1 if overloaded replica, 0 if owned
+
+  std::size_t size() const { return x.size(); }
+  bool empty() const { return x.empty(); }
+
+  void clear() { resize(0); }
+
+  void resize(std::size_t n) {
+    id.resize(n);
+    x.resize(n); y.resize(n); z.resize(n);
+    vx.resize(n); vy.resize(n); vz.resize(n);
+    mass.resize(n);
+    species.resize(n);
+    u.resize(n); rho.resize(n); hsml.resize(n); metal.resize(n);
+    ax.resize(n); ay.resize(n); az.resize(n); du.resize(n);
+    bin.resize(n); ghost.resize(n);
+  }
+
+  void reserve(std::size_t n) {
+    id.reserve(n);
+    x.reserve(n); y.reserve(n); z.reserve(n);
+    vx.reserve(n); vy.reserve(n); vz.reserve(n);
+    mass.reserve(n);
+    species.reserve(n);
+    u.reserve(n); rho.reserve(n); hsml.reserve(n); metal.reserve(n);
+    ax.reserve(n); ay.reserve(n); az.reserve(n); du.reserve(n);
+    bin.reserve(n); ghost.reserve(n);
+  }
+
+  /// Append a bare tracer; hydro/work fields are zero-initialized.
+  std::size_t push_back(std::uint64_t pid, Species sp, float px, float py,
+                        float pz, float pvx, float pvy, float pvz, float m) {
+    const std::size_t i = size();
+    id.push_back(pid);
+    x.push_back(px); y.push_back(py); z.push_back(pz);
+    vx.push_back(pvx); vy.push_back(pvy); vz.push_back(pvz);
+    mass.push_back(m);
+    species.push_back(static_cast<std::uint8_t>(sp));
+    u.push_back(0.0f); rho.push_back(0.0f); hsml.push_back(0.0f);
+    metal.push_back(0.0f);
+    ax.push_back(0.0f); ay.push_back(0.0f); az.push_back(0.0f);
+    du.push_back(0.0f);
+    bin.push_back(0); ghost.push_back(0);
+    return i;
+  }
+
+  /// Copy particle `src_index` of `src` onto the end of this container.
+  void append_from(const Particles& src, std::size_t src_index) {
+    const std::size_t j = src_index;
+    HACC_ASSERT(j < src.size());
+    id.push_back(src.id[j]);
+    x.push_back(src.x[j]); y.push_back(src.y[j]); z.push_back(src.z[j]);
+    vx.push_back(src.vx[j]); vy.push_back(src.vy[j]); vz.push_back(src.vz[j]);
+    mass.push_back(src.mass[j]);
+    species.push_back(src.species[j]);
+    u.push_back(src.u[j]); rho.push_back(src.rho[j]);
+    hsml.push_back(src.hsml[j]); metal.push_back(src.metal[j]);
+    ax.push_back(src.ax[j]); ay.push_back(src.ay[j]); az.push_back(src.az[j]);
+    du.push_back(src.du[j]);
+    bin.push_back(src.bin[j]); ghost.push_back(src.ghost[j]);
+  }
+
+  /// Overwrite particle i with particle j (used by compaction/removal).
+  void copy_within(std::size_t dst, std::size_t src) {
+    id[dst] = id[src];
+    x[dst] = x[src]; y[dst] = y[src]; z[dst] = z[src];
+    vx[dst] = vx[src]; vy[dst] = vy[src]; vz[dst] = vz[src];
+    mass[dst] = mass[src];
+    species[dst] = species[src];
+    u[dst] = u[src]; rho[dst] = rho[src];
+    hsml[dst] = hsml[src]; metal[dst] = metal[src];
+    ax[dst] = ax[src]; ay[dst] = ay[src]; az[dst] = az[src];
+    du[dst] = du[src];
+    bin[dst] = bin[src]; ghost[dst] = ghost[src];
+  }
+
+  /// Remove all particles whose keep[i] is false, preserving order of kept
+  /// particles. keep.size() must equal size().
+  void compact(const std::vector<bool>& keep) {
+    HACC_ASSERT(keep.size() == size());
+    std::size_t w = 0;
+    for (std::size_t r = 0; r < size(); ++r) {
+      if (!keep[r]) continue;
+      if (w != r) copy_within(w, r);
+      ++w;
+    }
+    resize(w);
+  }
+
+  bool is_gas(std::size_t i) const {
+    return species[i] == static_cast<std::uint8_t>(Species::kGas);
+  }
+  bool is_owned(std::size_t i) const { return ghost[i] == 0; }
+
+  /// Fixed-size record used for wire transfer and checkpointing. Carries
+  /// the ghost flag so checkpoints can include the overloaded regions
+  /// (as the paper's checkpoints do) and restore them faithfully.
+  struct Record {
+    std::uint64_t id;
+    float x, y, z, vx, vy, vz, mass;
+    float u, rho, hsml, metal;
+    std::uint8_t species;
+    std::uint8_t bin;
+    std::uint8_t ghost;
+  };
+
+  Record record(std::size_t i) const {
+    return Record{id[i], x[i], y[i], z[i], vx[i], vy[i], vz[i], mass[i],
+                  u[i], rho[i], hsml[i], metal[i], species[i], bin[i],
+                  ghost[i]};
+  }
+
+  std::size_t append_record(const Record& r) {
+    const std::size_t i =
+        push_back(r.id, static_cast<Species>(r.species), r.x, r.y, r.z, r.vx,
+                  r.vy, r.vz, r.mass);
+    u[i] = r.u; rho[i] = r.rho; hsml[i] = r.hsml; metal[i] = r.metal;
+    bin[i] = r.bin;
+    ghost[i] = r.ghost;
+    return i;
+  }
+};
+
+}  // namespace crkhacc

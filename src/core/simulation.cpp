@@ -1,0 +1,500 @@
+#include "core/simulation.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "analysis/fof.h"
+#include "cosmology/ics.h"
+#include "cosmology/units.h"
+#include "gravity/short_range.h"
+#include "integrator/timestep.h"
+#include "sph/eos.h"
+#include "util/assertions.h"
+#include "util/log.h"
+
+namespace crkhacc::core {
+namespace {
+
+mesh::PMConfig pm_config_of(const SimConfig& config) {
+  return mesh::PMConfig{config.ng, config.box, config.rs_cells,
+                        config.split_threshold};
+}
+
+/// Fill in resolution-derived defaults before any member is constructed
+/// from the config (members copy their sub-configs at init time).
+SimConfig resolve_config(SimConfig config) {
+  const cosmo::Background bg(config.cosmology);
+  // Subgrid overdensity gates need the mean comoving gas density.
+  config.subgrid.mean_gas_density = bg.mean_matter_density() *
+                                    config.cosmology.omega_b /
+                                    config.cosmology.omega_m;
+  // Resolution-scaled softening (force and accel-criterion length).
+  const double spacing = config.box / static_cast<double>(config.np);
+  const double softening =
+      config.softening < 0.0 ? 0.1 * spacing : config.softening;
+  config.softening = softening;
+  config.gravity.softening = static_cast<float>(softening);
+  config.bins.softening = softening;
+  return config;
+}
+
+}  // namespace
+
+Simulation::Simulation(comm::Communicator& comm, const SimConfig& config)
+    : comm_(comm),
+      config_(resolve_config(config)),
+      decomp_(comm.size(), config.box),
+      bg_(config_.cosmology),
+      power_(config_.cosmology),
+      pm_(comm, decomp_, pm_config_of(config_)),
+      sph_(config_.sph),
+      subgrid_(config_.subgrid),
+      kdk_(bg_) {
+  // Chaining-mesh bins must cover the short-range cutoff and the widest
+  // SPH support; ghosts must cover one bin width so every owned
+  // particle's neighborhood is complete.
+  const double spacing = config_.box / static_cast<double>(config_.np);
+  cm_bin_width_ =
+      std::max(pm_.split().cutoff(),
+               3.0 * static_cast<double>(config_.sph.eta) * spacing);
+  overload_ = cm_bin_width_;
+  // Cap smoothing lengths so kernel support never exceeds a CM bin.
+  sph_.mutable_config().h_max =
+      static_cast<float>(0.45 * cm_bin_width_ / sph::CubicSpline::kSupport *
+                         2.0);
+  a_ = cosmo::Background::a_of_z(config_.z_init);
+}
+
+double Simulation::a_at_step(std::uint64_t s) const {
+  const double a_init = cosmo::Background::a_of_z(config_.z_init);
+  const double a_final = cosmo::Background::a_of_z(config_.z_final);
+  const double frac = static_cast<double>(s) /
+                      static_cast<double>(config_.num_pm_steps);
+  return a_init + (a_final - a_init) * frac;
+}
+
+std::vector<std::uint32_t> Simulation::gas_indices() const {
+  std::vector<std::uint32_t> gas;
+  for (std::size_t i = 0; i < particles_.size(); ++i) {
+    if (particles_.is_gas(i)) gas.push_back(static_cast<std::uint32_t>(i));
+  }
+  return gas;
+}
+
+void Simulation::initialize() {
+  cosmo::IcConfig ic;
+  ic.np = config_.np;
+  ic.box = config_.box;
+  ic.z_init = config_.z_init;
+  ic.seed = config_.seed;
+  ic.with_baryons = config_.hydro;
+  ic.t_init_K = config_.t_init_K;
+  particles_ = cosmo::generate_zeldovich(comm_, bg_, power_, ic);
+  a_ = cosmo::Background::a_of_z(config_.z_init);
+  step_ = 0;
+
+  // Clamp initial smoothing lengths to the CM support limit.
+  const float h_max = sph_.config().h_max;
+  for (std::size_t i = 0; i < particles_.size(); ++i) {
+    if (particles_.is_gas(i)) {
+      particles_.hsml[i] = std::min(particles_.hsml[i], h_max);
+    }
+  }
+
+  exchange_and_overload(comm_, decomp_, particles_, overload_);
+  prime_solver_state();
+}
+
+void Simulation::initialize_from(Particles&& particles, std::uint64_t step) {
+  particles_ = std::move(particles);
+  step_ = step;
+  a_ = a_at_step(step);
+}
+
+void Simulation::prime_solver_state() {
+  // One hydro evaluation to populate rho, h, cs — needed by the first
+  // bin assignment and by the subgrid thresholds.
+  if (!config_.hydro) return;
+  const auto obox = decomp_.overloaded_box(comm_.rank(), overload_);
+  tree::ChainingMesh gas_mesh(obox, {cm_bin_width_, 64});
+  gas_mesh.build(particles_, gas_indices());
+  std::fill(particles_.ax.begin(), particles_.ax.end(), 0.0f);
+  std::fill(particles_.ay.begin(), particles_.ay.end(), 0.0f);
+  std::fill(particles_.az.begin(), particles_.az.end(), 0.0f);
+  std::fill(particles_.du.begin(), particles_.du.end(), 0.0f);
+  sph_.compute_forces(particles_, gas_mesh, a_, nullptr, flops_);
+  sph_.update_smoothing_lengths(particles_, nullptr);
+  std::fill(particles_.ax.begin(), particles_.ax.end(), 0.0f);
+  std::fill(particles_.ay.begin(), particles_.ay.end(), 0.0f);
+  std::fill(particles_.az.begin(), particles_.az.end(), 0.0f);
+  std::fill(particles_.du.begin(), particles_.du.end(), 0.0f);
+}
+
+int Simulation::assign_timestep_bins(double dt_pm) {
+  const std::size_t n = particles_.size();
+  std::vector<double> limit(n, std::numeric_limits<double>::infinity());
+  const double a3 = a_ * a_ * a_;
+  for (std::size_t i = 0; i < n; ++i) {
+    // Acceleration criterion (ax holds the peculiar long-range kick).
+    limit[i] = integrator::accel_timestep(config_.bins, a_, particles_.ax[i],
+                                          particles_.ay[i], particles_.az[i]);
+    if (particles_.is_gas(i)) {
+      const float cs = sph::sound_speed(particles_.u[i]);
+      if (cs > 0.0f && particles_.hsml[i] > 0.0f) {
+        limit[i] = std::min(
+            limit[i], static_cast<double>(sph_.config().cfl) * a_ *
+                          particles_.hsml[i] / cs);
+      }
+      if (config_.subgrid_on && particles_.rho[i] > 0.0f) {
+        const double n_h = subgrid::n_hydrogen_cgs(
+            particles_.rho[i] / a3, config_.subgrid.cooling.h,
+            config_.subgrid.cooling.x_hydrogen);
+        const bool overdense =
+            particles_.rho[i] >
+            config_.subgrid.star_formation.min_overdensity *
+                config_.subgrid.mean_gas_density;
+        if (overdense && n_h > config_.subgrid.star_formation.n_h_threshold) {
+          const double t_dyn = std::sqrt(
+              3.0 * std::numbers::pi /
+              (32.0 * units::kGravity * particles_.rho[i] / a3));
+          limit[i] = std::min(limit[i], 0.25 * t_dyn);
+        }
+      }
+    }
+  }
+  int depth = integrator::assign_bins(particles_, limit, dt_pm, config_.bins);
+  if (config_.flat_stepping) {
+    for (std::size_t i = 0; i < n; ++i) {
+      particles_.bin[i] = static_cast<std::uint8_t>(depth);
+    }
+  }
+  return depth;
+}
+
+std::vector<std::pair<std::uint32_t, std::uint32_t>>
+Simulation::filter_active_pairs(
+    const tree::ChainingMesh& mesh,
+    const std::vector<std::pair<std::uint32_t, std::uint32_t>>& pairs,
+    const std::vector<std::uint8_t>& active) const {
+  std::vector<std::uint8_t> leaf_active(mesh.num_leaves(), 0);
+  const auto& perm = mesh.permutation();
+  for (std::size_t l = 0; l < mesh.num_leaves(); ++l) {
+    const auto& leaf = mesh.leaf(l);
+    for (std::uint32_t s = leaf.begin; s < leaf.end; ++s) {
+      if (active[perm[s]]) {
+        leaf_active[l] = 1;
+        break;
+      }
+    }
+  }
+  std::vector<std::pair<std::uint32_t, std::uint32_t>> filtered;
+  filtered.reserve(pairs.size());
+  for (const auto& pair : pairs) {
+    if (leaf_active[pair.first] || leaf_active[pair.second]) {
+      filtered.push_back(pair);
+    }
+  }
+  return filtered;
+}
+
+StepReport Simulation::step(io::MultiTierWriter* writer) {
+  StepReport report;
+  report.step = step_;
+  const double a0 = a_at_step(step_);
+  const double a1 = a_at_step(step_ + 1);
+  report.a0 = a0;
+  report.a1 = a1;
+  Stopwatch step_watch;
+
+  // --- 1. exchange + overload refresh -----------------------------------
+  {
+    ScopedTimer t(timers_, timers::kMisc);
+    report.exchange =
+        exchange_and_overload(comm_, decomp_, particles_, overload_);
+  }
+
+  // --- 2. chaining mesh + trees, built once per PM step ------------------
+  const auto obox = decomp_.overloaded_box(comm_.rank(), overload_);
+  tree::ChainingMesh mesh_all(obox, {cm_bin_width_, 64});
+  tree::ChainingMesh mesh_gas(obox, {cm_bin_width_, 64});
+  {
+    ScopedTimer t(timers_, timers::kTreeBuild);
+    mesh_all.build(particles_);
+    if (config_.hydro) mesh_gas.build(particles_, gas_indices());
+  }
+
+  // --- 3. long-range spectral solve + PM-level kick ----------------------
+  {
+    ScopedTimer t(timers_, timers::kLongRange);
+    pm_.apply(comm_, particles_, overload_);
+    const double a_mid = 0.5 * (a0 + a1);
+    const float to_peculiar = static_cast<float>(1.0 / (a_mid * a_mid));
+    for (std::size_t i = 0; i < particles_.size(); ++i) {
+      particles_.ax[i] *= to_peculiar;
+      particles_.ay[i] *= to_peculiar;
+      particles_.az[i] *= to_peculiar;
+    }
+    // Full-step long-range kick; carries the (once-per-interval) drag.
+    kdk_.kick(particles_, a0, a1, nullptr, /*with_drag=*/true);
+  }
+
+  // --- 4. timestep bin assignment ----------------------------------------
+  const double dt_pm = kdk_.dt_of(a0, a1);
+  const int depth = assign_timestep_bins(dt_pm);
+  report.depth = depth;
+
+  // --- 5. sub-cycled short-range solve ------------------------------------
+  const std::uint64_t nfine = 1ull << depth;
+  report.substeps = nfine;
+  const double da_fine = (a1 - a0) / static_cast<double>(nfine);
+  std::vector<std::uint8_t> active;
+  std::vector<double> dt_particle(particles_.size(), 0.0);
+
+  for (std::uint64_t s = 0; s < nfine; ++s) {
+    const double a_s = a0 + static_cast<double>(s) * da_fine;
+    integrator::activity_mask(particles_, s, depth, active);
+
+    {
+      ScopedTimer t(timers_, timers::kTreeBuild);
+      if (config_.rebuild_tree_every_substep) {
+        mesh_all.build(particles_);
+        if (config_.hydro) mesh_gas.build(particles_, gas_indices());
+      } else {
+        mesh_all.refit_bounds(particles_);
+        if (config_.hydro) mesh_gas.refit_bounds(particles_);
+      }
+    }
+
+    {
+      ScopedTimer t(timers_, timers::kShortRange);
+      // Zero force accumulators of active particles only; inactive keep
+      // stale values that no kick reads.
+      std::uint64_t n_active = 0;
+      for (std::size_t i = 0; i < particles_.size(); ++i) {
+        if (!active[i]) continue;
+        ++n_active;
+        particles_.ax[i] = 0.0f;
+        particles_.ay[i] = 0.0f;
+        particles_.az[i] = 0.0f;
+        particles_.du[i] = 0.0f;
+      }
+      report.active_updates += n_active;
+
+      // Interaction lists rebuilt from the refit AABBs, filtered to leaf
+      // pairs touching an active leaf.
+      const double a_sub_mid = a_s + 0.5 * da_fine;
+      {
+        auto pairs = mesh_all.interaction_pairs(pm_.split().cutoff());
+        const auto active_pairs = filter_active_pairs(mesh_all, pairs, active);
+        gravity::compute_short_range(particles_, mesh_all, &pm_.split(),
+                                     config_.gravity, a_sub_mid, active.data(),
+                                     flops_, &active_pairs);
+      }
+      if (config_.hydro && mesh_gas.num_particles() > 0) {
+        auto pairs = mesh_gas.interaction_pairs(
+            sph::SphSolver::interaction_radius(particles_, mesh_gas));
+        const auto active_pairs = filter_active_pairs(mesh_gas, pairs, active);
+        sph_.compute_forces(particles_, mesh_gas, a_sub_mid, active.data(),
+                            flops_, &active_pairs);
+      }
+
+      // Kick each active particle across its own bin interval (drag-free;
+      // the PM kick already carried the drag for the whole step).
+      for (int b = 0; b <= depth; ++b) {
+        if (!integrator::bin_active(static_cast<std::uint8_t>(b), s, depth)) {
+          continue;
+        }
+        const std::uint64_t span_fine = 1ull << (depth - b);
+        const double a_bin_end =
+            a0 + static_cast<double>(std::min(s + span_fine, nfine)) * da_fine;
+        std::vector<std::uint8_t> bin_mask(particles_.size(), 0);
+        bool any = false;
+        for (std::size_t i = 0; i < particles_.size(); ++i) {
+          if (active[i] && particles_.bin[i] == b) {
+            bin_mask[i] = 1;
+            any = true;
+            dt_particle[i] = kdk_.dt_of(a_s, a_bin_end);
+          }
+        }
+        if (!any) continue;
+        kdk_.kick(particles_, a_s, a_bin_end, bin_mask.data(),
+                  /*with_drag=*/false);
+        kdk_.energy_kick(particles_, a_s, a_bin_end, bin_mask.data());
+      }
+
+      // Subgrid sources for active gas (per-particle bin-length dt).
+      // The stochastic stream is keyed on (PM step, fine substep) so a
+      // run restored from a checkpoint replays identical draws.
+      if (config_.hydro && config_.subgrid_on) {
+        dt_particle.resize(particles_.size(), 0.0);
+        const std::uint64_t stream = (step_ << 16) | s;
+        report.subgrid += subgrid_.apply(particles_, mesh_gas, bg_, a_s,
+                                         dt_particle, active.data(), stream);
+        sph_.update_smoothing_lengths(particles_, active.data());
+      }
+
+      // All particles drift at the fine cadence.
+      kdk_.drift(particles_, a_s, a_s + da_fine, config_.box, nullptr);
+    }
+  }
+
+  a_ = a1;
+  ++step_;
+
+  // --- 6. in situ analysis ------------------------------------------------
+  // (cadence handled by run(); step() leaves analysis to the caller)
+
+  // --- 7. multi-tier checkpoint -------------------------------------------
+  if (writer) {
+    ScopedTimer t(timers_, timers::kIO);
+    io::SnapshotMeta meta;
+    meta.step = step_;
+    meta.scale_factor = a_;
+    meta.rank = comm_.rank();
+    meta.num_ranks = comm_.size();
+    report.io_blocked_seconds = writer->write_checkpoint(meta, particles_);
+  }
+
+  report.seconds = step_watch.seconds();
+  return report;
+}
+
+AnalysisResult Simulation::run_analysis() {
+  AnalysisResult result;
+  result.a = a_;
+  ScopedTimer t(timers_, timers::kAnalysis);
+
+  // FOF halo finding over the rank-local (overloaded) particle cloud.
+  const std::size_t species_count = config_.hydro ? 2 : 1;
+  const std::size_t n_global =
+      config_.np * config_.np * config_.np * species_count;
+  const double ll = analysis::fof_linking_length(config_.box, n_global, 0.2);
+  const auto groups =
+      analysis::fof(particles_.x, particles_.y, particles_.z,
+                    static_cast<float>(ll), /*min_members=*/8);
+  const auto owned_box = decomp_.local_box(comm_.rank());
+  result.local_halos = analysis::halo_catalog(particles_, groups, &owned_box);
+
+  // Survey-facing SO masses for the most massive local halos.
+  {
+    analysis::SoConfig so_config;
+    so_config.reference_density = bg_.mean_matter_density();
+    so_config.r_max = std::min(0.25 * config_.box, 2.0 * overload_);
+    std::vector<analysis::Halo> seeds(
+        result.local_halos.begin(),
+        result.local_halos.begin() +
+            std::min<std::size_t>(result.local_halos.size(), 16));
+    result.so_halos = analysis::so_masses(particles_, seeds, so_config);
+  }
+
+  // Galaxies from the stellar component.
+  {
+    analysis::GalaxyFinderConfig galaxy_config;
+    galaxy_config.linking_length = static_cast<float>(
+        0.1 * config_.box / static_cast<double>(config_.np));
+    result.galaxies = analysis::find_galaxies(particles_, galaxy_config);
+    result.galaxy_count = comm_.allreduce_scalar(
+        static_cast<std::int64_t>(result.galaxies.size()),
+        comm::ReduceOp::kSum);
+  }
+
+  std::int64_t local_count = static_cast<std::int64_t>(result.local_halos.size());
+  result.halo_count = comm_.allreduce_scalar(local_count, comm::ReduceOp::kSum);
+  double local_max = result.local_halos.empty() ? 0.0
+                                                : result.local_halos.front().mass;
+  result.largest_halo_mass =
+      comm_.allreduce_scalar(local_max, comm::ReduceOp::kMax);
+
+  // Species census.
+  std::int64_t stars = 0, bhs = 0;
+  for (std::size_t i = 0; i < particles_.size(); ++i) {
+    if (!particles_.is_owned(i)) continue;
+    if (particles_.species[i] == static_cast<std::uint8_t>(Species::kStar)) {
+      ++stars;
+    } else if (particles_.species[i] ==
+               static_cast<std::uint8_t>(Species::kBlackHole)) {
+      ++bhs;
+    }
+  }
+  result.star_count = comm_.allreduce_scalar(stars, comm::ReduceOp::kSum);
+  result.bh_count = comm_.allreduce_scalar(bhs, comm::ReduceOp::kSum);
+
+  // Volume-weighted gas clumping from SPH densities.
+  {
+    double weights[2] = {0.0, 0.0};  // {sum V, sum V rho = sum m}
+    double sum_v_rho2 = 0.0;         // sum V rho^2 = sum m rho
+    for (std::size_t i = 0; i < particles_.size(); ++i) {
+      if (!particles_.is_owned(i) || !particles_.is_gas(i)) continue;
+      if (particles_.rho[i] <= 0.0f) continue;
+      const double volume = particles_.mass[i] / particles_.rho[i];
+      weights[0] += volume;
+      weights[1] += particles_.mass[i];
+      sum_v_rho2 += static_cast<double>(particles_.mass[i]) * particles_.rho[i];
+    }
+    comm_.allreduce(std::span<double>(weights, 2), comm::ReduceOp::kSum);
+    sum_v_rho2 = comm_.allreduce_scalar(sum_v_rho2, comm::ReduceOp::kSum);
+    if (weights[0] > 0.0 && weights[1] > 0.0) {
+      const double mean = weights[1] / weights[0];
+      result.gas_clumping = (sum_v_rho2 / weights[0]) / (mean * mean);
+    }
+  }
+
+  // Clustering probes.
+  result.power = analysis::measure_power(comm_, pm_, particles_,
+                                         /*subtract_shot_noise=*/true);
+  analysis::SliceConfig slice_config;
+  slice_config.z_lo = 0.0;
+  slice_config.z_hi = config_.box / 8.0;
+  slice_config.resolution = 64;
+  slice_config.box = config_.box;
+  result.slice =
+      analysis::density_temperature_slice(comm_, particles_, slice_config);
+  return result;
+}
+
+RunResult Simulation::run(io::MultiTierWriter* writer, io::ThrottledStore* pfs,
+                          const io::FaultInjector* fault) {
+  RunResult result;
+  std::uint64_t trial = 0;
+  while (step_ < static_cast<std::uint64_t>(config_.num_pm_steps)) {
+    const double dt_pm =
+        kdk_.dt_of(a_at_step(step_), a_at_step(step_ + 1));
+    if (fault && fault->should_fail(trial++, dt_pm)) {
+      ++result.interruptions;
+      CHECK_MSG(writer && pfs, "fault injected without checkpointing");
+      // "Machine interruption": all ranks fall back to the newest fully
+      // bled checkpoint (or regenerate ICs if none survived).
+      writer->drain();
+      comm_.barrier();
+      const auto latest = io::latest_complete_checkpoint(*pfs, comm_.size());
+      if (latest) {
+        Particles restored;
+        io::SnapshotMeta meta;
+        CHECK_MSG(io::restore_checkpoint(*pfs, *latest, comm_.rank(), meta,
+                                         restored),
+                  "checkpoint marked complete but unreadable");
+        particles_ = std::move(restored);
+        step_ = meta.step;
+        a_ = meta.scale_factor;
+      } else {
+        initialize();
+      }
+      comm_.barrier();
+      continue;
+    }
+
+    const auto report = step(writer);
+    result.reports.push_back(report);
+    ++result.steps_done;
+    if (config_.analysis_every > 0 &&
+        (step_ % static_cast<std::uint64_t>(config_.analysis_every) == 0 ||
+         step_ == static_cast<std::uint64_t>(config_.num_pm_steps))) {
+      result.analyses.push_back(run_analysis());
+    }
+  }
+  result.completed = true;
+  return result;
+}
+
+}  // namespace crkhacc::core

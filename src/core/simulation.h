@@ -1,0 +1,157 @@
+// The CRK-HACC simulation driver.
+//
+// One Simulation object runs per rank (inside World::run). Each PM step
+// follows the paper's architecture end to end:
+//
+//   exchange/overload -> tree build (once) -> long-range spectral solve +
+//   PM kick -> adaptive sub-cycled short-range solve (gravity complement,
+//   CRKSPH hydro, subgrid sources; leaf AABBs refit, only active bins
+//   updated) -> in situ analysis -> multi-tier checkpoint I/O.
+//
+// Wall-clock is accounted into the paper's Fig. 5 timer taxonomy
+// (long_range / tree_build / short_range / analysis / io / misc), and all
+// kernel FLOPs into a FlopRegistry for the Fig. 6 utilization analysis.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "analysis/galaxies.h"
+#include "analysis/halos.h"
+#include "analysis/power_spectrum.h"
+#include "analysis/slices.h"
+#include "analysis/so_masses.h"
+#include "comm/decomposition.h"
+#include "comm/world.h"
+#include "core/config.h"
+#include "core/exchange.h"
+#include "core/particles.h"
+#include "cosmology/background.h"
+#include "cosmology/power.h"
+#include "gpu/device.h"
+#include "integrator/kdk.h"
+#include "io/checkpoint.h"
+#include "io/multi_tier.h"
+#include "mesh/pm_solver.h"
+#include "sph/solver.h"
+#include "subgrid/model.h"
+#include "tree/chaining_mesh.h"
+#include "util/timer.h"
+
+namespace crkhacc::core {
+
+/// Per-PM-step accounting returned by step().
+struct StepReport {
+  std::uint64_t step = 0;
+  double a0 = 0.0, a1 = 0.0;
+  int depth = 0;                     ///< deepest occupied timestep bin
+  std::uint64_t substeps = 0;        ///< fine substeps executed (2^depth)
+  std::uint64_t active_updates = 0;  ///< particle force-updates performed
+  ExchangeStats exchange;
+  subgrid::SubgridStats subgrid;
+  double seconds = 0.0;              ///< wall time of this step
+  double io_blocked_seconds = 0.0;   ///< sync I/O time (local-tier writes)
+};
+
+/// In situ analysis outputs for one analysis step.
+struct AnalysisResult {
+  double a = 0.0;
+  std::int64_t halo_count = 0;        ///< global (allreduced)
+  double largest_halo_mass = 0.0;     ///< global max
+  std::vector<analysis::Halo> local_halos;
+  analysis::PowerSpectrumResult power;
+  analysis::SliceResult slice;
+  std::int64_t star_count = 0;        ///< global
+  std::int64_t bh_count = 0;          ///< global
+  /// Volume-weighted gas clumping <rho^2>_V / <rho>_V^2 from the SPH
+  /// densities (resolution-robust, unlike gridded slice clumping).
+  double gas_clumping = 1.0;
+  /// Spherical-overdensity (M200m) masses of the most massive local
+  /// FOF halos (survey-facing catalog entries).
+  std::vector<analysis::SoHalo> so_halos;
+  /// Galaxies: DBSCAN clusters of the stellar component.
+  std::vector<analysis::Galaxy> galaxies;
+  std::int64_t galaxy_count = 0;  ///< global (allreduced)
+};
+
+struct RunResult {
+  bool completed = false;
+  std::uint64_t steps_done = 0;
+  std::uint64_t interruptions = 0;
+  std::vector<StepReport> reports;
+  std::vector<AnalysisResult> analyses;
+};
+
+class Simulation {
+ public:
+  Simulation(comm::Communicator& comm, const SimConfig& config);
+
+  /// Generate initial conditions and prime the solver state (density /
+  /// smoothing lengths / initial force evaluation for bin assignment).
+  void initialize();
+
+  /// Resume from restored particle state at PM step `step`.
+  void initialize_from(Particles&& particles, std::uint64_t step);
+
+  /// Execute one PM step. Optional writer checkpoints the step; optional
+  /// fault injector may "interrupt the machine" (reported in the result
+  /// of run(); step() itself returns normally).
+  StepReport step(io::MultiTierWriter* writer = nullptr);
+
+  /// Full campaign with checkpoint/restart-driven fault tolerance: on an
+  /// injected fault the run restarts from the newest complete checkpoint
+  /// (requires writer + pfs). Without a writer, faults are fatal.
+  RunResult run(io::MultiTierWriter* writer = nullptr,
+                io::ThrottledStore* pfs = nullptr,
+                const io::FaultInjector* fault = nullptr);
+
+  /// In situ analysis at the current epoch.
+  AnalysisResult run_analysis();
+
+  // --- accessors ----------------------------------------------------------
+  const Particles& particles() const { return particles_; }
+  Particles& mutable_particles() { return particles_; }
+  double scale_factor() const { return a_; }
+  std::uint64_t current_step() const { return step_; }
+  const SimConfig& config() const { return config_; }
+  const comm::CartDecomposition& decomposition() const { return decomp_; }
+  const cosmo::Background& background() const { return bg_; }
+  TimerRegistry& timers() { return timers_; }
+  const TimerRegistry& timers() const { return timers_; }
+  gpu::FlopRegistry& flops() { return flops_; }
+  double overload_width() const { return overload_; }
+
+  /// Scale factor at the start of PM step s (uniform-in-a schedule).
+  double a_at_step(std::uint64_t s) const;
+
+ private:
+  void prime_solver_state();
+  int assign_timestep_bins(double dt_pm);
+  std::vector<std::pair<std::uint32_t, std::uint32_t>> filter_active_pairs(
+      const tree::ChainingMesh& mesh,
+      const std::vector<std::pair<std::uint32_t, std::uint32_t>>& pairs,
+      const std::vector<std::uint8_t>& active) const;
+  std::vector<std::uint32_t> gas_indices() const;
+
+  comm::Communicator& comm_;
+  SimConfig config_;
+  comm::CartDecomposition decomp_;
+  cosmo::Background bg_;
+  cosmo::PowerSpectrum power_;
+  mesh::PMSolver pm_;
+  sph::SphSolver sph_;
+  subgrid::SubgridModel subgrid_;
+  integrator::Kdk kdk_;
+
+  Particles particles_;
+  double a_ = 0.0;
+  std::uint64_t step_ = 0;
+  double overload_ = 0.0;
+  double cm_bin_width_ = 0.0;
+
+  TimerRegistry timers_;
+  gpu::FlopRegistry flops_;
+};
+
+}  // namespace crkhacc::core

@@ -1,0 +1,81 @@
+#include "cosmology/background.h"
+
+#include <cmath>
+
+#include "cosmology/units.h"
+#include "util/assertions.h"
+
+namespace crkhacc::cosmo {
+namespace {
+
+/// Simpson quadrature of f over [lo, hi] with n (even) intervals.
+template <typename F>
+double simpson(F&& f, double lo, double hi, int n) {
+  if (n % 2) ++n;
+  const double h = (hi - lo) / n;
+  double sum = f(lo) + f(hi);
+  for (int i = 1; i < n; ++i) {
+    sum += f(lo + i * h) * ((i % 2) ? 4.0 : 2.0);
+  }
+  return sum * h / 3.0;
+}
+
+}  // namespace
+
+double Background::E(double a) const {
+  CHECK(a > 0.0);
+  const double& p_w0 = params_.w0;
+  const double de = params_.omega_l * std::pow(a, -3.0 * (1.0 + p_w0));
+  return std::sqrt(params_.omega_m / (a * a * a) +
+                   params_.omega_k() / (a * a) + de);
+}
+
+double Background::hubble(double a) const { return units::kH0 * E(a); }
+
+double Background::omega_m_at(double a) const {
+  const double e = E(a);
+  return params_.omega_m / (a * a * a) / (e * e);
+}
+
+double Background::mean_matter_density() const {
+  return params_.omega_m * units::kRhoCrit0;
+}
+
+double Background::time_of(double a) const {
+  // t(a) = integral_0^a da' / (a' H(a')). The integrand ~ sqrt(a) near 0
+  // in matter domination, so substitute a = x^2 for a smooth integrand.
+  const double sqrt_a = std::sqrt(a);
+  auto integrand = [&](double x) {
+    const double ai = x * x;
+    if (ai <= 0.0) return 0.0;
+    return 2.0 * x / (ai * hubble(ai));
+  };
+  return simpson(integrand, 0.0, sqrt_a, 512);
+}
+
+double Background::growth_unnormalized(double a) const {
+  // D(a) = 5/2 Om E(a) int_0^a da' / (a' E(a'))^3 (flat LCDM form),
+  // with a = x^2 substitution for a smooth integrand near 0.
+  auto integrand = [&](double x) {
+    const double ai = x * x;
+    if (ai <= 0.0) return 0.0;
+    const double denom = ai * E(ai);
+    return 2.0 * x / (denom * denom * denom);
+  };
+  const double integral = simpson(integrand, 0.0, std::sqrt(a), 512);
+  return 2.5 * params_.omega_m * E(a) * integral;
+}
+
+double Background::growth(double a) const {
+  return growth_unnormalized(a) / growth_unnormalized(1.0);
+}
+
+double Background::growth_rate(double a) const {
+  const double eps = 1e-4 * a;
+  const double d_hi = growth_unnormalized(a + eps);
+  const double d_lo = growth_unnormalized(a - eps);
+  const double d_mid = growth_unnormalized(a);
+  return a * (d_hi - d_lo) / (2.0 * eps * d_mid);
+}
+
+}  // namespace crkhacc::cosmo

@@ -1,0 +1,62 @@
+// FLRW background cosmology.
+//
+// The simulation integrates in scale factor a (redshift z = 1/a - 1).
+// Everything here is smooth-background bookkeeping: the Hubble rate,
+// density parameters, cosmic time, and the linear growth factor used to
+// normalize initial conditions and set the Zel'dovich velocities.
+#pragma once
+
+namespace crkhacc::cosmo {
+
+/// Flat(ish) wCDM parameter set. Defaults match the Frontier-E-era
+/// Planck-like LCDM used by CRK-HACC papers.
+struct Parameters {
+  double omega_m = 0.31;      ///< total matter (cdm + baryons) today
+  double omega_b = 0.049;     ///< baryons today
+  double omega_l = 0.69;      ///< dark energy today
+  double h = 0.6766;          ///< H0 / (100 km/s/Mpc)
+  double n_s = 0.9665;        ///< scalar spectral index
+  double sigma8 = 0.8102;     ///< power normalization at z=0
+  double w0 = -1.0;           ///< dark-energy equation of state
+  double t_cmb = 2.7255;      ///< CMB temperature [K]
+
+  double omega_c() const { return omega_m - omega_b; }
+  double omega_k() const { return 1.0 - omega_m - omega_l; }
+};
+
+class Background {
+ public:
+  explicit Background(const Parameters& params) : params_(params) {}
+
+  const Parameters& params() const { return params_; }
+
+  /// Dimensionless Hubble rate E(a) = H(a)/H0.
+  double E(double a) const;
+
+  /// Hubble rate in code units (km/s per Mpc/h): H(a) = 100 E(a).
+  double hubble(double a) const;
+
+  /// Matter density parameter at scale factor a.
+  double omega_m_at(double a) const;
+
+  /// Comoving critical matter density today in code units.
+  double mean_matter_density() const;
+
+  /// Cosmic time since a=0 in code units (Mpc/h / km/s), by quadrature.
+  double time_of(double a) const;
+
+  /// Linear growth factor normalized to D(a=1) = 1 (LCDM integral form).
+  double growth(double a) const;
+
+  /// Logarithmic growth rate f = dlnD/dlna.
+  double growth_rate(double a) const;
+
+  static double a_of_z(double z) { return 1.0 / (1.0 + z); }
+  static double z_of_a(double a) { return 1.0 / a - 1.0; }
+
+ private:
+  double growth_unnormalized(double a) const;
+  Parameters params_;
+};
+
+}  // namespace crkhacc::cosmo

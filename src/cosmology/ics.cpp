@@ -1,0 +1,206 @@
+#include "cosmology/ics.h"
+
+#include <array>
+#include <cmath>
+#include <numbers>
+
+#include "cosmology/units.h"
+#include "fft/distributed_fft.h"
+#include "util/assertions.h"
+#include "util/rng.h"
+
+namespace crkhacc::cosmo {
+namespace {
+
+using fft::Complex;
+
+constexpr double kPi = std::numbers::pi;
+
+/// Gaussian pair from a counter-based stream (Box-Muller on counters
+/// 2c, 2c+1) — identical no matter which rank evaluates it.
+std::array<double, 2> gaussian_pair(const CounterRng& rng, std::uint64_t c) {
+  double u1 = rng.uniform(2 * c);
+  const double u2 = rng.uniform(2 * c + 1);
+  if (u1 <= 0.0) u1 = 0x1.0p-53;
+  const double r = std::sqrt(-2.0 * std::log(u1));
+  return {r * std::cos(2.0 * kPi * u2), r * std::sin(2.0 * kPi * u2)};
+}
+
+}  // namespace
+
+Particles generate_zeldovich(comm::Communicator& comm, const Background& bg,
+                             const PowerSpectrum& power, const IcConfig& config) {
+  const std::size_t n = config.np;
+  CHECK(n >= 2);
+  const double box = config.box;
+  const double a_init = Background::a_of_z(config.z_init);
+  const double growth = bg.growth(a_init);
+  // Zel'dovich: x = q + D psi0, v_pec = a H(a) f D psi0.
+  const double vel_factor =
+      a_init * bg.hubble(a_init) * bg.growth_rate(a_init);
+
+  fft::DistributedFFT dfft(comm, n);
+  const std::size_t kx0 = dfft.local_kx_start();
+  const std::size_t nx_local = dfft.local_kx_count();
+  const double volume = box * box * box;
+  const double n3 = static_cast<double>(n) * static_cast<double>(n) *
+                    static_cast<double>(n);
+  const CounterRng rng(config.seed, /*stream=*/0);
+
+  // delta_k on the local x-slab, already scaled by the growth factor so
+  // the inverse transforms below give displacements directly.
+  std::vector<Complex> delta(nx_local * n * n, Complex(0.0, 0.0));
+  for (std::size_t xl = 0; xl < nx_local; ++xl) {
+    const std::size_t i = kx0 + xl;
+    for (std::size_t j = 0; j < n; ++j) {
+      for (std::size_t k = 0; k < n; ++k) {
+        if (i == 0 && j == 0 && k == 0) continue;  // mean mode
+        // Mirror index of the Hermitian partner.
+        const std::size_t mi = (n - i) % n;
+        const std::size_t mj = (n - j) % n;
+        const std::size_t mk = (n - k) % n;
+        const std::uint64_t my_counter = (i * n + j) * n + k;
+        const std::uint64_t mirror_counter = (mi * n + mj) * n + mk;
+        const bool self_conjugate = my_counter == mirror_counter;
+        const bool canonical = my_counter <= mirror_counter;
+        const std::uint64_t counter = canonical ? my_counter : mirror_counter;
+
+        const double kx = 2.0 * kPi / box * static_cast<double>(fft::freq_of(i, n));
+        const double ky = 2.0 * kPi / box * static_cast<double>(fft::freq_of(j, n));
+        const double kz = 2.0 * kPi / box * static_cast<double>(fft::freq_of(k, n));
+        const double kmag = std::sqrt(kx * kx + ky * ky + kz * kz);
+        const double amplitude =
+            growth * std::sqrt(power(kmag) / volume) * n3;
+
+        const auto g = gaussian_pair(rng, counter);
+        Complex mode;
+        if (self_conjugate) {
+          mode = Complex(amplitude * g[0], 0.0);
+        } else {
+          const Complex zeta(g[0] / std::numbers::sqrt2, g[1] / std::numbers::sqrt2);
+          mode = amplitude * (canonical ? zeta : std::conj(zeta));
+        }
+        delta[(xl * n + j) * n + k] = mode;
+      }
+    }
+  }
+
+  // Displacement fields psi_d = IFFT[ i k_d / k^2 * delta_k ].
+  const std::size_t z0 = dfft.local_z_start();
+  const std::size_t nz_local = dfft.local_z_count();
+  std::array<std::vector<double>, 3> disp;
+  for (int d = 0; d < 3; ++d) {
+    auto& kdata = dfft.k_data();
+    for (std::size_t xl = 0; xl < nx_local; ++xl) {
+      const std::size_t i = kx0 + xl;
+      for (std::size_t j = 0; j < n; ++j) {
+        for (std::size_t k = 0; k < n; ++k) {
+          const long fi = fft::freq_of(i, n);
+          const long fj = fft::freq_of(j, n);
+          const long fk = fft::freq_of(k, n);
+          const double kx = 2.0 * kPi / box * static_cast<double>(fi);
+          const double ky = 2.0 * kPi / box * static_cast<double>(fj);
+          const double kz = 2.0 * kPi / box * static_cast<double>(fk);
+          const double k2 = kx * kx + ky * ky + kz * kz;
+          const double kd = (d == 0) ? kx : (d == 1) ? ky : kz;
+          const long fd = (d == 0) ? fi : (d == 1) ? fj : fk;
+          Complex value(0.0, 0.0);
+          // Nyquist planes have no well-defined derivative sign; zero them.
+          const bool nyquist = (n % 2 == 0) && (fd == -static_cast<long>(n / 2));
+          if (k2 > 0.0 && !nyquist) {
+            value = Complex(0.0, kd / k2) * delta[(xl * n + j) * n + k];
+          }
+          kdata[(xl * n + j) * n + k] = value;
+        }
+      }
+    }
+    dfft.backward();
+    auto& field = disp[static_cast<std::size_t>(d)];
+    field.resize(nz_local * n * n);
+    const auto& real = dfft.real_data();
+    for (std::size_t s = 0; s < field.size(); ++s) field[s] = real[s].real();
+  }
+
+  // Emit particles on the perturbed lattice for this rank's z-slab.
+  const double cell = box / static_cast<double>(n);
+  const double mean_density = bg.mean_matter_density();
+  const double site_mass = mean_density * volume / n3;
+  const double f_baryon = bg.params().omega_b / bg.params().omega_m;
+  const double mass_dm = config.with_baryons ? site_mass * (1.0 - f_baryon)
+                                             : site_mass;
+  const double mass_gas = site_mass * f_baryon;
+  const double u_init =
+      units::internal_energy(config.t_init_K, units::kMuNeutral);
+
+  auto wrap = [box](double v) {
+    double t = std::fmod(v, box);
+    if (t < 0.0) t += box;
+    if (t >= box) t = 0.0;
+    // Guard against the float cast rounding up to exactly box.
+    float f = static_cast<float>(t);
+    if (f >= static_cast<float>(box)) f = 0.0f;
+    return f;
+  };
+
+  Particles particles;
+  const std::size_t sites = nz_local * n * n;
+  particles.reserve(config.with_baryons ? 2 * sites : sites);
+  for (std::size_t zl = 0; zl < nz_local; ++zl) {
+    const std::size_t iz = z0 + zl;
+    for (std::size_t iy = 0; iy < n; ++iy) {
+      for (std::size_t ix = 0; ix < n; ++ix) {
+        const std::size_t s = (zl * n + iy) * n + ix;
+        const std::uint64_t site_id = (iz * n + iy) * n + ix;
+        const double qx = (static_cast<double>(ix) + 0.5) * cell;
+        const double qy = (static_cast<double>(iy) + 0.5) * cell;
+        const double qz = (static_cast<double>(iz) + 0.5) * cell;
+        const double dx = disp[0][s];
+        const double dy = disp[1][s];
+        const double dz = disp[2][s];
+        const float vx = static_cast<float>(vel_factor * dx);
+        const float vy = static_cast<float>(vel_factor * dy);
+        const float vz = static_cast<float>(vel_factor * dz);
+
+        particles.push_back(site_id, Species::kDarkMatter,
+                            static_cast<float>(wrap(qx + dx)),
+                            static_cast<float>(wrap(qy + dy)),
+                            static_cast<float>(wrap(qz + dz)), vx, vy, vz,
+                            static_cast<float>(mass_dm));
+        if (config.with_baryons) {
+          // Stagger gas by half a cell; same large-scale displacement.
+          const std::size_t gi = particles.push_back(
+              site_id + static_cast<std::uint64_t>(n3), Species::kGas,
+              static_cast<float>(wrap(qx + 0.5 * cell + dx)),
+              static_cast<float>(wrap(qy + 0.5 * cell + dy)),
+              static_cast<float>(wrap(qz + 0.5 * cell + dz)), vx, vy, vz,
+              static_cast<float>(mass_gas));
+          particles.u[gi] = static_cast<float>(u_init);
+          particles.hsml[gi] = static_cast<float>(2.0 * cell);
+        }
+      }
+    }
+  }
+  return particles;
+}
+
+double zeldovich_rms_displacement(const Background& bg,
+                                  const PowerSpectrum& power,
+                                  const IcConfig& config) {
+  // sigma_psi^2 = D^2 / (2 pi^2) * int dk P(k), cut at the box scale and
+  // the particle Nyquist scale like the discrete field.
+  const double growth = bg.growth(Background::a_of_z(config.z_init));
+  const double k_lo = 2.0 * kPi / config.box;
+  const double k_hi = kPi * static_cast<double>(config.np) / config.box;
+  const int steps = 512;
+  const double dlnk = std::log(k_hi / k_lo) / steps;
+  double integral = 0.0;
+  for (int i = 0; i <= steps; ++i) {
+    const double k = k_lo * std::exp(i * dlnk);
+    const double val = power(k) * k;  // dk = k dlnk
+    integral += (i == 0 || i == steps) ? 0.5 * val : val;
+  }
+  integral *= dlnk;
+  return growth * std::sqrt(integral / (2.0 * kPi * kPi));
+}
+
+}  // namespace crkhacc::cosmo

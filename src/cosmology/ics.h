@@ -1,0 +1,42 @@
+// Zel'dovich initial-conditions generator.
+//
+// Generates a Gaussian random density field with the linear power spectrum
+// on the distributed FFT mesh, converts it to Zel'dovich displacements and
+// velocities, and emits dark matter + gas particle pairs on a perturbed
+// lattice. All random draws are counter-based and keyed on the *global*
+// mode index, so the realization is identical for any rank count — the
+// same property HACC's IC generator needs so that scaling studies run the
+// same universe.
+#pragma once
+
+#include <cstdint>
+
+#include "comm/world.h"
+#include "core/particles.h"
+#include "cosmology/background.h"
+#include "cosmology/power.h"
+
+namespace crkhacc::cosmo {
+
+struct IcConfig {
+  std::size_t np = 32;        ///< lattice points per dimension
+  double box = 64.0;          ///< box side [Mpc/h]
+  double z_init = 50.0;       ///< starting redshift
+  std::uint64_t seed = 42;    ///< realization seed
+  bool with_baryons = true;   ///< emit dm+gas pairs (else dm only)
+  double t_init_K = 200.0;    ///< initial gas temperature [K]
+};
+
+/// Generate the particles whose lattice sites live in this rank's FFT
+/// z-slab. Union over ranks is the full 2*np^3 (or np^3) particle set.
+/// Gas particles are staggered by half a lattice cell.
+Particles generate_zeldovich(comm::Communicator& comm, const Background& bg,
+                             const PowerSpectrum& power, const IcConfig& config);
+
+/// RMS displacement (code units) of the Zel'dovich field at z_init —
+/// diagnostics and step-size heuristics.
+double zeldovich_rms_displacement(const Background& bg,
+                                  const PowerSpectrum& power,
+                                  const IcConfig& config);
+
+}  // namespace crkhacc::cosmo

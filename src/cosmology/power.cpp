@@ -1,0 +1,94 @@
+#include "cosmology/power.h"
+
+#include <cmath>
+#include <numbers>
+
+#include "util/assertions.h"
+
+namespace crkhacc::cosmo {
+namespace {
+
+constexpr double kPi = std::numbers::pi;
+
+/// Fourier transform of the real-space top-hat window.
+double tophat_window(double x) {
+  if (x < 1e-6) return 1.0 - x * x / 10.0;
+  return 3.0 * (std::sin(x) - x * std::cos(x)) / (x * x * x);
+}
+
+}  // namespace
+
+PowerSpectrum::PowerSpectrum(const Parameters& params) : params_(params) {
+  const double om = params.omega_m;
+  const double ob = params.omega_b;
+  const double h = params.h;
+  const double om_h2 = om * h * h;
+  const double ob_h2 = ob * h * h;
+  theta27_sq_ = (params.t_cmb / 2.7) * (params.t_cmb / 2.7);
+
+  // EH98 eq. 26: approximate sound horizon in Mpc.
+  sound_horizon_ =
+      44.5 * std::log(9.83 / om_h2) / std::sqrt(1.0 + 10.0 * std::pow(ob_h2, 0.75));
+
+  // EH98 eq. 31: baryon suppression of the effective shape parameter.
+  const double f_b = ob / om;
+  alpha_gamma_ = 1.0 - 0.328 * std::log(431.0 * om_h2) * f_b +
+                 0.38 * std::log(22.3 * om_h2) * f_b * f_b;
+
+  norm_ = 1.0;
+  const double sigma8_now = sigma_unnormalized(8.0);
+  CHECK(sigma8_now > 0.0);
+  norm_ = (params.sigma8 * params.sigma8) / (sigma8_now * sigma8_now);
+}
+
+double PowerSpectrum::transfer(double k) const {
+  if (k <= 0.0) return 1.0;
+  const double h = params_.h;
+  const double om_h2 = params_.omega_m * h * h;
+  // k arrives in h/Mpc; EH98 fit uses 1/Mpc.
+  const double k_mpc = k * h;
+
+  // EH98 eq. 30: scale-dependent effective shape parameter.
+  const double ks = k_mpc * sound_horizon_;
+  const double gamma_eff =
+      params_.omega_m * h *
+      (alpha_gamma_ + (1.0 - alpha_gamma_) / (1.0 + std::pow(0.43 * ks, 4.0)));
+
+  // EH98 eqs. 28-29.
+  const double q = k_mpc * theta27_sq_ / (gamma_eff * h);
+  const double l0 = std::log(2.0 * std::numbers::e + 1.8 * q);
+  const double c0 = 14.2 + 731.0 / (1.0 + 62.5 * q);
+  (void)om_h2;
+  return l0 / (l0 + c0 * q * q);
+}
+
+double PowerSpectrum::operator()(double k) const {
+  if (k <= 0.0) return 0.0;
+  const double t = transfer(k);
+  return norm_ * std::pow(k, params_.n_s) * t * t;
+}
+
+double PowerSpectrum::delta2(double k) const {
+  return k * k * k * (*this)(k) / (2.0 * kPi * kPi);
+}
+
+double PowerSpectrum::sigma_unnormalized(double r) const {
+  // sigma^2(r) = int dlnk Delta^2(k) W^2(kR); log-space trapezoid over a
+  // generous k range.
+  const double lnk_lo = std::log(1e-5);
+  const double lnk_hi = std::log(1e3);
+  const int n = 2048;
+  const double dlnk = (lnk_hi - lnk_lo) / n;
+  double sum = 0.0;
+  for (int i = 0; i <= n; ++i) {
+    const double k = std::exp(lnk_lo + i * dlnk);
+    const double w = tophat_window(k * r);
+    const double val = delta2(k) * w * w;
+    sum += (i == 0 || i == n) ? 0.5 * val : val;
+  }
+  return std::sqrt(sum * dlnk);
+}
+
+double PowerSpectrum::sigma(double r) const { return sigma_unnormalized(r); }
+
+}  // namespace crkhacc::cosmo

@@ -1,0 +1,42 @@
+// Linear matter power spectrum (Eisenstein & Hu 1998 transfer function).
+//
+// Used to generate Gaussian initial conditions with the correct large-scale
+// statistics. The "no-wiggle" EH98 fit captures the CDM + baryon shape with
+// the sound-horizon suppression; sigma8 sets the normalization.
+#pragma once
+
+#include "cosmology/background.h"
+
+namespace crkhacc::cosmo {
+
+class PowerSpectrum {
+ public:
+  /// Builds the transfer-function fit and normalizes to params.sigma8.
+  explicit PowerSpectrum(const Parameters& params);
+
+  /// EH98 no-wiggle transfer function T(k), k in h/Mpc.
+  double transfer(double k) const;
+
+  /// Linear matter power P(k) at z=0 in (Mpc/h)^3, k in h/Mpc.
+  double operator()(double k) const;
+
+  /// Dimensionless power Delta^2(k) = k^3 P(k) / (2 pi^2).
+  double delta2(double k) const;
+
+  /// RMS linear fluctuation in top-hat spheres of radius r [Mpc/h].
+  double sigma(double r) const;
+
+  double normalization() const { return norm_; }
+
+ private:
+  double sigma_unnormalized(double r) const;
+
+  Parameters params_;
+  // EH98 fit internals.
+  double sound_horizon_;   ///< s [Mpc]
+  double alpha_gamma_;
+  double theta27_sq_;      ///< (T_cmb / 2.7)^2
+  double norm_ = 1.0;
+};
+
+}  // namespace crkhacc::cosmo

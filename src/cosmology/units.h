@@ -1,0 +1,53 @@
+// Code units and physical constants.
+//
+// CRK-HACC-style comoving units:
+//   length   : comoving Mpc/h
+//   velocity : peculiar km/s
+//   mass     : 1e10 Msun/h
+//   energy/mass (internal energy u) : (km/s)^2
+//
+// With these, H0 = 100 h km/s/Mpc == 100 in code units, and Newton's
+// constant G = 43.0071 (km/s)^2 (Mpc/h) / (1e10 Msun/h).
+#pragma once
+
+namespace crkhacc::units {
+
+/// Newton's constant in code units.
+inline constexpr double kGravity = 43.0071;
+
+/// Hubble constant in code units (always 100 because lengths carry h).
+inline constexpr double kH0 = 100.0;
+
+/// Critical density today in code units: 3 H0^2 / (8 pi G)
+/// = 27.7536627 (1e10 Msun/h) / (Mpc/h)^3.
+inline constexpr double kRhoCrit0 = 27.7536627;
+
+/// Adiabatic index of a monatomic ideal gas.
+inline constexpr double kGamma = 5.0 / 3.0;
+
+/// Mean molecular weight: neutral primordial gas.
+inline constexpr double kMuNeutral = 1.22;
+/// Mean molecular weight: fully ionized primordial gas.
+inline constexpr double kMuIonized = 0.59;
+
+/// T[K] = (gamma-1) * mu * kProtonByBoltzmannKmS * u[(km/s)^2].
+inline constexpr double kProtonByBoltzmannKmS = 121.14;
+
+/// Convert internal energy (km/s)^2 to temperature in K.
+inline constexpr double temperature_K(double u, double mu) {
+  return (kGamma - 1.0) * mu * kProtonByBoltzmannKmS * u;
+}
+
+/// Convert temperature in K to internal energy (km/s)^2.
+inline constexpr double internal_energy(double temperature_k, double mu) {
+  return temperature_k / ((kGamma - 1.0) * mu * kProtonByBoltzmannKmS);
+}
+
+/// Seconds per (Mpc/h)/(km/s) "Hubble time unit", divided by h.
+/// 1 Mpc = 3.0857e19 km, so 1 (Mpc/h)/(km/s) = 3.0857e19/h seconds.
+inline constexpr double kMpcOverKmS_seconds = 3.0857e19;
+
+/// Gigayears per code time unit (Mpc/h / km/s), times h.
+inline constexpr double kMpcOverKmS_Gyr = 978.462;
+
+}  // namespace crkhacc::units

@@ -1,0 +1,138 @@
+#include "fft/distributed_fft.h"
+
+#include "util/assertions.h"
+
+namespace crkhacc::fft {
+
+DistributedFFT::DistributedFFT(comm::Communicator& comm, std::size_t n)
+    : comm_(comm),
+      n_(n),
+      z_part_(n, comm.size()),
+      x_part_(n, comm.size()),
+      real_(local_z_count() * n * n, Complex(0.0, 0.0)),
+      k_(local_kx_count() * n * n, Complex(0.0, 0.0)) {
+  CHECK(n >= 1);
+}
+
+void DistributedFFT::forward() {
+  const std::size_t nz_local = local_z_count();
+  // 2-D (x, y) FFT on every local z-plane.
+  for (std::size_t zl = 0; zl < nz_local; ++zl) {
+    Complex* plane = &real_[zl * n_ * n_];
+    for (std::size_t y = 0; y < n_; ++y) {
+      transform_line(plane + y * n_, n_, 1, false);
+    }
+    for (std::size_t x = 0; x < n_; ++x) {
+      transform_line(plane + x, n_, n_, false);
+    }
+  }
+  transpose_z_to_x();
+  // 1-D z FFTs (contiguous in the k layout).
+  const std::size_t nx_local = local_kx_count();
+  for (std::size_t xl = 0; xl < nx_local; ++xl) {
+    for (std::size_t y = 0; y < n_; ++y) {
+      transform_line(&k_[(xl * n_ + y) * n_], n_, 1, false);
+    }
+  }
+}
+
+void DistributedFFT::backward() {
+  const std::size_t nx_local = local_kx_count();
+  for (std::size_t xl = 0; xl < nx_local; ++xl) {
+    for (std::size_t y = 0; y < n_; ++y) {
+      transform_line(&k_[(xl * n_ + y) * n_], n_, 1, true);
+    }
+  }
+  transpose_x_to_z();
+  const std::size_t nz_local = local_z_count();
+  for (std::size_t zl = 0; zl < nz_local; ++zl) {
+    Complex* plane = &real_[zl * n_ * n_];
+    for (std::size_t y = 0; y < n_; ++y) {
+      transform_line(plane + y * n_, n_, 1, true);
+    }
+    for (std::size_t x = 0; x < n_; ++x) {
+      transform_line(plane + x, n_, n_, true);
+    }
+  }
+}
+
+void DistributedFFT::transpose_z_to_x() {
+  const int p = comm_.size();
+  const std::size_t nz_local = local_z_count();
+  // Pack: message to rank d contains, ordered (x_local_d, y, z_local_src),
+  // the x-range owned by d for every local plane.
+  std::vector<std::vector<Complex>> sends(static_cast<std::size_t>(p));
+  for (int d = 0; d < p; ++d) {
+    const std::size_t x0 = x_part_.start(d);
+    const std::size_t nxd = x_part_.count(d);
+    auto& buf = sends[static_cast<std::size_t>(d)];
+    buf.resize(nxd * n_ * nz_local);
+    std::size_t w = 0;
+    for (std::size_t xi = 0; xi < nxd; ++xi) {
+      for (std::size_t y = 0; y < n_; ++y) {
+        for (std::size_t zl = 0; zl < nz_local; ++zl) {
+          buf[w++] = real_[(zl * n_ + y) * n_ + (x0 + xi)];
+        }
+      }
+    }
+  }
+  auto recvs = comm_.alltoallv(sends);
+  // Unpack into (x_local, y, z) with z fastest.
+  const std::size_t nx_local = local_kx_count();
+  k_.assign(nx_local * n_ * n_, Complex(0.0, 0.0));
+  for (int s = 0; s < p; ++s) {
+    const std::size_t z0 = z_part_.start(s);
+    const std::size_t nzs = z_part_.count(s);
+    const auto& buf = recvs[static_cast<std::size_t>(s)];
+    CHECK(buf.size() == nx_local * n_ * nzs);
+    std::size_t r = 0;
+    for (std::size_t xl = 0; xl < nx_local; ++xl) {
+      for (std::size_t y = 0; y < n_; ++y) {
+        for (std::size_t zi = 0; zi < nzs; ++zi) {
+          k_[(xl * n_ + y) * n_ + (z0 + zi)] = buf[r++];
+        }
+      }
+    }
+  }
+}
+
+void DistributedFFT::transpose_x_to_z() {
+  const int p = comm_.size();
+  const std::size_t nx_local = local_kx_count();
+  // Pack: message to rank d contains, ordered (x_local_src, y, z_local_d),
+  // the z-range owned by d for every local x line.
+  std::vector<std::vector<Complex>> sends(static_cast<std::size_t>(p));
+  for (int d = 0; d < p; ++d) {
+    const std::size_t z0 = z_part_.start(d);
+    const std::size_t nzd = z_part_.count(d);
+    auto& buf = sends[static_cast<std::size_t>(d)];
+    buf.resize(nx_local * n_ * nzd);
+    std::size_t w = 0;
+    for (std::size_t xl = 0; xl < nx_local; ++xl) {
+      for (std::size_t y = 0; y < n_; ++y) {
+        for (std::size_t zi = 0; zi < nzd; ++zi) {
+          buf[w++] = k_[(xl * n_ + y) * n_ + (z0 + zi)];
+        }
+      }
+    }
+  }
+  auto recvs = comm_.alltoallv(sends);
+  const std::size_t nz_local = local_z_count();
+  real_.assign(nz_local * n_ * n_, Complex(0.0, 0.0));
+  for (int s = 0; s < p; ++s) {
+    const std::size_t x0 = x_part_.start(s);
+    const std::size_t nxs = x_part_.count(s);
+    const auto& buf = recvs[static_cast<std::size_t>(s)];
+    CHECK(buf.size() == nxs * n_ * nz_local);
+    std::size_t r = 0;
+    for (std::size_t xi = 0; xi < nxs; ++xi) {
+      for (std::size_t y = 0; y < n_; ++y) {
+        for (std::size_t zl = 0; zl < nz_local; ++zl) {
+          real_[(zl * n_ + y) * n_ + (x0 + xi)] = buf[r++];
+        }
+      }
+    }
+  }
+}
+
+}  // namespace crkhacc::fft

@@ -1,0 +1,134 @@
+#include "fft/fft.h"
+
+#include <cmath>
+#include <numbers>
+
+#include "util/assertions.h"
+
+namespace crkhacc::fft {
+namespace {
+
+constexpr double kPi = std::numbers::pi;
+
+/// Iterative radix-2 Cooley-Tukey, bit-reversal permutation first.
+void fft_pow2(Complex* a, std::size_t n, bool inverse) {
+  // Bit-reversal permutation.
+  for (std::size_t i = 1, j = 0; i < n; ++i) {
+    std::size_t bit = n >> 1;
+    for (; j & bit; bit >>= 1) j ^= bit;
+    j ^= bit;
+    if (i < j) std::swap(a[i], a[j]);
+  }
+  for (std::size_t len = 2; len <= n; len <<= 1) {
+    const double angle = (inverse ? 2.0 : -2.0) * kPi / static_cast<double>(len);
+    const Complex wlen(std::cos(angle), std::sin(angle));
+    for (std::size_t i = 0; i < n; i += len) {
+      Complex w(1.0, 0.0);
+      for (std::size_t k = 0; k < len / 2; ++k) {
+        const Complex u = a[i + k];
+        const Complex v = a[i + k + len / 2] * w;
+        a[i + k] = u + v;
+        a[i + k + len / 2] = u - v;
+        w *= wlen;
+      }
+    }
+  }
+}
+
+/// Bluestein chirp-z transform for arbitrary n, via a power-of-two
+/// cyclic convolution of length m >= 2n-1.
+void fft_bluestein(Complex* data, std::size_t n, bool inverse) {
+  const double sign = inverse ? 1.0 : -1.0;
+  // Chirp: w[k] = exp(sign * i * pi * k^2 / n). Computed with k^2 mod 2n
+  // to keep the trig argument small for large k.
+  std::vector<Complex> chirp(n);
+  for (std::size_t k = 0; k < n; ++k) {
+    const std::size_t k2 = (k * k) % (2 * n);
+    const double angle = sign * kPi * static_cast<double>(k2) / static_cast<double>(n);
+    chirp[k] = Complex(std::cos(angle), std::sin(angle));
+  }
+
+  const std::size_t m = next_pow2(2 * n - 1);
+  std::vector<Complex> a(m, Complex(0.0, 0.0));
+  std::vector<Complex> b(m, Complex(0.0, 0.0));
+  for (std::size_t k = 0; k < n; ++k) a[k] = data[k] * chirp[k];
+  b[0] = std::conj(chirp[0]);
+  for (std::size_t k = 1; k < n; ++k) {
+    b[k] = b[m - k] = std::conj(chirp[k]);
+  }
+
+  fft_pow2(a.data(), m, false);
+  fft_pow2(b.data(), m, false);
+  for (std::size_t k = 0; k < m; ++k) a[k] *= b[k];
+  fft_pow2(a.data(), m, true);
+  const double inv_m = 1.0 / static_cast<double>(m);
+  for (std::size_t k = 0; k < n; ++k) {
+    data[k] = a[k] * inv_m * chirp[k];
+  }
+}
+
+void transform_contiguous(Complex* data, std::size_t n, bool inverse) {
+  if (n <= 1) return;
+  if (is_pow2(n)) {
+    fft_pow2(data, n, inverse);
+  } else {
+    fft_bluestein(data, n, inverse);
+  }
+  if (inverse) {
+    const double inv_n = 1.0 / static_cast<double>(n);
+    for (std::size_t k = 0; k < n; ++k) data[k] *= inv_n;
+  }
+}
+
+}  // namespace
+
+bool is_pow2(std::size_t n) { return n > 0 && (n & (n - 1)) == 0; }
+
+std::size_t next_pow2(std::size_t n) {
+  std::size_t p = 1;
+  while (p < n) p <<= 1;
+  return p;
+}
+
+void transform(std::vector<Complex>& data, bool inverse) {
+  transform_contiguous(data.data(), data.size(), inverse);
+}
+
+void transform_line(Complex* base, std::size_t n, std::size_t stride, bool inverse) {
+  if (stride == 1) {
+    transform_contiguous(base, n, inverse);
+    return;
+  }
+  // Gather / transform / scatter. The distributed FFT always arranges
+  // contiguous lines, so this path only serves local 3-D convenience
+  // transforms where the copy cost is acceptable.
+  std::vector<Complex> line(n);
+  for (std::size_t i = 0; i < n; ++i) line[i] = base[i * stride];
+  transform_contiguous(line.data(), n, inverse);
+  for (std::size_t i = 0; i < n; ++i) base[i * stride] = line[i];
+}
+
+void transform_3d(std::vector<Complex>& data, std::size_t nx, std::size_t ny,
+                  std::size_t nz, bool inverse) {
+  CHECK(data.size() == nx * ny * nz);
+  // x lines (contiguous).
+  for (std::size_t z = 0; z < nz; ++z) {
+    for (std::size_t y = 0; y < ny; ++y) {
+      transform_line(&data[(z * ny + y) * nx], nx, 1, inverse);
+    }
+  }
+  // y lines (stride nx).
+  for (std::size_t z = 0; z < nz; ++z) {
+    for (std::size_t x = 0; x < nx; ++x) {
+      transform_line(&data[z * ny * nx + x], ny, nx, inverse);
+    }
+  }
+  // z lines (stride nx*ny).
+  for (std::size_t y = 0; y < ny; ++y) {
+    for (std::size_t x = 0; x < nx; ++x) {
+      transform_line(&data[y * nx + x], nz, nx * ny, inverse);
+    }
+  }
+}
+
+}  // namespace crkhacc::fft

@@ -1,0 +1,113 @@
+#include "gpu/device.h"
+
+#include <algorithm>
+#include <chrono>
+
+namespace crkhacc::gpu {
+
+const std::vector<DeviceSpec>& known_devices() {
+  static const std::vector<DeviceSpec> devices = {
+      {"AMD MI250X (per GCD)", 23.9, 64},
+      {"Intel Max 1550 (per tile)", 22.5, 32},
+      {"NVIDIA H100 SXM5", 66.9, 32},
+  };
+  return devices;
+}
+
+double host_peak_gflops() {
+  static const double cached = [] {
+    // 64 independent FMA chains: enough ILP for the compiler to engage
+    // SIMD units and both FMA ports, so the figure approximates the
+    // core's true FP32 throughput peak (the role Table I's numbers play
+    // for the GPUs). The volatile sink keeps the loop alive.
+    constexpr int kChains = 64;
+    float acc[kChains];
+    for (int c = 0; c < kChains; ++c) {
+      acc[c] = 1.0f + 0.01f * static_cast<float>(c);
+    }
+    const float m = 1.000001f;
+    const float b = 1e-7f;
+    const std::int64_t iters = 4'000'000;
+    const auto start = std::chrono::steady_clock::now();
+    for (std::int64_t i = 0; i < iters; ++i) {
+      for (int c = 0; c < kChains; ++c) acc[c] = acc[c] * m + b;
+    }
+    const double seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+            .count();
+    float total = 0.f;
+    for (int c = 0; c < kChains; ++c) total += acc[c];
+    volatile float sink = total;
+    (void)sink;
+    // kChains FMAs = 2 * kChains flops per iteration.
+    return static_cast<double>(iters) * 2.0 * kChains / seconds / 1e9;
+  }();
+  return cached;
+}
+
+void FlopRegistry::add(const std::string& kernel, double flops, double seconds) {
+  auto& entry = entries_[kernel];
+  entry.flops += flops;
+  entry.seconds += seconds;
+  if (seconds > 0.0) {
+    const double rate = flops / seconds / 1e9;
+    if (rate > peak_gflops_) {
+      peak_gflops_ = rate;
+      peak_kernel_ = kernel;
+    }
+  }
+}
+
+double FlopRegistry::total_flops() const {
+  double sum = 0.0;
+  for (const auto& [name, entry] : entries_) sum += entry.flops;
+  return sum;
+}
+
+double FlopRegistry::total_seconds() const {
+  double sum = 0.0;
+  for (const auto& [name, entry] : entries_) sum += entry.seconds;
+  return sum;
+}
+
+double FlopRegistry::flops_of(const std::string& kernel) const {
+  auto it = entries_.find(kernel);
+  return it == entries_.end() ? 0.0 : it->second.flops;
+}
+
+double FlopRegistry::sustained_gflops() const {
+  const double seconds = total_seconds();
+  return seconds > 0.0 ? total_flops() / seconds / 1e9 : 0.0;
+}
+
+std::vector<std::tuple<std::string, double, double>> FlopRegistry::sorted() const {
+  std::vector<std::tuple<std::string, double, double>> out;
+  out.reserve(entries_.size());
+  for (const auto& [name, entry] : entries_) {
+    out.emplace_back(name, entry.flops, entry.seconds);
+  }
+  std::sort(out.begin(), out.end(), [](const auto& a, const auto& b) {
+    return std::get<1>(a) > std::get<1>(b);
+  });
+  return out;
+}
+
+void FlopRegistry::merge(const FlopRegistry& other) {
+  for (const auto& [name, entry] : other.entries_) {
+    auto& mine = entries_[name];
+    mine.flops += entry.flops;
+    mine.seconds += entry.seconds;
+  }
+  if (other.peak_gflops_ > peak_gflops_) {
+    peak_gflops_ = other.peak_gflops_;
+    peak_kernel_ = other.peak_kernel_;
+  }
+}
+
+void FlopRegistry::clear() {
+  entries_.clear();
+  peak_gflops_ = 0.0;
+  peak_kernel_.clear();
+}
+
+}  // namespace crkhacc::gpu

@@ -1,0 +1,227 @@
+// Leaf-pair kernel launch drivers: naive and warp-split.
+//
+// The short-range solver's compute is leaf-to-leaf interaction kernels
+// (Section IV-B2): all particles i of one leaf interact with all particles
+// j of a neighboring leaf. Two execution strategies are implemented over
+// the identical kernel definition, so their physics results agree bitwise
+// up to floating-point accumulation order:
+//
+//  * kNaive — one logical thread per i-particle walks all j: it re-loads
+//    j state from global memory and re-computes BOTH separable partials
+//    for every pair. This is the register-heavy baseline the paper's
+//    warp-splitting replaces.
+//
+//  * kWarpSplit — Algorithm 1 of the paper, executed literally on CPU
+//    lanes: a warp of `warp_size` lanes is split in half; the low half
+//    loads up to W = warp_size/2 particles of leaf i, the high half of
+//    leaf j, each lane computes its separable partial ONCE, and W rotation
+//    steps pair every lane with every partner, exchanging partials by
+//    lane-indexed reads (the shuffle). Accumulation is lane-local with one
+//    store per particle at the end (the per-leaf atomic).
+//
+// LaunchStats counts global loads, partial evaluations, interactions and
+// stores, so the memory-traffic/register reduction of warp splitting is a
+// measured output (bench/ablation_warp_split) rather than a claim.
+//
+// Kernel concept (see sph/ and gravity/ for real instances):
+//
+//   struct Kernel {
+//     struct State   {...};              // registers loaded per particle
+//     struct Partial {...};              // separable terms, shuffled
+//     struct Accum   {...};              // lane-local accumulator
+//     static constexpr const char* kName;
+//     static constexpr double kFlopsPerInteraction;  // per ordered pair
+//     static constexpr double kFlopsPerPartial;
+//     State load(std::uint32_t particle) const;
+//     Partial partial(const State&) const;
+//     void interact(const State& self, const Partial& self_p,
+//                   const State& other, const Partial& other_p,
+//                   Accum& acc) const;   // accumulate contribution of
+//                                        // `other` onto `self`
+//     void store(std::uint32_t particle, const Accum&);  // += semantics
+//   };
+#pragma once
+
+#include <algorithm>
+#include <array>
+#include <cstdint>
+#include <span>
+#include <utility>
+#include <vector>
+
+#include "tree/chaining_mesh.h"
+#include "util/timer.h"
+
+namespace crkhacc::gpu {
+
+enum class LaunchMode { kNaive, kWarpSplit };
+
+/// Largest supported half-warp (AMD's 64-lane warp split in two).
+inline constexpr std::uint32_t kMaxHalfWarp = 32;
+
+struct LaunchStats {
+  std::uint64_t interactions = 0;   ///< ordered pair evaluations
+  std::uint64_t global_loads = 0;   ///< State loads from particle arrays
+  std::uint64_t partial_evals = 0;  ///< separable-term computations
+  std::uint64_t stores = 0;         ///< accumulator write-backs
+  double flops = 0.0;
+  double seconds = 0.0;
+  std::size_t register_bytes_per_thread = 0;
+
+  LaunchStats& operator+=(const LaunchStats& o) {
+    interactions += o.interactions;
+    global_loads += o.global_loads;
+    partial_evals += o.partial_evals;
+    stores += o.stores;
+    flops += o.flops;
+    seconds += o.seconds;
+    register_bytes_per_thread =
+        std::max(register_bytes_per_thread, o.register_bytes_per_thread);
+    return *this;
+  }
+};
+
+namespace detail {
+
+/// Naive side pass: accumulate contributions of leaf B onto every
+/// particle of leaf A, reloading and recomputing per pair.
+template <typename Kernel>
+void naive_side(Kernel& kernel, const tree::ChainingMesh& cm,
+                const tree::Leaf& a, const tree::Leaf& b, bool same_leaf,
+                LaunchStats& stats) {
+  const std::uint32_t* perm = cm.permutation().data();
+  for (std::uint32_t s = a.begin; s < a.end; ++s) {
+    const std::uint32_t i = perm[s];
+    const auto si = kernel.load(i);
+    ++stats.global_loads;
+    typename Kernel::Accum acc{};
+    for (std::uint32_t t = b.begin; t < b.end; ++t) {
+      if (same_leaf && t == s) continue;
+      const std::uint32_t j = perm[t];
+      const auto sj = kernel.load(j);
+      ++stats.global_loads;
+      // Redundant recomputation of both partials — the cost warp
+      // splitting removes.
+      const auto pi = kernel.partial(si);
+      const auto pj = kernel.partial(sj);
+      stats.partial_evals += 2;
+      kernel.interact(si, pi, sj, pj, acc);
+      ++stats.interactions;
+    }
+    kernel.store(i, acc);
+    ++stats.stores;
+  }
+}
+
+/// One warp-split tile: chunks I (from leaf L) and J (from leaf M), each
+/// at most W lanes. If `same_chunk`, only the self-from-partner direction
+/// accumulates (every ordered pair appears exactly once across the
+/// rotation); otherwise both halves accumulate simultaneously.
+template <typename Kernel>
+void warp_tile(Kernel& kernel, const std::uint32_t* idx_i, std::uint32_t ni,
+               const std::uint32_t* idx_j, std::uint32_t nj, std::uint32_t w,
+               bool same_chunk, LaunchStats& stats) {
+  using State = typename Kernel::State;
+  using Partial = typename Kernel::Partial;
+  using Accum = typename Kernel::Accum;
+
+  // Lane-register files: fixed-size stacks, one slot per lane.
+  std::array<State, kMaxHalfWarp> si, sj;
+  std::array<Partial, kMaxHalfWarp> pi, pj;
+  for (std::uint32_t l = 0; l < ni; ++l) {
+    si[l] = kernel.load(idx_i[l]);
+    pi[l] = kernel.partial(si[l]);
+  }
+  for (std::uint32_t m = 0; m < nj; ++m) {
+    sj[m] = kernel.load(idx_j[m]);
+    pj[m] = kernel.partial(sj[m]);
+  }
+  stats.global_loads += ni + nj;
+  stats.partial_evals += ni + nj;
+
+  std::array<Accum, kMaxHalfWarp> acc_i{};
+  std::array<Accum, kMaxHalfWarp> acc_j{};
+  // Rotation: at step t, i-lane l is partnered with j-lane (l + t) mod W.
+  for (std::uint32_t t = 0; t < w; ++t) {
+    for (std::uint32_t l = 0; l < w; ++l) {
+      const std::uint32_t m = (l + t) % w;
+      if (l >= ni || m >= nj) continue;  // idle lanes on ragged chunks
+      if (same_chunk && l == m) continue;  // self-interaction diagonal
+      // The "shuffle": the partner's state/partial is read by lane index.
+      kernel.interact(si[l], pi[l], sj[m], pj[m], acc_i[l]);
+      ++stats.interactions;
+      if (!same_chunk) {
+        kernel.interact(sj[m], pj[m], si[l], pi[l], acc_j[m]);
+        ++stats.interactions;
+      }
+    }
+  }
+  for (std::uint32_t l = 0; l < ni; ++l) kernel.store(idx_i[l], acc_i[l]);
+  stats.stores += ni;
+  if (!same_chunk) {
+    for (std::uint32_t m = 0; m < nj; ++m) kernel.store(idx_j[m], acc_j[m]);
+    stats.stores += nj;
+  }
+}
+
+template <typename Kernel>
+void warp_split_pair(Kernel& kernel, const tree::ChainingMesh& cm,
+                     std::uint32_t leaf_a, std::uint32_t leaf_b,
+                     std::uint32_t warp_size, LaunchStats& stats) {
+  const tree::Leaf& a = cm.leaf(leaf_a);
+  const tree::Leaf& b = cm.leaf(leaf_b);
+  const std::uint32_t* perm = cm.permutation().data();
+  const std::uint32_t w = std::min(warp_size / 2, kMaxHalfWarp);
+  const bool same_leaf = leaf_a == leaf_b;
+
+  for (std::uint32_t ci = a.begin; ci < a.end; ci += w) {
+    const std::uint32_t ni = std::min(w, a.end - ci);
+    const std::uint32_t cj_begin = same_leaf ? ci : b.begin;
+    for (std::uint32_t cj = cj_begin; cj < b.end; cj += w) {
+      const std::uint32_t nj = std::min(w, b.end - cj);
+      warp_tile(kernel, perm + ci, ni, perm + cj, nj, w,
+                same_leaf && ci == cj, stats);
+    }
+  }
+}
+
+}  // namespace detail
+
+/// Execute `kernel` over the given leaf pairs. Pairs must satisfy
+/// first <= second (as produced by ChainingMesh::interaction_pairs);
+/// both orientations are accumulated.
+template <typename Kernel>
+LaunchStats launch_pair_kernel(
+    Kernel& kernel, const tree::ChainingMesh& cm,
+    std::span<const std::pair<std::uint32_t, std::uint32_t>> pairs,
+    std::uint32_t warp_size, LaunchMode mode) {
+  LaunchStats stats;
+  Stopwatch watch;
+  if (mode == LaunchMode::kNaive) {
+    stats.register_bytes_per_thread =
+        2 * sizeof(typename Kernel::State) +
+        2 * sizeof(typename Kernel::Partial) + sizeof(typename Kernel::Accum);
+    for (const auto& [la, lb] : pairs) {
+      const bool same = la == lb;
+      detail::naive_side(kernel, cm, cm.leaf(la), cm.leaf(lb), same, stats);
+      if (!same) {
+        detail::naive_side(kernel, cm, cm.leaf(lb), cm.leaf(la), false, stats);
+      }
+    }
+  } else {
+    stats.register_bytes_per_thread = sizeof(typename Kernel::State) +
+                                      sizeof(typename Kernel::Partial) +
+                                      sizeof(typename Kernel::Accum);
+    for (const auto& [la, lb] : pairs) {
+      detail::warp_split_pair(kernel, cm, la, lb, warp_size, stats);
+    }
+  }
+  stats.seconds = watch.seconds();
+  stats.flops = static_cast<double>(stats.interactions) *
+                    Kernel::kFlopsPerInteraction +
+                static_cast<double>(stats.partial_evals) *
+                    Kernel::kFlopsPerPartial;
+  return stats;
+}
+
+}  // namespace crkhacc::gpu

@@ -1,0 +1,57 @@
+#include "gravity/short_range.h"
+
+#include "cosmology/units.h"
+
+namespace crkhacc::gravity {
+
+gpu::LaunchStats compute_short_range(
+    Particles& particles, const tree::ChainingMesh& mesh,
+    const mesh::ForceSplit* split, const GravityConfig& config, double a,
+    const std::uint8_t* active, gpu::FlopRegistry& flops,
+    const std::vector<std::pair<std::uint32_t, std::uint32_t>>* pairs) {
+  // Without a split the kernel is pure Newtonian and every neighbor-bin
+  // leaf pair interacts (1e15 >> any box, still finite when squared).
+  const double cutoff = split ? split->cutoff() : 1e15;
+  const float scale = static_cast<float>(units::kGravity / (a * a));
+  ShortRangeKernel kernel(particles, active, split, scale, config.softening,
+                          static_cast<float>(cutoff));
+  std::vector<std::pair<std::uint32_t, std::uint32_t>> own_pairs;
+  if (!pairs) {
+    own_pairs = mesh.interaction_pairs(cutoff);
+    pairs = &own_pairs;
+  }
+  const auto stats = gpu::launch_pair_kernel(kernel, mesh, *pairs,
+                                             config.warp_size, config.mode);
+  flops.add(ShortRangeKernel::kName, stats.flops, stats.seconds);
+  return stats;
+}
+
+void direct_sum_reference(Particles& particles, const mesh::ForceSplit* split,
+                          float softening, double accel_scale) {
+  const std::size_t n = particles.size();
+  const float soft2 = softening * softening;
+  for (std::size_t i = 0; i < n; ++i) {
+    double ax = 0.0, ay = 0.0, az = 0.0;
+    for (std::size_t j = 0; j < n; ++j) {
+      if (i == j) continue;
+      const double dx = static_cast<double>(particles.x[i]) - particles.x[j];
+      const double dy = static_cast<double>(particles.y[i]) - particles.y[j];
+      const double dz = static_cast<double>(particles.z[i]) - particles.z[j];
+      const double r2 = dx * dx + dy * dy + dz * dz;
+      if (r2 <= 0.0) continue;
+      const double r = std::sqrt(r2);
+      const double soft_r2 = r2 + soft2;
+      const double inv_r3 = 1.0 / (soft_r2 * std::sqrt(soft_r2));
+      const double fs = split ? split->short_range_factor(r) : 1.0;
+      const double f = -particles.mass[j] * fs * inv_r3;
+      ax += f * dx;
+      ay += f * dy;
+      az += f * dz;
+    }
+    particles.ax[i] += static_cast<float>(accel_scale * ax);
+    particles.ay[i] += static_cast<float>(accel_scale * ay);
+    particles.az[i] += static_cast<float>(accel_scale * az);
+  }
+}
+
+}  // namespace crkhacc::gravity

@@ -1,0 +1,117 @@
+// Short-range gravity: the direct particle-pair complement of the
+// filtered PM solve.
+//
+// Within the chaining-mesh cutoff, each pair contributes the Newtonian
+// force times the split factor f_s(r) (mesh/force_split.h), so that
+// PM + short-range sums to the full 1/r^2 force. A Plummer softening
+// regularizes close encounters at the force-resolution scale. Runs as a
+// warp-split leaf-pair kernel like every other short-range operator.
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+
+#include "core/particles.h"
+#include "gpu/device.h"
+#include "gpu/warp.h"
+#include "mesh/force_split.h"
+#include "tree/chaining_mesh.h"
+
+namespace crkhacc::gravity {
+
+class ShortRangeKernel {
+ public:
+  static constexpr const char* kName = "gravity_short_range";
+  static constexpr double kFlopsPerInteraction = 42.0;
+  static constexpr double kFlopsPerPartial = 1.0;
+
+  struct State {
+    float x, y, z;
+    float mass;
+  };
+  struct Partial {
+    float m;  ///< g_j term: the partner's mass is all that is shuffled
+  };
+  struct Accum {
+    float ax = 0.0f, ay = 0.0f, az = 0.0f;
+  };
+
+  /// `split` may be null for pure Newtonian pair forces (tests and
+  /// non-cosmological problems); `accel_scale` should carry G and any
+  /// cosmological factor (G / a^2 for comoving integrations);
+  /// `softening` is the Plummer length; `cutoff` the interaction radius
+  /// (<= chaining-mesh bin width).
+  ShortRangeKernel(Particles& particles, const std::uint8_t* active,
+                   const mesh::ForceSplit* split, float accel_scale,
+                   float softening, float cutoff)
+      : p_(particles),
+        active_(active),
+        split_(split),
+        scale_(accel_scale),
+        soft2_(softening * softening),
+        cutoff2_(cutoff * cutoff) {}
+
+  State load(std::uint32_t i) const {
+    return State{p_.x[i], p_.y[i], p_.z[i], p_.mass[i]};
+  }
+
+  Partial partial(const State& s) const { return Partial{s.mass}; }
+
+  void interact(const State& self, const Partial& /*self_p*/,
+                const State& other, const Partial& other_p, Accum& acc) const {
+    const float dx = self.x - other.x;
+    const float dy = self.y - other.y;
+    const float dz = self.z - other.z;
+    const float r2 = dx * dx + dy * dy + dz * dz;
+    if (r2 >= cutoff2_ || r2 <= 0.0f) return;
+    const float r = std::sqrt(r2);
+    const float soft_r2 = r2 + soft2_;
+    const float inv_r3 = 1.0f / (soft_r2 * std::sqrt(soft_r2));
+    const float fs =
+        split_ ? static_cast<float>(split_->short_range_factor(r)) : 1.0f;
+    // a_i = -m_j f_s(r) d_ij / r^3 (G and 1/a^2 applied at store).
+    const float f = -other_p.m * fs * inv_r3;
+    acc.ax += f * dx;
+    acc.ay += f * dy;
+    acc.az += f * dz;
+  }
+
+  void store(std::uint32_t i, const Accum& acc) {
+    if (active_ && !active_[i]) return;
+    p_.ax[i] += scale_ * acc.ax;
+    p_.ay[i] += scale_ * acc.ay;
+    p_.az[i] += scale_ * acc.az;
+  }
+
+ private:
+  Particles& p_;
+  const std::uint8_t* active_;
+  const mesh::ForceSplit* split_;
+  float scale_;
+  float soft2_;
+  float cutoff2_;
+};
+
+struct GravityConfig {
+  float softening = 0.05f;  ///< Plummer softening (code length)
+  std::uint32_t warp_size = 64;
+  gpu::LaunchMode mode = gpu::LaunchMode::kWarpSplit;
+};
+
+/// Evaluate the short-range gravity of all particles in `mesh` (built
+/// over every species). Accumulates into ax/ay/az; `a` is the scale
+/// factor (1 = non-cosmological => pure Newtonian requires split=null).
+/// If `pairs` is non-null, uses the caller's (active-filtered) leaf pair
+/// list instead of building one.
+gpu::LaunchStats compute_short_range(
+    Particles& particles, const tree::ChainingMesh& mesh,
+    const mesh::ForceSplit* split, const GravityConfig& config, double a,
+    const std::uint8_t* active, gpu::FlopRegistry& flops,
+    const std::vector<std::pair<std::uint32_t, std::uint32_t>>* pairs =
+        nullptr);
+
+/// Reference O(N^2) Newtonian (or split) direct sum, for accuracy tests.
+void direct_sum_reference(Particles& particles, const mesh::ForceSplit* split,
+                          float softening, double accel_scale);
+
+}  // namespace crkhacc::gravity

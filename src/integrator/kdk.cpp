@@ -1,0 +1,70 @@
+#include "integrator/kdk.h"
+
+#include <cmath>
+
+#include "cosmology/units.h"
+
+namespace crkhacc::integrator {
+
+void Kdk::kick(Particles& particles, double a0, double a1,
+               const std::uint8_t* active, bool with_drag) const {
+  const double dt = dt_of(a0, a1);
+  const float drag = with_drag ? static_cast<float>(a0 / a1) : 1.0f;
+  const std::size_t n = particles.size();
+  for (std::size_t i = 0; i < n; ++i) {
+    if (active && !active[i]) continue;
+    particles.vx[i] = particles.vx[i] * drag +
+                      particles.ax[i] * static_cast<float>(dt);
+    particles.vy[i] = particles.vy[i] * drag +
+                      particles.ay[i] * static_cast<float>(dt);
+    particles.vz[i] = particles.vz[i] * drag +
+                      particles.az[i] * static_cast<float>(dt);
+  }
+}
+
+void Kdk::drift(Particles& particles, double a0, double a1, double box,
+                const std::uint8_t* active) const {
+  const double dt = dt_of(a0, a1);
+  const double a_mid = 0.5 * (a0 + a1);
+  const float move = static_cast<float>(dt / a_mid);
+  // u ~ a^{-3(gamma-1)}: exact homogeneous-expansion cooling.
+  const float expand = static_cast<float>(
+      std::pow(a0 / a1, 3.0 * (units::kGamma - 1.0)));
+  const float fbox = static_cast<float>(box);
+  const std::size_t n = particles.size();
+  for (std::size_t i = 0; i < n; ++i) {
+    if (active && !active[i]) continue;
+    float x = particles.x[i] + particles.vx[i] * move;
+    float y = particles.y[i] + particles.vy[i] * move;
+    float z = particles.z[i] + particles.vz[i] * move;
+    // Periodic wrap for owned particles (drifts are < box per step).
+    // Ghost replicas live at unwrapped image coordinates and must stay
+    // there so the chaining mesh keeps them adjacent to the domain edge.
+    if (particles.is_owned(i)) {
+      if (x < 0.f) x += fbox; else if (x >= fbox) x -= fbox;
+      if (y < 0.f) y += fbox; else if (y >= fbox) y -= fbox;
+      if (z < 0.f) z += fbox; else if (z >= fbox) z -= fbox;
+    }
+    particles.x[i] = x;
+    particles.y[i] = y;
+    particles.z[i] = z;
+    if (particles.is_gas(i)) {
+      particles.u[i] *= expand;
+    }
+  }
+}
+
+void Kdk::energy_kick(Particles& particles, double a0, double a1,
+                      const std::uint8_t* active) const {
+  const double dt = dt_of(a0, a1);
+  const std::size_t n = particles.size();
+  for (std::size_t i = 0; i < n; ++i) {
+    if (active && !active[i]) continue;
+    if (!particles.is_gas(i)) continue;
+    float u = particles.u[i] + particles.du[i] * static_cast<float>(dt);
+    if (u < 0.0f) u = 0.0f;  // shock-crossing guard; floor restored by UV
+    particles.u[i] = u;
+  }
+}
+
+}  // namespace crkhacc::integrator

@@ -1,0 +1,58 @@
+#include "integrator/timestep.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "util/assertions.h"
+
+namespace crkhacc::integrator {
+
+std::uint8_t bin_for(double dt_particle, double dt_pm, int max_depth) {
+  if (!(dt_particle > 0.0)) return static_cast<std::uint8_t>(max_depth);
+  int b = 0;
+  double dt = dt_pm;
+  while (dt > dt_particle && b < max_depth) {
+    dt *= 0.5;
+    ++b;
+  }
+  return static_cast<std::uint8_t>(b);
+}
+
+double accel_timestep(const TimeBinConfig& config, double a, double ax,
+                      double ay, double az) {
+  const double acc = std::sqrt(ax * ax + ay * ay + az * az);
+  if (acc <= 0.0) return std::numeric_limits<double>::infinity();
+  return config.accel_eta * std::sqrt(config.softening * a / acc);
+}
+
+int assign_bins(Particles& particles, const std::vector<double>& dt_limit,
+                double dt_pm, const TimeBinConfig& config) {
+  CHECK(dt_limit.size() == particles.size());
+  int depth = 0;
+  for (std::size_t i = 0; i < particles.size(); ++i) {
+    const std::uint8_t b = bin_for(dt_limit[i], dt_pm, config.max_depth);
+    particles.bin[i] = b;
+    depth = std::max(depth, static_cast<int>(b));
+  }
+  return depth;
+}
+
+void activity_mask(const Particles& particles, std::uint64_t s, int depth,
+                   std::vector<std::uint8_t>& mask) {
+  mask.assign(particles.size(), 0);
+  for (std::size_t i = 0; i < particles.size(); ++i) {
+    mask[i] = bin_active(particles.bin[i], s, depth) ? 1 : 0;
+  }
+}
+
+std::uint64_t schedule_work(const Particles& particles, int depth) {
+  std::uint64_t work = 0;
+  for (std::size_t i = 0; i < particles.size(); ++i) {
+    work += 1ull << particles.bin[i];
+  }
+  (void)depth;
+  return work;
+}
+
+}  // namespace crkhacc::integrator

@@ -1,0 +1,56 @@
+// Hierarchical (binned) adaptive timestepping.
+//
+// Following the FAST-style asynchronous split integrator the paper cites
+// (Saitoh & Makino 2010): within one global PM interval, particles are
+// grouped into power-of-two timestep bins — bin b sub-cycles at
+// dt_pm / 2^b. Deep bins exist only where local conditions (CFL, strong
+// accelerations, star-forming gas) demand them, so quiet regions are not
+// dragged to the finest cadence. The activity schedule is the standard
+// block scheme: at fine substep s (of 2^depth), bin b is active iff
+// s is a multiple of 2^(depth - b).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/particles.h"
+
+namespace crkhacc::integrator {
+
+struct TimeBinConfig {
+  int max_depth = 8;          ///< deepest allowed bin (dt_pm / 2^depth)
+  double accel_eta = 0.25;    ///< acceleration criterion prefactor
+  double softening = 0.05;    ///< length scale for the accel criterion
+};
+
+/// Bin index for a particle whose local limit is dt_particle, under a PM
+/// interval dt_pm: smallest b with dt_pm / 2^b <= dt_particle.
+std::uint8_t bin_for(double dt_particle, double dt_pm, int max_depth);
+
+/// Acceleration timestep criterion: dt = eta * sqrt(soft * a / |acc|),
+/// (proper softening / peculiar-velocity change rate).
+double accel_timestep(const TimeBinConfig& config, double a, double ax,
+                      double ay, double az);
+
+/// Assign particles.bin from per-particle limits and return the depth
+/// (deepest occupied bin). `dt_limit` holds each particle's local
+/// timestep bound in cosmic-time units (entries may be +inf).
+int assign_bins(Particles& particles, const std::vector<double>& dt_limit,
+                double dt_pm, const TimeBinConfig& config);
+
+/// True if bin b is active at fine substep s of 2^depth.
+inline bool bin_active(std::uint8_t b, std::uint64_t s, int depth) {
+  const std::uint64_t period = 1ull << (depth - b);
+  return s % period == 0;
+}
+
+/// Activity mask for all particles at fine substep s.
+void activity_mask(const Particles& particles, std::uint64_t s, int depth,
+                   std::vector<std::uint8_t>& mask);
+
+/// Total number of (particle, substep) updates the schedule performs —
+/// the adaptive-integration workload measure used by the utilization
+/// benchmarks. A "Flat" run forces every particle to the deepest bin.
+std::uint64_t schedule_work(const Particles& particles, int depth);
+
+}  // namespace crkhacc::integrator

@@ -1,0 +1,51 @@
+#include "io/checkpoint.h"
+
+#include <algorithm>
+#include <charconv>
+#include <filesystem>
+
+#include "io/multi_tier.h"
+
+namespace crkhacc::io {
+namespace fs = std::filesystem;
+
+std::optional<std::uint64_t> latest_complete_checkpoint(ThrottledStore& pfs,
+                                                        int num_ranks) {
+  // Enumerate ckpt/stepNNNNNN directories.
+  std::vector<std::uint64_t> steps;
+  const auto ckpt_dir = fs::path(pfs.full_path("ckpt"));
+  std::error_code ec;
+  for (const auto& entry : fs::directory_iterator(ckpt_dir, ec)) {
+    if (!entry.is_directory()) continue;
+    const auto name = entry.path().filename().string();
+    if (name.rfind("step", 0) != 0) continue;
+    std::uint64_t step = 0;
+    const char* begin = name.c_str() + 4;
+    const char* end = name.c_str() + name.size();
+    if (std::from_chars(begin, end, step).ec == std::errc{}) {
+      steps.push_back(step);
+    }
+  }
+  std::sort(steps.rbegin(), steps.rend());
+
+  for (std::uint64_t step : steps) {
+    bool complete = true;
+    for (int r = 0; r < num_ranks && complete; ++r) {
+      complete = pfs.exists(MultiTierWriter::checkpoint_path(step, r)) &&
+                 pfs.exists(MultiTierWriter::marker_path(step, r));
+    }
+    if (complete) return step;
+  }
+  return std::nullopt;
+}
+
+bool restore_checkpoint(ThrottledStore& pfs, std::uint64_t step, int rank,
+                        SnapshotMeta& meta, Particles& out) {
+  std::vector<std::uint8_t> bytes;
+  if (!pfs.read(MultiTierWriter::checkpoint_path(step, rank), bytes)) {
+    return false;
+  }
+  return decode_snapshot(bytes, meta, out);
+}
+
+}  // namespace crkhacc::io

@@ -1,0 +1,56 @@
+// Checkpoint discovery, restart, and fault injection.
+//
+// Restart policy mirrors the paper's fault-tolerance loop: every PM step
+// writes a full checkpoint; after an interruption, the run resumes from
+// the newest step for which EVERY rank's file reached the PFS intact
+// (completion markers + CRC validation). Partial checkpoints — a fault
+// mid-bleed — are skipped automatically.
+//
+// FaultInjector models the machine's mean time to interrupt: a
+// deterministic counter-based draw per step, so tests can replay the
+// exact same failure schedule.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "core/particles.h"
+#include "io/generic_io.h"
+#include "io/storage.h"
+#include "util/rng.h"
+
+namespace crkhacc::io {
+
+/// Newest step for which all `num_ranks` checkpoint files exist on the
+/// PFS with completion markers. nullopt if none.
+std::optional<std::uint64_t> latest_complete_checkpoint(ThrottledStore& pfs,
+                                                        int num_ranks);
+
+/// Load rank `rank`'s particles from checkpoint `step` on the PFS.
+/// Returns false on any integrity failure.
+bool restore_checkpoint(ThrottledStore& pfs, std::uint64_t step, int rank,
+                        SnapshotMeta& meta, Particles& out);
+
+/// Deterministic interruption schedule: kills happen when the per-step
+/// hazard draw falls below dt/mtti.
+class FaultInjector {
+ public:
+  /// mtti in the same time unit as the dt passed to should_fail.
+  FaultInjector(double mtti, std::uint64_t seed)
+      : mtti_(mtti), rng_(seed, /*stream=*/0xFA17) {}
+
+  /// True if the machine is interrupted during this execution attempt
+  /// (`trial` must increase monotonically across retries of the same
+  /// step, or a deterministic failure would recur forever).
+  bool should_fail(std::uint64_t trial, double dt) const {
+    if (mtti_ <= 0.0) return false;
+    return rng_.uniform(trial) < dt / mtti_;
+  }
+
+ private:
+  double mtti_;
+  CounterRng rng_;
+};
+
+}  // namespace crkhacc::io

@@ -1,0 +1,117 @@
+#include "io/generic_io.h"
+
+#include <cstring>
+#include <fstream>
+
+#include "util/crc32.h"
+
+namespace crkhacc::io {
+namespace {
+
+constexpr std::uint32_t kMagic = 0x47494f31;  // "GIO1"
+
+struct WireHeader {
+  std::uint32_t magic;
+  std::uint32_t header_crc;   ///< CRC of the fields below
+  std::uint64_t step;
+  double scale_factor;
+  std::int32_t rank;
+  std::int32_t num_ranks;
+  std::uint64_t particle_count;
+  std::uint64_t payload_bytes;
+  std::uint32_t payload_crc;
+  std::uint32_t pad = 0;
+};
+static_assert(sizeof(WireHeader) == 56);
+
+std::uint32_t header_fields_crc(const WireHeader& h) {
+  // CRC over everything after header_crc.
+  const auto* base = reinterpret_cast<const unsigned char*>(&h);
+  const std::size_t offset = offsetof(WireHeader, step);
+  return crc32(base + offset, sizeof(WireHeader) - offset);
+}
+
+}  // namespace
+
+std::vector<std::uint8_t> encode_snapshot(const SnapshotMeta& meta,
+                                          const Particles& particles,
+                                          bool include_ghosts) {
+  std::vector<Particles::Record> records;
+  records.reserve(particles.size());
+  for (std::size_t i = 0; i < particles.size(); ++i) {
+    if (!include_ghosts && !particles.is_owned(i)) continue;
+    records.push_back(particles.record(i));
+  }
+
+  WireHeader header{};
+  header.magic = kMagic;
+  header.step = meta.step;
+  header.scale_factor = meta.scale_factor;
+  header.rank = meta.rank;
+  header.num_ranks = meta.num_ranks;
+  header.particle_count = records.size();
+  header.payload_bytes = records.size() * sizeof(Particles::Record);
+  header.payload_crc = crc32(records.data(), header.payload_bytes);
+  header.header_crc = header_fields_crc(header);
+
+  std::vector<std::uint8_t> bytes(sizeof(WireHeader) + header.payload_bytes);
+  std::memcpy(bytes.data(), &header, sizeof(WireHeader));
+  std::memcpy(bytes.data() + sizeof(WireHeader), records.data(),
+              header.payload_bytes);
+  return bytes;
+}
+
+bool decode_snapshot(const std::vector<std::uint8_t>& bytes,
+                     SnapshotMeta& meta, Particles& out) {
+  if (bytes.size() < sizeof(WireHeader)) return false;
+  WireHeader header;
+  std::memcpy(&header, bytes.data(), sizeof(WireHeader));
+  if (header.magic != kMagic) return false;
+  if (header.header_crc != header_fields_crc(header)) return false;
+  if (bytes.size() != sizeof(WireHeader) + header.payload_bytes) return false;
+  if (header.payload_bytes != header.particle_count * sizeof(Particles::Record)) {
+    return false;
+  }
+  if (crc32(bytes.data() + sizeof(WireHeader), header.payload_bytes) !=
+      header.payload_crc) {
+    return false;
+  }
+  meta.step = header.step;
+  meta.scale_factor = header.scale_factor;
+  meta.rank = header.rank;
+  meta.num_ranks = header.num_ranks;
+  meta.particle_count = header.particle_count;
+
+  out.reserve(out.size() + header.particle_count);
+  const auto* records = reinterpret_cast<const Particles::Record*>(
+      bytes.data() + sizeof(WireHeader));
+  for (std::uint64_t r = 0; r < header.particle_count; ++r) {
+    out.append_record(records[r]);
+  }
+  return true;
+}
+
+bool write_snapshot_file(const std::string& path, const SnapshotMeta& meta,
+                         const Particles& particles, bool include_ghosts) {
+  const auto bytes = encode_snapshot(meta, particles, include_ghosts);
+  std::ofstream file(path, std::ios::binary | std::ios::trunc);
+  if (!file) return false;
+  file.write(reinterpret_cast<const char*>(bytes.data()),
+             static_cast<std::streamsize>(bytes.size()));
+  return static_cast<bool>(file);
+}
+
+bool read_snapshot_file(const std::string& path, SnapshotMeta& meta,
+                        Particles& out) {
+  std::ifstream file(path, std::ios::binary | std::ios::ate);
+  if (!file) return false;
+  const auto size = static_cast<std::size_t>(file.tellg());
+  file.seekg(0);
+  std::vector<std::uint8_t> bytes(size);
+  file.read(reinterpret_cast<char*>(bytes.data()),
+            static_cast<std::streamsize>(size));
+  if (!file) return false;
+  return decode_snapshot(bytes, meta, out);
+}
+
+}  // namespace crkhacc::io

@@ -1,0 +1,45 @@
+// GenericIO-analog particle snapshot format.
+//
+// Self-describing blocked binary: a fixed header carrying run metadata,
+// followed by the particle record block, with independent CRC32 checksums
+// on header and payload. Like HACC's GenericIO, corruption is detected at
+// read time (truncated files, bit flips) instead of silently corrupting a
+// restart. Files are written rank-per-file — the pattern the multi-tier
+// strategy relies on to avoid PFS contention.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/particles.h"
+
+namespace crkhacc::io {
+
+struct SnapshotMeta {
+  std::uint64_t step = 0;
+  double scale_factor = 1.0;
+  std::int32_t rank = 0;
+  std::int32_t num_ranks = 1;
+  std::uint64_t particle_count = 0;  ///< filled on write
+};
+
+/// Serialize owned particles (ghosts skipped unless include_ghosts) into
+/// the snapshot wire format.
+std::vector<std::uint8_t> encode_snapshot(const SnapshotMeta& meta,
+                                          const Particles& particles,
+                                          bool include_ghosts);
+
+/// Decode result: false on any integrity failure (bad magic, CRC
+/// mismatch, truncation). Particles are appended to `out`.
+bool decode_snapshot(const std::vector<std::uint8_t>& bytes,
+                     SnapshotMeta& meta, Particles& out);
+
+/// Convenience file wrappers (unthrottled; the storage tiers wrap these
+/// with bandwidth modeling).
+bool write_snapshot_file(const std::string& path, const SnapshotMeta& meta,
+                         const Particles& particles, bool include_ghosts);
+bool read_snapshot_file(const std::string& path, SnapshotMeta& meta,
+                        Particles& out);
+
+}  // namespace crkhacc::io

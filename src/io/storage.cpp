@@ -1,0 +1,133 @@
+#include "io/storage.h"
+
+#include <chrono>
+#include <filesystem>
+#include <fstream>
+#include <thread>
+
+#include "util/assertions.h"
+
+namespace crkhacc::io {
+namespace {
+
+namespace fs = std::filesystem;
+
+double monotonic_seconds() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+}  // namespace
+
+ThrottledStore::ThrottledStore(const StoreConfig& config) : config_(config) {
+  CHECK(!config.root.empty());
+  fs::create_directories(config.root);
+}
+
+std::string ThrottledStore::full_path(const std::string& rel_path) const {
+  return (fs::path(config_.root) / rel_path).string();
+}
+
+double ThrottledStore::occupy_channel(std::uint64_t bytes,
+                                      double already_spent) {
+  if (config_.bandwidth_bytes_per_s <= 0.0 && config_.latency_s <= 0.0) {
+    return 0.0;
+  }
+  const double service = std::max(
+      0.0, config_.latency_s +
+               (config_.bandwidth_bytes_per_s > 0.0
+                    ? static_cast<double>(bytes) / config_.bandwidth_bytes_per_s
+                    : 0.0) -
+               already_spent);
+  double wait_until;
+  if (config_.shared_channel) {
+    std::lock_guard<std::mutex> lock(channel_mutex_);
+    const double now = monotonic_seconds();
+    const double start = std::max(now, channel_available_at_);
+    channel_available_at_ = start + service;
+    wait_until = channel_available_at_;
+  } else {
+    wait_until = monotonic_seconds() + service;
+  }
+  const double now = monotonic_seconds();
+  if (wait_until > now) {
+    std::this_thread::sleep_for(std::chrono::duration<double>(wait_until - now));
+  }
+  return service;
+}
+
+double ThrottledStore::write(const std::string& rel_path,
+                             const std::vector<std::uint8_t>& data) {
+  const double start = monotonic_seconds();
+  const auto path = fs::path(full_path(rel_path));
+  fs::create_directories(path.parent_path());
+  {
+    std::ofstream file(path, std::ios::binary | std::ios::trunc);
+    CHECK_MSG(static_cast<bool>(file), "cannot open store file for write");
+    file.write(reinterpret_cast<const char*>(data.data()),
+               static_cast<std::streamsize>(data.size()));
+    CHECK_MSG(static_cast<bool>(file), "store write failed");
+  }
+  occupy_channel(data.size(), monotonic_seconds() - start);
+  {
+    std::lock_guard<std::mutex> lock(stats_mutex_);
+    bytes_written_ += data.size();
+  }
+  return monotonic_seconds() - start;
+}
+
+bool ThrottledStore::read(const std::string& rel_path,
+                          std::vector<std::uint8_t>& out) {
+  const double start = monotonic_seconds();
+  std::ifstream file(full_path(rel_path), std::ios::binary | std::ios::ate);
+  if (!file) return false;
+  const auto size = static_cast<std::size_t>(file.tellg());
+  file.seekg(0);
+  out.resize(size);
+  file.read(reinterpret_cast<char*>(out.data()),
+            static_cast<std::streamsize>(size));
+  if (!file) return false;
+  occupy_channel(size, monotonic_seconds() - start);
+  return true;
+}
+
+double ThrottledStore::ingest(ThrottledStore& from,
+                              const std::string& rel_path) {
+  const double start = monotonic_seconds();
+  const auto src = fs::path(from.full_path(rel_path));
+  if (!fs::exists(src)) return 0.0;
+  const auto dst = fs::path(full_path(rel_path));
+  fs::create_directories(dst.parent_path());
+  const auto size = static_cast<std::uint64_t>(fs::file_size(src));
+  fs::rename(src, dst);  // the low-level OS move
+  occupy_channel(size, monotonic_seconds() - start);
+  {
+    std::lock_guard<std::mutex> lock(stats_mutex_);
+    bytes_written_ += size;
+  }
+  return monotonic_seconds() - start;
+}
+
+bool ThrottledStore::exists(const std::string& rel_path) const {
+  return fs::exists(full_path(rel_path));
+}
+
+void ThrottledStore::remove(const std::string& rel_path) {
+  std::error_code ec;
+  fs::remove(full_path(rel_path), ec);
+}
+
+std::vector<std::string> ThrottledStore::list(const std::string& rel_dir) const {
+  std::vector<std::string> out;
+  const auto dir = fs::path(config_.root) / rel_dir;
+  std::error_code ec;
+  for (const auto& entry : fs::directory_iterator(dir, ec)) {
+    if (entry.is_regular_file()) {
+      out.push_back(entry.path().filename().string());
+    }
+  }
+  return out;
+}
+
+}  // namespace crkhacc::io

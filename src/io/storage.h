@@ -1,0 +1,73 @@
+// Bandwidth-modeled storage tiers.
+//
+// Substitutes for the hardware the paper's multi-tier I/O exploits:
+//
+//   * node-local NVMe — private per node, ~GB/s, negligible latency;
+//   * Lustre PFS ("Orion") — shared by every rank, high latency, and a
+//     single aggregate bandwidth that all concurrent writers divide.
+//
+// ThrottledStore enforces the model by real wall-clock pacing: a write of
+// B bytes occupies the store's channel for latency + B/bandwidth seconds.
+// Shared channels serialize concurrent reservations (the PFS contention
+// the paper avoids during latency-sensitive phases); per-rank channels do
+// not. Because pacing is real time, the multi-tier advantage shows up as
+// genuinely measured bandwidth in the benches, not as a formula.
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace crkhacc::io {
+
+struct StoreConfig {
+  std::string root;                  ///< directory backing this tier
+  double bandwidth_bytes_per_s = 0;  ///< 0 = unthrottled
+  double latency_s = 0.0;            ///< per-operation setup cost
+  bool shared_channel = true;        ///< all writers share the bandwidth
+};
+
+class ThrottledStore {
+ public:
+  explicit ThrottledStore(const StoreConfig& config);
+
+  const StoreConfig& config() const { return config_; }
+
+  /// Write data to root/rel_path (parent dirs created); returns elapsed
+  /// wall-clock seconds including modeled channel time. Thread-safe.
+  double write(const std::string& rel_path,
+               const std::vector<std::uint8_t>& data);
+
+  /// Read an entire file; empty optional-style: returns false if absent
+  /// or unreadable. Reads are paced at the same bandwidth.
+  bool read(const std::string& rel_path, std::vector<std::uint8_t>& out);
+
+  /// Move a fully-written file from another store into this one (the
+  /// low-level "OS move" of the async bleed). Paced by this store's
+  /// channel as a write of the file's size.
+  double ingest(ThrottledStore& from, const std::string& rel_path);
+
+  bool exists(const std::string& rel_path) const;
+  void remove(const std::string& rel_path);
+  std::vector<std::string> list(const std::string& rel_dir = "") const;
+
+  std::uint64_t bytes_written() const { return bytes_written_; }
+
+  std::string full_path(const std::string& rel_path) const;
+
+ private:
+  /// Reserve the channel for `bytes`. `already_spent` seconds of real
+  /// filesystem work are credited against the modeled service time, so
+  /// the model sets the tier's *total* speed rather than stacking on top
+  /// of the host disk. Returns seconds of modeled service.
+  double occupy_channel(std::uint64_t bytes, double already_spent = 0.0);
+
+  StoreConfig config_;
+  std::mutex channel_mutex_;
+  double channel_available_at_ = 0.0;  ///< monotonic seconds
+  std::uint64_t bytes_written_ = 0;
+  std::mutex stats_mutex_;
+};
+
+}  // namespace crkhacc::io

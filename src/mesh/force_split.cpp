@@ -1,0 +1,39 @@
+#include "mesh/force_split.h"
+
+#include <cmath>
+#include <numbers>
+
+#include "util/assertions.h"
+
+namespace crkhacc::mesh {
+
+ForceSplit::ForceSplit(double rs, double threshold)
+    : rs_(rs), threshold_(threshold) {
+  CHECK(rs > 0.0);
+  CHECK(threshold > 0.0 && threshold < 1.0);
+  // Solve f_s(r) = threshold by bisection; f_s decreases monotonically.
+  double lo = 0.0, hi = 16.0 * rs;
+  for (int iter = 0; iter < 80; ++iter) {
+    const double mid = 0.5 * (lo + hi);
+    if (short_range_factor(mid) > threshold) {
+      lo = mid;
+    } else {
+      hi = mid;
+    }
+  }
+  cutoff_ = hi;
+}
+
+double ForceSplit::long_range_filter(double k) const {
+  const double krs = k * rs_;
+  return std::exp(-krs * krs);
+}
+
+double ForceSplit::short_range_factor(double r) const {
+  if (r <= 0.0) return 1.0;
+  const double x = r / (2.0 * rs_);
+  return std::erfc(x) +
+         (r / (rs_ * std::sqrt(std::numbers::pi))) * std::exp(-x * x);
+}
+
+}  // namespace crkhacc::mesh

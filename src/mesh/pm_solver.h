@@ -1,0 +1,92 @@
+// Distributed particle-mesh (PM) gravity solver.
+//
+// Long-range piece of the separation-of-scales architecture (Fig. 2, top
+// left). Per PM step:
+//
+//   1. CIC-deposit owned particles onto the global density mesh. Cell
+//      contributions are routed to the FFT z-slab owners with one
+//      alltoallv (the block -> slab repartition SWFFT performs in HACC).
+//   2. Forward distributed FFT of the overdensity.
+//   3. Apply the filtered Green's function
+//         phi_k = -4 pi G S(k) W_cic(k)^{-2} rho_k / k^2
+//      (S from mesh/force_split.h; W_cic deconvolves the deposit window)
+//      and the spectral gradient i k_d for each force component.
+//   4. Three inverse FFTs give the comoving force mesh.
+//   5. Every rank fetches the force planes overlapping its overloaded
+//      block and CIC-interpolates accelerations for all local particles
+//      (ghosts included, so overloaded replicas integrate identically).
+//
+// Forces returned are comoving: -grad phi with Del^2 phi = 4 pi G rho_com.
+// The integrator applies the cosmological 1/a^2 factor.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <vector>
+
+#include "comm/decomposition.h"
+#include "comm/world.h"
+#include "core/particles.h"
+#include "fft/distributed_fft.h"
+#include "mesh/force_split.h"
+
+namespace crkhacc::mesh {
+
+struct PMConfig {
+  std::size_t ng = 64;        ///< global mesh cells per dimension
+  double box = 64.0;          ///< box side (code length)
+  double rs_cells = 1.5;      ///< split scale rs in units of grid cells
+  double split_threshold = 1e-3;  ///< pair-force tail where handover ends
+};
+
+class PMSolver {
+ public:
+  PMSolver(comm::Communicator& comm, const comm::CartDecomposition& decomp,
+           const PMConfig& config);
+
+  const ForceSplit& split() const { return split_; }
+  const PMConfig& config() const { return config_; }
+
+  /// Full long-range solve: overwrites (ax, ay, az) for every local
+  /// particle with the filtered mesh acceleration (comoving, includes G).
+  /// `overload` is the ghost-layer width of the caller's domain, used to
+  /// size the fetched force planes.
+  void apply(comm::Communicator& comm, Particles& particles, double overload);
+
+  /// Deposit-only entry point: returns this rank's slab of the global
+  /// density mesh (mass per cell volume). Used by tests and by power
+  /// spectrum measurement.
+  std::vector<double> deposit(comm::Communicator& comm,
+                              const Particles& particles);
+
+  /// Mean matter density implied by the most recent deposit.
+  double mean_density() const { return mean_density_; }
+
+  /// Deposit + forward FFT of the dimensionless overdensity delta; the
+  /// local k-slab is returned with the CIC deposit window deconvolved.
+  /// Feeds the in situ power-spectrum measurement.
+  std::vector<fft::Complex> overdensity_spectrum(comm::Communicator& comm,
+                                                 const Particles& particles);
+
+  const fft::DistributedFFT& fft() const { return fft_; }
+
+ private:
+  /// phi_k multiplier: -4 pi G S(k) / (k^2 W^2), 0 at k=0.
+  double greens(double kx, double ky, double kz) const;
+
+  comm::Communicator& comm_;
+  const comm::CartDecomposition& decomp_;
+  PMConfig config_;
+  ForceSplit split_;
+  fft::DistributedFFT fft_;
+  double mean_density_ = 0.0;
+};
+
+/// CIC weights for one coordinate: returns base cell and fraction.
+struct CicAxis {
+  long cell;      ///< lower cell index (may need periodic wrap)
+  double w_hi;    ///< weight of cell+1; weight of cell is 1-w_hi
+};
+CicAxis cic_axis(double position, double cell_size);
+
+}  // namespace crkhacc::mesh

@@ -1,0 +1,52 @@
+#include "sph/crk.h"
+
+#include <cmath>
+
+namespace crkhacc::sph {
+
+CrkCoefficients solve_crk(const CrkMoments& m) {
+  CrkCoefficients out;
+  const float fallback_a = (m.m0 > 1e-20f) ? 1.0f / m.m0 : 1.0f;
+
+  // Symmetric 3x3 inverse of m2 via the adjugate.
+  const float xx = m.m2[0], yy = m.m2[1], zz = m.m2[2];
+  const float xy = m.m2[3], xz = m.m2[4], yz = m.m2[5];
+  const float cof_xx = yy * zz - yz * yz;
+  const float cof_xy = xz * yz - xy * zz;
+  const float cof_xz = xy * yz - xz * yy;
+  const float det = xx * cof_xx + xy * cof_xy + xz * cof_xz;
+
+  // Scale-aware singularity guard: det ~ (h^2 m0 / 5)^3 for healthy
+  // neighborhoods; anything tiny relative to trace^3 is degenerate.
+  const float trace = xx + yy + zz;
+  if (!(det > 1e-12f * trace * trace * trace) || trace <= 0.0f) {
+    out.a = fallback_a;
+    return out;
+  }
+  const float inv_det = 1.0f / det;
+  const float inv_xx = cof_xx * inv_det;
+  const float inv_xy = cof_xy * inv_det;
+  const float inv_xz = cof_xz * inv_det;
+  const float inv_yy = (xx * zz - xz * xz) * inv_det;
+  const float inv_yz = (xy * xz - xx * yz) * inv_det;
+  const float inv_zz = (xx * yy - xy * xy) * inv_det;
+
+  // B = +m2^{-1} m1 for the d = x_i - x_j convention of corrected_w:
+  // with W^R = A (1 - B.d_{ji}) W, the first-moment condition
+  // sum_j V_j W^R (x_j - x_i) = 0 gives m1 = m2 B.
+  const float bx = inv_xx * m.m1[0] + inv_xy * m.m1[1] + inv_xz * m.m1[2];
+  const float by = inv_xy * m.m1[0] + inv_yy * m.m1[1] + inv_yz * m.m1[2];
+  const float bz = inv_xz * m.m1[0] + inv_yz * m.m1[1] + inv_zz * m.m1[2];
+
+  // A = 1 / (m0 - B . m1)   [equals m0 - m1^T m2^{-1} m1]
+  const float denom = m.m0 - (bx * m.m1[0] + by * m.m1[1] + bz * m.m1[2]);
+  if (!(denom > 1e-20f) || !std::isfinite(denom)) {
+    out.a = fallback_a;
+    return out;
+  }
+  out.a = 1.0f / denom;
+  out.b = {bx, by, bz};
+  return out;
+}
+
+}  // namespace crkhacc::sph

@@ -1,0 +1,21 @@
+// Ideal-gas equation of state.
+#pragma once
+
+#include <cmath>
+
+#include "cosmology/units.h"
+
+namespace crkhacc::sph {
+
+/// Pressure of an ideal gas: P = (gamma - 1) rho u.
+inline float pressure(float rho, float u) {
+  return static_cast<float>(units::kGamma - 1.0) * rho * u;
+}
+
+/// Adiabatic sound speed: c = sqrt(gamma (gamma-1) u).
+inline float sound_speed(float u) {
+  const float g = static_cast<float>(units::kGamma);
+  return std::sqrt(std::max(0.0f, g * (g - 1.0f) * u));
+}
+
+}  // namespace crkhacc::sph

@@ -1,0 +1,76 @@
+// SPH smoothing kernels.
+//
+// The cubic B-spline (M4) kernel with support radius 2h, the default in
+// CRKSPH's reference implementation, plus the Wendland C4 kernel used for
+// high-neighbor-count configurations (CRKSPH evaluates ~270 neighbors per
+// particle; Wendland kernels resist the pairing instability there).
+// All functions are float-typed: the short-range solver runs FP32.
+#pragma once
+
+#include <cmath>
+#include <numbers>
+
+namespace crkhacc::sph {
+
+/// Cubic B-spline kernel W(r, h); support is r < 2h.
+struct CubicSpline {
+  static constexpr float kSupport = 2.0f;  ///< support radius in units of h
+
+  /// Kernel value.
+  static float w(float r, float h) {
+    const float q = r / h;
+    if (q >= 2.0f) return 0.0f;
+    const float sigma = static_cast<float>(1.0 / std::numbers::pi) / (h * h * h);
+    if (q < 1.0f) {
+      return sigma * (1.0f - 1.5f * q * q + 0.75f * q * q * q);
+    }
+    const float t = 2.0f - q;
+    return sigma * 0.25f * t * t * t;
+  }
+
+  /// Radial derivative dW/dr (<= 0 everywhere).
+  static float dw_dr(float r, float h) {
+    const float q = r / h;
+    if (q >= 2.0f) return 0.0f;
+    const float sigma = static_cast<float>(1.0 / std::numbers::pi) / (h * h * h);
+    if (q < 1.0f) {
+      return sigma * (-3.0f * q + 2.25f * q * q) / h;
+    }
+    const float t = 2.0f - q;
+    return sigma * (-0.75f * t * t) / h;
+  }
+};
+
+/// Wendland C4 kernel; support r < 2h (rescaled so h has the same meaning
+/// as the cubic spline).
+struct WendlandC4 {
+  static constexpr float kSupport = 2.0f;
+
+  static float w(float r, float h) {
+    const float q = r / (2.0f * h);  // native Wendland variable in [0,1]
+    if (q >= 1.0f) return 0.0f;
+    const float sigma =
+        static_cast<float>(495.0 / (32.0 * std::numbers::pi)) /
+        (8.0f * h * h * h);
+    const float omq = 1.0f - q;
+    const float omq2 = omq * omq;
+    const float omq6 = omq2 * omq2 * omq2;
+    return sigma * omq6 * (1.0f + 6.0f * q + (35.0f / 3.0f) * q * q);
+  }
+
+  static float dw_dr(float r, float h) {
+    const float q = r / (2.0f * h);
+    if (q >= 1.0f) return 0.0f;
+    const float sigma =
+        static_cast<float>(495.0 / (32.0 * std::numbers::pi)) /
+        (8.0f * h * h * h);
+    const float omq = 1.0f - q;
+    const float omq2 = omq * omq;
+    const float omq5 = omq2 * omq2 * omq;
+    // d/dq of omq^6 (1 + 6q + 35/3 q^2) = omq^5 (-56/3 q) (1 + 5 q)
+    const float dwdq = sigma * omq5 * (-56.0f / 3.0f) * q * (1.0f + 5.0f * q);
+    return dwdq / (2.0f * h);
+  }
+};
+
+}  // namespace crkhacc::sph

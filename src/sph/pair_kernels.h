@@ -1,0 +1,325 @@
+// CRKSPH pair kernels, written against the warp-split kernel concept
+// (gpu/warp.h). Three passes per hydro sub-step:
+//
+//   1. DensityKernel    — rho_i = sum_j m_j W(|x_ij|, h_i), neighbor count
+//   2. CrkMomentKernel  — geometric moments m0, m1, m2 (volumes from rho)
+//   3. MomentumEnergyKernel — corrected, symmetrized momentum and energy
+//      exchange with Monaghan artificial viscosity and signal-speed
+//      tracking for the CFL criterion
+//
+// All state is FP32 (the paper's short-range precision). FLOP constants
+// are analytic per-operation counts in the profiler convention of
+// Section V-B (FMA = 2 ops, transcendental = 1).
+#pragma once
+
+#include <array>
+#include <cmath>
+#include <cstdint>
+
+#include "core/particles.h"
+#include "sph/crk.h"
+#include "sph/kernel.h"
+
+namespace crkhacc::sph {
+
+/// Per-particle scratch shared by the kernels and owned by SphSolver.
+struct SphScratch {
+  std::vector<float> volume;   ///< V_i = m_i / rho_i
+  std::vector<float> press;    ///< pressure
+  std::vector<float> cs;       ///< sound speed
+  std::vector<float> crk_a;    ///< CRK A_i
+  std::vector<std::array<float, 3>> crk_b;  ///< CRK B_i
+  std::vector<CrkMoments> moments;
+  std::vector<float> vsig;     ///< max signal speed seen this step
+  std::vector<float> nnbr;     ///< neighbor count within 2 h_i
+
+  void resize(std::size_t n) {
+    volume.assign(n, 0.0f);
+    press.assign(n, 0.0f);
+    cs.assign(n, 0.0f);
+    crk_a.assign(n, 1.0f);
+    crk_b.assign(n, {0.0f, 0.0f, 0.0f});
+    moments.assign(n, CrkMoments{});
+    vsig.assign(n, 0.0f);
+    nnbr.assign(n, 0.0f);
+  }
+};
+
+// ---------------------------------------------------------------------------
+
+template <typename Shape = CubicSpline>
+class DensityKernelT {
+ public:
+  static constexpr const char* kName = "sph_density";
+  static constexpr double kFlopsPerInteraction = 26.0;
+  static constexpr double kFlopsPerPartial = 6.0;
+
+  struct State {
+    float x, y, z;
+    float h;
+    float mass;
+  };
+  struct Partial {
+    float inv_h;    ///< f_i term: shared normalization
+    float support;  ///< 2h (squared test radius precursor)
+  };
+  struct Accum {
+    float rho = 0.0f;
+    float nnbr = 0.0f;
+  };
+
+  DensityKernelT(Particles& particles, SphScratch& scratch,
+                 const std::uint8_t* active)
+      : p_(particles), scratch_(scratch), active_(active) {}
+
+  State load(std::uint32_t i) const {
+    return State{p_.x[i], p_.y[i], p_.z[i], p_.hsml[i], p_.mass[i]};
+  }
+
+  Partial partial(const State& s) const {
+    return Partial{1.0f / s.h, Shape::kSupport * s.h};
+  }
+
+  void interact(const State& self, const Partial& self_p, const State& other,
+                const Partial& /*other_p*/, Accum& acc) const {
+    const float dx = self.x - other.x;
+    const float dy = self.y - other.y;
+    const float dz = self.z - other.z;
+    const float r2 = dx * dx + dy * dy + dz * dz;
+    if (r2 >= self_p.support * self_p.support) return;
+    const float r = std::sqrt(r2);
+    acc.rho += other.mass * Shape::w(r, self.h);
+    acc.nnbr += 1.0f;
+  }
+
+  // += semantics: the driver stores once per leaf pair / warp tile (the
+  // "per-leaf atomic"). The solver zeroes rho and adds the self term.
+  void store(std::uint32_t i, const Accum& acc) {
+    if (active_ && !active_[i]) return;
+    p_.rho[i] += acc.rho;
+    scratch_.nnbr[i] += acc.nnbr;
+  }
+
+ private:
+  Particles& p_;
+  SphScratch& scratch_;
+  const std::uint8_t* active_;
+};
+
+// ---------------------------------------------------------------------------
+
+template <typename Shape = CubicSpline>
+class CrkMomentKernelT {
+ public:
+  static constexpr const char* kName = "crk_moments";
+  static constexpr double kFlopsPerInteraction = 48.0;
+  static constexpr double kFlopsPerPartial = 6.0;
+
+  struct State {
+    float x, y, z;
+    float h;
+    float volume;
+  };
+  struct Partial {
+    float inv_h;
+    float support;
+  };
+  struct Accum {
+    CrkMoments m;
+  };
+
+  CrkMomentKernelT(Particles& particles, SphScratch& scratch,
+                   const std::uint8_t* active)
+      : p_(particles), scratch_(scratch), active_(active) {}
+
+  State load(std::uint32_t i) const {
+    return State{p_.x[i], p_.y[i], p_.z[i], p_.hsml[i], scratch_.volume[i]};
+  }
+
+  Partial partial(const State& s) const {
+    return Partial{1.0f / s.h, Shape::kSupport * s.h};
+  }
+
+  void interact(const State& self, const Partial& self_p, const State& other,
+                const Partial& /*other_p*/, Accum& acc) const {
+    // d = x_j - x_i with self playing i.
+    const float dx = other.x - self.x;
+    const float dy = other.y - self.y;
+    const float dz = other.z - self.z;
+    const float r2 = dx * dx + dy * dy + dz * dz;
+    if (r2 >= self_p.support * self_p.support) return;
+    const float r = std::sqrt(r2);
+    const float vw = other.volume * Shape::w(r, self.h);
+    acc.m.m0 += vw;
+    acc.m.m1[0] += vw * dx;
+    acc.m.m1[1] += vw * dy;
+    acc.m.m1[2] += vw * dz;
+    acc.m.m2[0] += vw * dx * dx;
+    acc.m.m2[1] += vw * dy * dy;
+    acc.m.m2[2] += vw * dz * dz;
+    acc.m.m2[3] += vw * dx * dy;
+    acc.m.m2[4] += vw * dx * dz;
+    acc.m.m2[5] += vw * dy * dz;
+  }
+
+  // += semantics (see DensityKernel::store); self term added by solver.
+  void store(std::uint32_t i, const Accum& acc) {
+    if (active_ && !active_[i]) return;
+    CrkMoments& m = scratch_.moments[i];
+    m.m0 += acc.m.m0;
+    for (int d = 0; d < 3; ++d) m.m1[d] += acc.m.m1[d];
+    for (int d = 0; d < 6; ++d) m.m2[d] += acc.m.m2[d];
+  }
+
+ private:
+  Particles& p_;
+  SphScratch& scratch_;
+  const std::uint8_t* active_;
+};
+
+// ---------------------------------------------------------------------------
+
+/// Artificial viscosity parameters (Monaghan-style).
+struct ViscosityParams {
+  float alpha = 1.0f;
+  float beta = 2.0f;
+  float eps = 0.01f;  ///< softening of mu in units of h^2
+};
+
+template <typename Shape = CubicSpline>
+class MomentumEnergyKernelT {
+ public:
+  static constexpr const char* kName = "crk_momentum_energy";
+  static constexpr double kFlopsPerInteraction = 112.0;
+  static constexpr double kFlopsPerPartial = 4.0;
+
+  struct State {
+    float x, y, z;
+    float vx, vy, vz;
+    float h;
+    float volume;
+    float press;
+    float cs;
+    float rho;
+    float crk_a;
+    float bx, by, bz;
+  };
+  struct Partial {
+    float pv;       ///< P_i V_i — the separable f_i / g_j term
+    float support;  ///< 2h
+  };
+  struct Accum {
+    float ax = 0.0f, ay = 0.0f, az = 0.0f;
+    float du = 0.0f;
+    float vsig = 0.0f;
+  };
+
+  /// `accel_scale` multiplies the stored accelerations and du (the
+  /// cosmological 1/a factor converting comoving-gradient forces to
+  /// peculiar-velocity rates; 1 for non-cosmological problems).
+  MomentumEnergyKernelT(Particles& particles, SphScratch& scratch,
+                        const std::uint8_t* active,
+                        const ViscosityParams& visc,
+                        float accel_scale = 1.0f)
+      : p_(particles),
+        scratch_(scratch),
+        active_(active),
+        visc_(visc),
+        scale_(accel_scale) {}
+
+  State load(std::uint32_t i) const {
+    const auto& b = scratch_.crk_b[i];
+    return State{p_.x[i],  p_.y[i],  p_.z[i],  p_.vx[i], p_.vy[i],
+                 p_.vz[i], p_.hsml[i], scratch_.volume[i], scratch_.press[i],
+                 scratch_.cs[i], p_.rho[i], scratch_.crk_a[i], b[0], b[1], b[2]};
+  }
+
+  Partial partial(const State& s) const {
+    return Partial{s.press * s.volume, Shape::kSupport * s.h};
+  }
+
+  void interact(const State& self, const Partial& self_p, const State& other,
+                const Partial& other_p, Accum& acc) const {
+    const float dx = self.x - other.x;  // d_ij = x_i - x_j
+    const float dy = self.y - other.y;
+    const float dz = self.z - other.z;
+    const float r2 = dx * dx + dy * dy + dz * dz;
+    const float support = std::max(self_p.support, other_p.support);
+    if (r2 >= support * support || r2 <= 0.0f) return;
+    const float r = std::sqrt(r2);
+
+    // Corrected gradient of self's kernel w.r.t. x_i.
+    const CrkCoefficients ci{self.crk_a, {self.bx, self.by, self.bz}};
+    const std::array<float, 3> d_ij{dx, dy, dz};
+    const auto gi = corrected_grad(ci, Shape::w(r, self.h),
+                                   Shape::dw_dr(r, self.h), d_ij, r);
+    // Corrected gradient of other's kernel w.r.t. x_j (d_ji = -d_ij).
+    const CrkCoefficients cj{other.crk_a, {other.bx, other.by, other.bz}};
+    const std::array<float, 3> d_ji{-dx, -dy, -dz};
+    const auto gj = corrected_grad(cj, Shape::w(r, other.h),
+                                   Shape::dw_dr(r, other.h), d_ji, r);
+    // Antisymmetrized mean gradient: G_ij = (gi - gj)/2 = -G_ji.
+    const float gx = 0.5f * (gi[0] - gj[0]);
+    const float gy = 0.5f * (gi[1] - gj[1]);
+    const float gz = 0.5f * (gi[2] - gj[2]);
+
+    // Monaghan viscosity on approaching pairs.
+    const float dvx = self.vx - other.vx;
+    const float dvy = self.vy - other.vy;
+    const float dvz = self.vz - other.vz;
+    const float vdotr = dvx * dx + dvy * dy + dvz * dz;
+    const float h_mean = 0.5f * (self.h + other.h);
+    const float cs_mean = 0.5f * (self.cs + other.cs);
+    const float rho_mean = 0.5f * (self.rho + other.rho);
+    float visc = 0.0f;
+    float mu = 0.0f;
+    if (vdotr < 0.0f) {
+      mu = h_mean * vdotr / (r2 + visc_.eps * h_mean * h_mean);
+      visc = (-visc_.alpha * cs_mean * mu + visc_.beta * mu * mu) / rho_mean;
+    }
+
+    // Pair force on self: F = -[V_i V_j (P_i + P_j) + m_i m_j Pi_ij] G_ij.
+    // (self_p.pv * other.volume + other_p.pv * self.volume) recovers
+    // V_i V_j (P_i + P_j) from the shuffled separable partials.
+    const float pressure_term =
+        self_p.pv * other.volume + other_p.pv * self.volume;
+    const float visc_term = self.volume * other.volume * rho_mean * rho_mean * visc;
+    const float f = -(pressure_term + visc_term);
+    const float mass = self.rho * self.volume;  // m_i
+    const float inv_m = 1.0f / mass;
+    acc.ax += f * gx * inv_m;
+    acc.ay += f * gy * inv_m;
+    acc.az += f * gz * inv_m;
+    // Half of the pair's compressive work heats self:
+    // du_i = -(1/2 m_i) F . (v_i - v_j).
+    acc.du += -0.5f * f * (gx * dvx + gy * dvy + gz * dvz) * inv_m;
+
+    // Signal speed for the CFL criterion.
+    const float vsig = self.cs + other.cs - 3.0f * std::min(0.0f, mu);
+    acc.vsig = std::max(acc.vsig, vsig);
+  }
+
+  void store(std::uint32_t i, const Accum& acc) {
+    if (active_ && !active_[i]) return;
+    p_.ax[i] += scale_ * acc.ax;
+    p_.ay[i] += scale_ * acc.ay;
+    p_.az[i] += scale_ * acc.az;
+    p_.du[i] += scale_ * acc.du;
+    scratch_.vsig[i] = std::max(scratch_.vsig[i], acc.vsig);
+  }
+
+ private:
+  Particles& p_;
+  SphScratch& scratch_;
+  const std::uint8_t* active_;
+  ViscosityParams visc_;
+  float scale_;
+};
+
+/// Default (cubic B-spline) instantiations — the names the rest of the
+/// code uses; Wendland variants are selected by the solver config.
+using DensityKernel = DensityKernelT<CubicSpline>;
+using CrkMomentKernel = CrkMomentKernelT<CubicSpline>;
+using MomentumEnergyKernel = MomentumEnergyKernelT<CubicSpline>;
+
+}  // namespace crkhacc::sph

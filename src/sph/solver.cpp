@@ -1,0 +1,155 @@
+#include "sph/solver.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "sph/eos.h"
+#include "util/timer.h"
+
+namespace crkhacc::sph {
+
+double SphSolver::interaction_radius(const Particles& particles,
+                                     const tree::ChainingMesh& gas_mesh) {
+  float max_h = 0.0f;
+  for (std::uint32_t i : gas_mesh.permutation()) {
+    max_h = std::max(max_h, particles.hsml[i]);
+  }
+  return CubicSpline::kSupport * max_h;
+}
+
+void SphSolver::compute_forces(
+    Particles& particles, const tree::ChainingMesh& gas_mesh, double a,
+    const std::uint8_t* active, gpu::FlopRegistry& flops,
+    const std::vector<std::pair<std::uint32_t, std::uint32_t>>* pairs_in) {
+  if (config_.kernel == KernelShape::kWendlandC4) {
+    compute_forces_impl<WendlandC4>(particles, gas_mesh, a, active, flops,
+                                    pairs_in);
+  } else {
+    compute_forces_impl<CubicSpline>(particles, gas_mesh, a, active, flops,
+                                     pairs_in);
+  }
+}
+
+template <typename Shape>
+void SphSolver::compute_forces_impl(
+    Particles& particles, const tree::ChainingMesh& gas_mesh, double a,
+    const std::uint8_t* active, gpu::FlopRegistry& flops,
+    const std::vector<std::pair<std::uint32_t, std::uint32_t>>* pairs_in) {
+  const std::size_t n = particles.size();
+  scratch_.resize(n);
+  last_stats_.clear();
+  if (gas_mesh.num_particles() == 0) return;
+
+  std::vector<std::pair<std::uint32_t, std::uint32_t>> own_pairs;
+  if (!pairs_in) {
+    own_pairs =
+        gas_mesh.interaction_pairs(interaction_radius(particles, gas_mesh));
+    pairs_in = &own_pairs;
+  }
+  const auto& pairs = *pairs_in;
+
+  const auto& perm = gas_mesh.permutation();
+
+  // Pass 1: density + neighbor counts. Stores are accumulating, so zero
+  // the active targets first, then add the self-contribution once.
+  {
+    for (std::uint32_t i : perm) {
+      if (active && !active[i]) continue;
+      particles.rho[i] = 0.0f;
+    }
+    DensityKernelT<Shape> kernel(particles, scratch_, active);
+    const auto stats = gpu::launch_pair_kernel(
+        kernel, gas_mesh, pairs, config_.warp_size, config_.mode);
+    for (std::uint32_t i : perm) {
+      if (active && !active[i]) continue;
+      particles.rho[i] +=
+          particles.mass[i] * Shape::w(0.0f, particles.hsml[i]);
+    }
+    last_stats_[DensityKernelT<Shape>::kName] = stats;
+    flops.add(DensityKernelT<Shape>::kName, stats.flops, stats.seconds);
+  }
+
+  // EOS and volumes for every gas particle (ghosts and inactive included:
+  // they serve as neighbors below).
+  {
+    Stopwatch watch;
+    for (std::uint32_t i : perm) {
+      const float rho = std::max(particles.rho[i], 1e-20f);
+      scratch_.volume[i] = particles.mass[i] / rho;
+      scratch_.press[i] = pressure(rho, particles.u[i]);
+      scratch_.cs[i] = sound_speed(particles.u[i]);
+    }
+    // ~10 flops per particle (division, products, sqrt).
+    flops.add("sph_eos", 10.0 * static_cast<double>(perm.size()),
+              watch.seconds());
+  }
+
+  // Pass 2: CRK moments + per-particle coefficient solve. Moments were
+  // zeroed by scratch resize; the self term only touches m0.
+  if (config_.use_crk) {
+    CrkMomentKernelT<Shape> kernel(particles, scratch_, active);
+    const auto stats = gpu::launch_pair_kernel(
+        kernel, gas_mesh, pairs, config_.warp_size, config_.mode);
+    last_stats_[CrkMomentKernelT<Shape>::kName] = stats;
+    flops.add(CrkMomentKernelT<Shape>::kName, stats.flops, stats.seconds);
+
+    Stopwatch watch;
+    for (std::uint32_t i : perm) {
+      if (active && !active[i]) continue;
+      scratch_.moments[i].m0 +=
+          scratch_.volume[i] * Shape::w(0.0f, particles.hsml[i]);
+    }
+    for (std::uint32_t i : perm) {
+      const auto coeff = solve_crk(scratch_.moments[i]);
+      scratch_.crk_a[i] = coeff.a;
+      scratch_.crk_b[i] = coeff.b;
+    }
+    flops.add("crk_coeff_solve",
+              kSolveFlops * static_cast<double>(perm.size()), watch.seconds());
+  }
+
+  // Pass 3: corrected momentum + energy (accumulates into ax/ay/az/du).
+  {
+    MomentumEnergyKernelT<Shape> kernel(particles, scratch_, active,
+                                        config_.viscosity,
+                                        static_cast<float>(1.0 / a));
+    const auto stats = gpu::launch_pair_kernel(
+        kernel, gas_mesh, pairs, config_.warp_size, config_.mode);
+    last_stats_[MomentumEnergyKernelT<Shape>::kName] = stats;
+    flops.add(MomentumEnergyKernelT<Shape>::kName, stats.flops,
+              stats.seconds);
+  }
+}
+
+void SphSolver::update_smoothing_lengths(Particles& particles,
+                                         const std::uint8_t* active) const {
+  const std::size_t n = particles.size();
+  for (std::size_t i = 0; i < n; ++i) {
+    if (!particles.is_gas(i)) continue;
+    if (active && !active[i]) continue;
+    const float rho = std::max(particles.rho[i], 1e-20f);
+    const float target =
+        config_.eta * std::cbrt(particles.mass[i] / rho);
+    const float lo = particles.hsml[i] / config_.h_change_limit;
+    const float hi = particles.hsml[i] * config_.h_change_limit;
+    particles.hsml[i] = std::min(std::clamp(target, lo, hi), config_.h_max);
+  }
+}
+
+double SphSolver::min_timestep(const Particles& particles,
+                               const std::uint8_t* active, double a,
+                               double fallback) const {
+  double dt = fallback;
+  const std::size_t n = particles.size();
+  for (std::size_t i = 0; i < n; ++i) {
+    if (!particles.is_gas(i)) continue;
+    if (active && !active[i]) continue;
+    const float vsig = std::max(scratch_.vsig[i], scratch_.cs[i]);
+    if (vsig <= 0.0f) continue;
+    dt = std::min(dt, static_cast<double>(config_.cfl) * a *
+                          particles.hsml[i] / vsig);
+  }
+  return dt;
+}
+
+}  // namespace crkhacc::sph

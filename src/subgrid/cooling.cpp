@@ -1,0 +1,130 @@
+#include "subgrid/cooling.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "cosmology/units.h"
+#include "util/assertions.h"
+
+namespace crkhacc::subgrid {
+namespace {
+
+// Unit conversions (code units: Mpc/h, km/s, 1e10 Msun/h).
+constexpr double kMsun_g = 1.989e33;
+constexpr double kMpc_cm = 3.0857e24;
+constexpr double kProtonMass_g = 1.6726e-24;
+constexpr double kSolarMetallicity = 0.02;
+
+}  // namespace
+
+double rho_code_to_cgs(double rho_code, double h) {
+  return rho_code * h * h * 1e10 * kMsun_g / (kMpc_cm * kMpc_cm * kMpc_cm);
+}
+
+double n_hydrogen_cgs(double rho_proper_code, double h, double x_hydrogen) {
+  return x_hydrogen * rho_code_to_cgs(rho_proper_code, h) / kProtonMass_g;
+}
+
+double erg_to_code_energy(double erg, double h) {
+  // Code energy unit: (1e10 Msun / h) * (km/s)^2 = 1.989e53 / h erg.
+  return erg * h / (1e10 * kMsun_g * 1e10);
+}
+
+CoolingTable::CoolingTable(const CoolingConfig& config) : config_(config) {
+  primordial_.resize(kBins);
+  metal_.resize(kBins);
+  for (int i = 0; i < kBins; ++i) {
+    const double log_t = kLogTMin + (kLogTMax - kLogTMin) * i / (kBins - 1);
+    const double t = std::pow(10.0, log_t);
+    primordial_[i] = lambda_primordial(t);
+    // Metal-line bump centered at log T ~ 5.4 (O, C, Ne, Fe lines), in
+    // erg cm^3/s at solar metallicity; exceeds the primordial curve
+    // there, as in tabulated cooling functions.
+    const double bump = (t > 1e4) ? 1.0e-21 * std::exp(-0.5 * std::pow(
+                                                 (log_t - 5.4) / 0.7, 2.0))
+                                  : 0.0;
+    // Plus high-T metal brems enhancement, mild.
+    const double high_t = (t > 1e6) ? 2.0e-27 * std::sqrt(t) * 0.3 : 0.0;
+    metal_[i] = bump + high_t;
+  }
+}
+
+double CoolingTable::lambda_primordial(double t) const {
+  if (t < 1.0e4) return 0.0;  // neutral below 1e4 K
+  // Approximate CIE neutral fraction: collisional ionization wipes out
+  // H I above ~2e4 K, which is what shuts line cooling off at high T and
+  // produces the characteristic dip near 1e7 K before bremsstrahlung
+  // takes over.
+  const double neutral_fraction = 1.0 / (1.0 + std::pow(t / 1.5e4, 2.5));
+  // Collisional excitation of H (Ly-alpha): sharp turn-on above 1e4 K.
+  const double line = 7.5e-19 * std::exp(-118348.0 / t) * neutral_fraction /
+                      (1.0 + std::sqrt(t / 1.0e5));
+  // He contribution, shifted peak.
+  const double he_line = 5.5e-19 * std::exp(-473638.0 / t) *
+                         neutral_fraction /
+                         (1.0 + std::sqrt(t / 1.0e5)) * 0.25;
+  // Free-free.
+  const double brems = 2.3e-27 * std::sqrt(t);
+  return line + he_line + brems;
+}
+
+double CoolingTable::lambda(double temperature_K, double metallicity) const {
+  if (temperature_K <= 0.0) return 0.0;
+  const double log_t = std::log10(temperature_K);
+  const double pos = (log_t - kLogTMin) / (kLogTMax - kLogTMin) * (kBins - 1);
+  if (pos <= 0.0) return 0.0;
+  const int lo = std::min(static_cast<int>(pos), kBins - 2);
+  const double frac = std::min(pos - lo, 1.0);
+  const double prim = primordial_[lo] * (1.0 - frac) + primordial_[lo + 1] * frac;
+  const double met = metal_[lo] * (1.0 - frac) + metal_[lo + 1] * frac;
+  return prim + met * (metallicity / kSolarMetallicity);
+}
+
+double CoolingTable::floor_K(double a) const {
+  const double z = 1.0 / a - 1.0;
+  if (z <= config_.z_reion) return config_.t_floor_K;
+  // Pre-reionization adiabatic IGM floor ~ (1+z)^2 scaled from ~170 K at
+  // z = 9 (decoupling-era residual heat).
+  return 170.0 * std::pow((1.0 + z) / 10.0, 2.0);
+}
+
+double CoolingTable::cooling_time(double rho_com, double u, double metallicity,
+                                  double a) const {
+  if (!config_.enabled || u <= 0.0 || rho_com <= 0.0) {
+    return std::numeric_limits<double>::infinity();
+  }
+  const double t_K = units::temperature_K(u, units::kMuIonized);
+  const double lam = lambda(t_K, metallicity);
+  if (lam <= 0.0) return std::numeric_limits<double>::infinity();
+  const double rho_cgs = rho_code_to_cgs(rho_com / (a * a * a), config_.h);
+  const double n_h = config_.x_hydrogen * rho_cgs / kProtonMass_g;
+  // du/dt [erg/g/s] = Lambda n_H^2 / rho.
+  const double dudt_cgs = lam * n_h * n_h / rho_cgs;
+  const double u_cgs = u * 1.0e10;  // (km/s)^2 -> erg/g
+  const double t_cool_s = u_cgs / dudt_cgs;
+  // seconds -> code time (Mpc/h / km/s).
+  return t_cool_s / (units::kMpcOverKmS_seconds / config_.h);
+}
+
+double CoolingTable::cool(double u, double rho_com, double metallicity,
+                          double a, double dt) const {
+  if (!config_.enabled) return std::max(u, 0.0);
+  const double u_floor =
+      units::internal_energy(floor_K(a), units::kMuIonized);
+  if (u < u_floor) {
+    // UV-background photoheating: relax up toward the floor on the
+    // heating timescale (~1e-4 code time units ~ 100 Myr).
+    constexpr double kUvHeatingTime = 1e-4;
+    return u_floor + (u - u_floor) * std::exp(-dt / kUvHeatingTime);
+  }
+  const double t_cool = cooling_time(rho_com, u, metallicity, a);
+  if (!std::isfinite(t_cool) || t_cool <= 0.0) {
+    return std::max(u, 0.0);  // nothing to radiate
+  }
+  // Stable exponential decay toward the floor.
+  const double decay = std::exp(-dt / t_cool);
+  return u_floor + (u - u_floor) * decay;
+}
+
+}  // namespace crkhacc::subgrid

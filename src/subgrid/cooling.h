@@ -1,0 +1,70 @@
+// Radiative + metal-line cooling with a UV-background temperature floor.
+//
+// CRK-HACC tabulates cooling/heating rates; we do the same, building the
+// table at construction from analytic fits: collisional H/He line cooling
+// peaking near 1e5 K, free-free (bremsstrahlung) growing as sqrt(T) at
+// high temperature, and a metallicity-scaled metal-line bump. The table
+// is log-interpolated at runtime like any tabulated-rate code.
+//
+// The cooling update is operator-split and uses a stable exponential
+// form, so arbitrarily short cooling times cannot overshoot the floor.
+#pragma once
+
+#include <vector>
+
+namespace crkhacc::subgrid {
+
+/// rho (code units, proper) -> g/cm^3.
+double rho_code_to_cgs(double rho_code, double h);
+
+/// Proper hydrogen number density [1/cm^3] from proper code density.
+double n_hydrogen_cgs(double rho_proper_code, double h, double x_hydrogen);
+
+/// erg -> code energy (1e10 Msun/h * (km/s)^2).
+double erg_to_code_energy(double erg, double h);
+
+struct CoolingConfig {
+  double h = 0.6766;           ///< Hubble parameter (unit conversions)
+  double x_hydrogen = 0.76;    ///< hydrogen mass fraction
+  double t_floor_K = 1.0e4;    ///< UV-background temperature floor (z < z_reion)
+  double z_reion = 8.0;        ///< reionization redshift
+  bool enabled = true;
+};
+
+class CoolingTable {
+ public:
+  explicit CoolingTable(const CoolingConfig& config);
+
+  /// Net cooling function Lambda(T, Z) in erg cm^3 / s (>= 0; the UV
+  /// floor handles heating).
+  double lambda(double temperature_K, double metallicity) const;
+
+  /// Cooling time in code time units for gas with comoving density
+  /// `rho_com` (code units), specific energy `u` (code units), metal
+  /// fraction Z at scale factor a. Returns +inf above any cooling.
+  double cooling_time(double rho_com, double u, double metallicity,
+                      double a) const;
+
+  /// Apply one cooling step of dt (code time) to specific energy u;
+  /// returns the new u (never below the floor at this redshift).
+  double cool(double u, double rho_com, double metallicity, double a,
+              double dt) const;
+
+  /// Temperature floor (K) at scale factor a.
+  double floor_K(double a) const;
+
+  const CoolingConfig& config() const { return config_; }
+
+ private:
+  double lambda_primordial(double t) const;
+
+  CoolingConfig config_;
+  // log10(T) from 3.0 to 9.0.
+  static constexpr int kBins = 240;
+  static constexpr double kLogTMin = 3.0;
+  static constexpr double kLogTMax = 9.0;
+  std::vector<double> primordial_;  ///< Lambda_H,He(T)
+  std::vector<double> metal_;       ///< Lambda_metal(T) at solar Z
+};
+
+}  // namespace crkhacc::subgrid

@@ -1,0 +1,135 @@
+// Subgrid astrophysics: star formation, supernova feedback with chemical
+// enrichment, black-hole seeding and AGN thermal feedback.
+//
+// These are the source terms that force the adaptive sub-cycling in
+// CRK-HACC: they act in dense regions on timescales far below the global
+// PM step and inject large amounts of energy. The implementations follow
+// the standard forms used by cosmological codes:
+//
+//  * Star formation — gas above a proper hydrogen-density threshold and
+//    below a temperature ceiling converts stochastically on the local
+//    dynamical time (Schmidt law with efficiency eps_sf). Conversion
+//    flips the particle's species to kStar, conserving mass and count.
+//  * SN feedback — each formed star returns e_sn erg per formed solar
+//    mass as thermal energy and a metal yield, shared kernel-weighted
+//    over gas within the injection radius.
+//  * AGN — gas denser than a (much higher) seed threshold with no black
+//    hole nearby becomes a BH seed; BHs accrete Bondi-like (capped at
+//    Eddington-like fraction of their mass per dynamical time) and return
+//    eps_f * eps_r * mdot c^2 as thermal energy to neighboring gas.
+//
+// All stochastic draws are counter-based on (particle id, step), so any
+// rank evaluating the same particle in the same step — including ghost
+// replicas — makes the identical decision. That property is what keeps
+// the overloaded decomposition consistent without communication.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "core/particles.h"
+#include "cosmology/background.h"
+#include "subgrid/cooling.h"
+#include "tree/chaining_mesh.h"
+
+namespace crkhacc::subgrid {
+
+struct StarFormationParams {
+  double n_h_threshold = 0.13;   ///< proper hydrogen density [1/cm^3]
+  double t_max_K = 1.0e5;        ///< no SF in hotter gas
+  double efficiency = 0.05;      ///< eps_sf per dynamical time
+  /// Comoving overdensity gate rho / rho_mean_gas (the standard second
+  /// criterion: the early universe is denser than today's galaxies, so a
+  /// physical threshold alone would convert the whole high-z box).
+  double min_overdensity = 57.7;
+  bool enabled = true;
+};
+
+struct SupernovaParams {
+  double e_sn_per_msun = 1.0e49;  ///< erg per Msun of stars formed
+  double metal_yield = 0.02;      ///< metal mass fraction returned
+  bool enabled = true;
+};
+
+struct AgnParams {
+  double seed_n_h = 10.0;         ///< seeding density threshold [1/cm^3]
+  double seed_exclusion = 0.5;    ///< no second BH within this radius (code)
+  double accretion_alpha = 0.1;   ///< Bondi normalization
+  double max_fraction = 0.1;      ///< mdot cap: fraction of M_bh / t_dyn
+  double eps_f_eps_r = 0.005;     ///< coupled feedback efficiency
+  bool enabled = true;
+};
+
+struct SubgridConfig {
+  CoolingConfig cooling;
+  StarFormationParams star_formation;
+  SupernovaParams supernova;
+  AgnParams agn;
+  double injection_radius = 0.25;  ///< feedback smoothing radius (code)
+  std::uint64_t seed = 1234;       ///< stochastic stream seed
+  /// Mean comoving gas density (code units) for the overdensity gates;
+  /// 0 disables them (set by the simulation driver from the cosmology).
+  double mean_gas_density = 0.0;
+};
+
+struct SubgridStats {
+  std::int64_t stars_formed = 0;
+  std::int64_t bh_seeded = 0;
+  std::int64_t sn_events = 0;
+  std::int64_t agn_events = 0;
+  double energy_injected = 0.0;  ///< code units (mass * (km/s)^2)
+  double mass_in_stars = 0.0;
+  double metals_produced = 0.0;
+
+  SubgridStats& operator+=(const SubgridStats& o) {
+    stars_formed += o.stars_formed;
+    bh_seeded += o.bh_seeded;
+    sn_events += o.sn_events;
+    agn_events += o.agn_events;
+    energy_injected += o.energy_injected;
+    mass_in_stars += o.mass_in_stars;
+    metals_produced += o.metals_produced;
+    return *this;
+  }
+};
+
+class SubgridModel {
+ public:
+  explicit SubgridModel(const SubgridConfig& config);
+
+  const SubgridConfig& config() const { return config_; }
+  const CoolingTable& cooling() const { return cooling_; }
+
+  /// Apply one operator-split subgrid step at scale factor a. `dt` gives
+  /// each particle's elapsed interval (code time) — under hierarchical
+  /// stepping, a particle active at this substep advances by its own bin
+  /// length. Only active particles change state; ghost replicas make
+  /// identical stochastic choices because draws are keyed on particle id.
+  /// `gas_mesh` serves the feedback neighbor queries. `step` indexes the
+  /// stochastic stream (global substep counter).
+  SubgridStats apply(Particles& particles, const tree::ChainingMesh& gas_mesh,
+                     const cosmo::Background& bg, double a,
+                     std::span<const double> dt,
+                     const std::uint8_t* active, std::uint64_t step);
+
+  /// Shortest source timescale for active gas (used by the timestep
+  /// controller): min(dynamical time) over star-forming candidates.
+  double min_source_timescale(const Particles& particles,
+                              const cosmo::Background& bg, double a,
+                              const std::uint8_t* active) const;
+
+ private:
+  /// Proper hydrogen number density [1/cm^3] of particle i.
+  double n_h_of(const Particles& particles, std::size_t i, double a) const;
+  /// Local dynamical time [code units] at proper density rho (code).
+  double dynamical_time(double rho_proper) const;
+
+  void inject_thermal(Particles& particles, const tree::ChainingMesh& gas_mesh,
+                      float x, float y, float z, double energy, double metals,
+                      SubgridStats& stats);
+
+  SubgridConfig config_;
+  CoolingTable cooling_;
+};
+
+}  // namespace crkhacc::subgrid

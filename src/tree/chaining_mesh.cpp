@@ -1,0 +1,197 @@
+#include "tree/chaining_mesh.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "util/assertions.h"
+
+namespace crkhacc::tree {
+
+ChainingMesh::ChainingMesh(const comm::Box3& domain,
+                           const ChainingMeshConfig& config)
+    : domain_(domain), config_(config) {
+  CHECK(config.bin_width > 0.0);
+  CHECK(config.leaf_size >= 4);
+  for (int d = 0; d < 3; ++d) {
+    const double extent = domain.hi[d] - domain.lo[d];
+    CHECK(extent > 0.0);
+    dims_[d] = std::max(1, static_cast<int>(extent / config.bin_width));
+    width_[d] = extent / dims_[d];
+  }
+}
+
+std::size_t ChainingMesh::bin_of_position(float x, float y, float z) const {
+  const double p[3] = {static_cast<double>(x), static_cast<double>(y),
+                       static_cast<double>(z)};
+  int c[3];
+  for (int d = 0; d < 3; ++d) {
+    // Particles may drift slightly outside the overloaded box between the
+    // build and refresh; clamp them into the edge bins.
+    const int raw = static_cast<int>((p[d] - domain_.lo[d]) / width_[d]);
+    c[d] = std::clamp(raw, 0, dims_[d] - 1);
+  }
+  return (static_cast<std::size_t>(c[2]) * dims_[1] + c[1]) * dims_[0] + c[0];
+}
+
+void ChainingMesh::build(const Particles& particles) {
+  std::vector<std::uint32_t> all(particles.size());
+  for (std::size_t i = 0; i < all.size(); ++i) {
+    all[i] = static_cast<std::uint32_t>(i);
+  }
+  build(particles, all);
+}
+
+void ChainingMesh::build(const Particles& particles,
+                         std::span<const std::uint32_t> subset) {
+  const std::size_t n = subset.size();
+  const std::size_t nbins = static_cast<std::size_t>(dims_[0]) * dims_[1] * dims_[2];
+
+  // Counting sort of the subset into bins.
+  std::vector<std::uint32_t> bin_count(nbins, 0);
+  std::vector<std::uint32_t> bin_index(n);
+  for (std::size_t s = 0; s < n; ++s) {
+    const std::uint32_t i = subset[s];
+    const std::size_t b = bin_of_position(particles.x[i], particles.y[i],
+                                          particles.z[i]);
+    bin_index[s] = static_cast<std::uint32_t>(b);
+    ++bin_count[b];
+  }
+  std::vector<std::uint32_t> bin_begin(nbins + 1, 0);
+  for (std::size_t b = 0; b < nbins; ++b) {
+    bin_begin[b + 1] = bin_begin[b] + bin_count[b];
+  }
+  perm_.assign(n, 0);
+  {
+    std::vector<std::uint32_t> cursor(bin_begin.begin(), bin_begin.end() - 1);
+    for (std::size_t s = 0; s < n; ++s) {
+      perm_[cursor[bin_index[s]]++] = subset[s];
+    }
+  }
+
+  // Per-bin k-d subdivision into coarse leaves.
+  leaves_.clear();
+  leaf_bin_.clear();
+  bin_leaf_begin_.assign(nbins + 1, 0);
+  for (std::size_t b = 0; b < nbins; ++b) {
+    bin_leaf_begin_[b] = static_cast<std::uint32_t>(leaves_.size());
+    if (bin_count[b] > 0) {
+      split_leaf(particles, bin_begin[b], bin_begin[b + 1]);
+    }
+    for (std::size_t l = bin_leaf_begin_[b]; l < leaves_.size(); ++l) {
+      leaf_bin_.push_back(static_cast<std::uint32_t>(b));
+    }
+  }
+  bin_leaf_begin_[nbins] = static_cast<std::uint32_t>(leaves_.size());
+  refit_bounds(particles);
+}
+
+void ChainingMesh::split_leaf(const Particles& particles, std::uint32_t begin,
+                              std::uint32_t end) {
+  if (end - begin <= config_.leaf_size) {
+    leaves_.push_back(Leaf{begin, end, {}, {}});
+    return;
+  }
+  // Widest axis of the range's AABB.
+  float lo[3], hi[3];
+  for (int d = 0; d < 3; ++d) {
+    lo[d] = std::numeric_limits<float>::max();
+    hi[d] = std::numeric_limits<float>::lowest();
+  }
+  for (std::uint32_t s = begin; s < end; ++s) {
+    const std::uint32_t i = perm_[s];
+    const float p[3] = {particles.x[i], particles.y[i], particles.z[i]};
+    for (int d = 0; d < 3; ++d) {
+      lo[d] = std::min(lo[d], p[d]);
+      hi[d] = std::max(hi[d], p[d]);
+    }
+  }
+  int axis = 0;
+  for (int d = 1; d < 3; ++d) {
+    if (hi[d] - lo[d] > hi[axis] - lo[axis]) axis = d;
+  }
+  const float* coord = (axis == 0)   ? particles.x.data()
+                       : (axis == 1) ? particles.y.data()
+                                     : particles.z.data();
+  const std::uint32_t mid = begin + (end - begin) / 2;
+  std::nth_element(perm_.begin() + begin, perm_.begin() + mid,
+                   perm_.begin() + end,
+                   [coord](std::uint32_t a, std::uint32_t b) {
+                     return coord[a] < coord[b];
+                   });
+  split_leaf(particles, begin, mid);
+  split_leaf(particles, mid, end);
+}
+
+void ChainingMesh::fit_leaf(const Particles& particles, Leaf& leaf) const {
+  for (int d = 0; d < 3; ++d) {
+    leaf.lo[d] = std::numeric_limits<float>::max();
+    leaf.hi[d] = std::numeric_limits<float>::lowest();
+  }
+  for (std::uint32_t s = leaf.begin; s < leaf.end; ++s) {
+    const std::uint32_t i = perm_[s];
+    const float p[3] = {particles.x[i], particles.y[i], particles.z[i]};
+    for (int d = 0; d < 3; ++d) {
+      leaf.lo[d] = std::min(leaf.lo[d], p[d]);
+      leaf.hi[d] = std::max(leaf.hi[d], p[d]);
+    }
+  }
+}
+
+void ChainingMesh::refit_bounds(const Particles& particles) {
+  for (auto& leaf : leaves_) fit_leaf(particles, leaf);
+}
+
+double ChainingMesh::aabb_distance_sq(const Leaf& a, const Leaf& b) {
+  double d2 = 0.0;
+  for (int d = 0; d < 3; ++d) {
+    const double gap = std::max(
+        {0.0, static_cast<double>(a.lo[d]) - b.hi[d],
+         static_cast<double>(b.lo[d]) - a.hi[d]});
+    d2 += gap * gap;
+  }
+  return d2;
+}
+
+std::vector<std::uint32_t> ChainingMesh::neighbor_leaves(std::size_t l,
+                                                         double radius) const {
+  const Leaf& me = leaves_[l];
+  const std::uint32_t bin = leaf_bin_[l];
+  const int bx = static_cast<int>(bin % static_cast<std::uint32_t>(dims_[0]));
+  const int by = static_cast<int>((bin / dims_[0]) % static_cast<std::uint32_t>(dims_[1]));
+  const int bz = static_cast<int>(bin / (static_cast<std::uint32_t>(dims_[0]) * dims_[1]));
+  const double r2 = radius * radius;
+  std::vector<std::uint32_t> out;
+  for (int dz = -1; dz <= 1; ++dz) {
+    const int cz = bz + dz;
+    if (cz < 0 || cz >= dims_[2]) continue;
+    for (int dy = -1; dy <= 1; ++dy) {
+      const int cy = by + dy;
+      if (cy < 0 || cy >= dims_[1]) continue;
+      for (int dx = -1; dx <= 1; ++dx) {
+        const int cx = bx + dx;
+        if (cx < 0 || cx >= dims_[0]) continue;
+        const std::size_t nb =
+            (static_cast<std::size_t>(cz) * dims_[1] + cy) * dims_[0] + cx;
+        for (std::uint32_t m = bin_leaf_begin_[nb]; m < bin_leaf_begin_[nb + 1];
+             ++m) {
+          if (aabb_distance_sq(me, leaves_[m]) <= r2) out.push_back(m);
+        }
+      }
+    }
+  }
+  return out;
+}
+
+std::vector<std::pair<std::uint32_t, std::uint32_t>>
+ChainingMesh::interaction_pairs(double radius) const {
+  std::vector<std::pair<std::uint32_t, std::uint32_t>> pairs;
+  for (std::size_t l = 0; l < leaves_.size(); ++l) {
+    for (std::uint32_t m : neighbor_leaves(l, radius)) {
+      if (m >= l) pairs.emplace_back(static_cast<std::uint32_t>(l), m);
+    }
+  }
+  return pairs;
+}
+
+}  // namespace crkhacc::tree

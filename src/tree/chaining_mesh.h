@@ -1,0 +1,163 @@
+// Chaining mesh + per-bin k-d trees with coarse, growable leaves.
+//
+// The GPU tree solver of the paper (Section IV-B1): the rank's overloaded
+// domain is divided into fixed chaining-mesh (CM) bins at least one
+// short-range cutoff wide, so all forces act within a bin and its 26
+// neighbors. Each bin holds a small k-d tree subdividing its particles
+// into base leaves of O(100) particles — much coarser than CPU trees.
+// Only the leaves are kept; no internal hierarchy is stored. The
+// partition is built ONCE per global PM step; as particles drift during
+// sub-cycling, leaf bounding boxes are re-fit (they grow), avoiding
+// repartitioning at the cost of extra neighbor overlap. refit_bounds() is
+// a linear pass and is far cheaper than the force kernels it feeds.
+#pragma once
+
+#include <algorithm>
+#include <array>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "comm/decomposition.h"
+#include "core/particles.h"
+
+namespace crkhacc::tree {
+
+struct Leaf {
+  std::uint32_t begin = 0;  ///< range [begin, end) in the permutation array
+  std::uint32_t end = 0;
+  std::array<float, 3> lo{0.f, 0.f, 0.f};  ///< fitted AABB
+  std::array<float, 3> hi{0.f, 0.f, 0.f};
+
+  std::uint32_t size() const { return end - begin; }
+};
+
+struct ChainingMeshConfig {
+  double bin_width = 1.0;       ///< minimum CM bin width (>= force cutoff)
+  std::uint32_t leaf_size = 64; ///< max particles per base leaf
+};
+
+class ChainingMesh {
+ public:
+  /// Bins cover `domain` (the rank's overloaded box). Actual bin widths
+  /// are >= config.bin_width (the domain is divided evenly).
+  ChainingMesh(const comm::Box3& domain, const ChainingMeshConfig& config);
+
+  /// Full build: bin particles, build per-bin k-d leaves, fit AABBs.
+  /// Called once per PM step.
+  void build(const Particles& particles);
+
+  /// Build over a subset of particle indices (e.g. gas only, matching
+  /// the species-separated trees of the hydro solver). The permutation
+  /// array then holds indices drawn from `subset`.
+  void build(const Particles& particles,
+             std::span<const std::uint32_t> subset);
+
+  /// Re-fit all leaf AABBs to current particle positions (called per
+  /// sub-cycle; leaves keep their membership).
+  void refit_bounds(const Particles& particles);
+
+  std::size_t num_leaves() const { return leaves_.size(); }
+  const Leaf& leaf(std::size_t l) const { return leaves_[l]; }
+
+  /// Particle indices of leaf l, in permutation order.
+  const std::uint32_t* leaf_particles(std::size_t l) const {
+    return perm_.data() + leaves_[l].begin;
+  }
+
+  /// Permutation array: particle index at sorted slot s.
+  const std::vector<std::uint32_t>& permutation() const { return perm_; }
+
+  /// Leaves in the bin of leaf l and its 26 neighbor bins whose AABBs
+  /// come within `radius` of leaf l's AABB (includes l itself).
+  std::vector<std::uint32_t> neighbor_leaves(std::size_t l, double radius) const;
+
+  /// All (i <= j) interacting leaf pairs within `radius`, for kernels that
+  /// process symmetric pair lists.
+  std::vector<std::pair<std::uint32_t, std::uint32_t>> interaction_pairs(
+      double radius) const;
+
+  const std::array<int, 3>& dims() const { return dims_; }
+  std::size_t num_bins() const { return bin_leaf_begin_.size() - 1; }
+
+  /// Smallest bin width (radius limit for for_each_in_radius).
+  double min_bin_width() const {
+    return *std::min_element(width_.begin(), width_.end());
+  }
+
+  /// Total particles assigned at build time.
+  std::size_t num_particles() const { return perm_.size(); }
+
+  /// AABB-to-AABB minimum squared distance (public for tests).
+  static double aabb_distance_sq(const Leaf& a, const Leaf& b);
+
+  /// Visit every indexed particle within `radius` of (x, y, z):
+  /// visit(particle_index, distance_sq). Point queries are served from the
+  /// bin of the position and its 26 neighbors, so radius must not exceed
+  /// the bin width (checked). Used by feedback injection and tests.
+  template <typename Visitor>
+  void for_each_in_radius(const Particles& particles, float x, float y,
+                          float z, float radius, Visitor&& visit) const {
+    HACC_ASSERT(radius <= *std::min_element(width_.begin(), width_.end()));
+    const float r2 = radius * radius;
+    const std::size_t bin = bin_of_position(x, y, z);
+    const int bx = static_cast<int>(bin % static_cast<std::size_t>(dims_[0]));
+    const int by = static_cast<int>((bin / dims_[0]) % static_cast<std::size_t>(dims_[1]));
+    const int bz = static_cast<int>(bin / (static_cast<std::size_t>(dims_[0]) * dims_[1]));
+    for (int dz = -1; dz <= 1; ++dz) {
+      const int cz = bz + dz;
+      if (cz < 0 || cz >= dims_[2]) continue;
+      for (int dy = -1; dy <= 1; ++dy) {
+        const int cy = by + dy;
+        if (cy < 0 || cy >= dims_[1]) continue;
+        for (int dx = -1; dx <= 1; ++dx) {
+          const int cx = bx + dx;
+          if (cx < 0 || cx >= dims_[0]) continue;
+          const std::size_t nb =
+              (static_cast<std::size_t>(cz) * dims_[1] + cy) * dims_[0] + cx;
+          for (std::uint32_t l = bin_leaf_begin_[nb]; l < bin_leaf_begin_[nb + 1];
+               ++l) {
+            const Leaf& leaf = leaves_[l];
+            // Quick AABB-point rejection.
+            float gap2 = 0.f;
+            const float q[3] = {x, y, z};
+            for (int d = 0; d < 3; ++d) {
+              const float g =
+                  std::max({0.f, leaf.lo[d] - q[d], q[d] - leaf.hi[d]});
+              gap2 += g * g;
+            }
+            if (gap2 > r2) continue;
+            for (std::uint32_t s = leaf.begin; s < leaf.end; ++s) {
+              const std::uint32_t i = perm_[s];
+              const float ddx = particles.x[i] - x;
+              const float ddy = particles.y[i] - y;
+              const float ddz = particles.z[i] - z;
+              const float d2 = ddx * ddx + ddy * ddy + ddz * ddz;
+              if (d2 <= r2) visit(i, d2);
+            }
+          }
+        }
+      }
+    }
+  }
+
+ private:
+  std::size_t bin_of_position(float x, float y, float z) const;
+  void split_leaf(const Particles& particles, std::uint32_t begin,
+                  std::uint32_t end);
+  void fit_leaf(const Particles& particles, Leaf& leaf) const;
+
+  comm::Box3 domain_;
+  ChainingMeshConfig config_;
+  std::array<int, 3> dims_{1, 1, 1};
+  std::array<double, 3> width_{1.0, 1.0, 1.0};
+
+  std::vector<std::uint32_t> perm_;
+  std::vector<Leaf> leaves_;
+  /// leaves of bin b are [bin_leaf_begin_[b], bin_leaf_begin_[b+1]).
+  std::vector<std::uint32_t> bin_leaf_begin_;
+  /// bin index of each leaf.
+  std::vector<std::uint32_t> leaf_bin_;
+};
+
+}  // namespace crkhacc::tree

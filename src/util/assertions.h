@@ -1,0 +1,38 @@
+// Assertion macros for invariant checking.
+//
+// CHECK(cond) is always on (release included): invariants that guard
+// memory safety or data integrity. HACC_ASSERT(cond) compiles out in
+// NDEBUG builds: hot-path sanity checks.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace crkhacc {
+
+[[noreturn]] inline void check_failed(const char* expr, const char* file, int line) {
+  std::fprintf(stderr, "CHECK failed: %s at %s:%d\n", expr, file, line);
+  std::abort();
+}
+
+}  // namespace crkhacc
+
+#define CHECK(cond)                                        \
+  do {                                                     \
+    if (!(cond)) ::crkhacc::check_failed(#cond, __FILE__, __LINE__); \
+  } while (0)
+
+#define CHECK_MSG(cond, msg)                                             \
+  do {                                                                   \
+    if (!(cond)) {                                                       \
+      std::fprintf(stderr, "CHECK failed: %s (%s) at %s:%d\n", #cond,    \
+                   msg, __FILE__, __LINE__);                             \
+      std::abort();                                                      \
+    }                                                                    \
+  } while (0)
+
+#ifdef NDEBUG
+#define HACC_ASSERT(cond) ((void)0)
+#else
+#define HACC_ASSERT(cond) CHECK(cond)
+#endif

@@ -1,0 +1,16 @@
+// CRC32 (IEEE 802.3 polynomial) for I/O block integrity.
+//
+// The paper's GenericIO-style outputs carry per-block checksums so that
+// corrupted checkpoints are detected at restart rather than silently
+// propagating. This is the same guarantee our two-tier I/O stack provides.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace crkhacc {
+
+/// Incremental CRC32; pass the previous value to chain blocks.
+std::uint32_t crc32(const void* data, std::size_t size, std::uint32_t seed = 0);
+
+}  // namespace crkhacc

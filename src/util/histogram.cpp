@@ -1,0 +1,84 @@
+#include "util/histogram.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+#include "util/assertions.h"
+
+namespace crkhacc {
+
+Histogram::Histogram(double lo, double hi, std::size_t bins)
+    : lo_(lo), hi_(hi), counts_(bins, 0) {
+  CHECK(bins > 0);
+  CHECK(hi > lo);
+}
+
+void Histogram::add(double sample) {
+  const double t = (sample - lo_) / (hi_ - lo_);
+  auto bin = static_cast<std::ptrdiff_t>(t * static_cast<double>(counts_.size()));
+  bin = std::clamp<std::ptrdiff_t>(bin, 0,
+                                   static_cast<std::ptrdiff_t>(counts_.size()) - 1);
+  ++counts_[static_cast<std::size_t>(bin)];
+  if (count_ == 0) {
+    min_ = max_ = sample;
+  } else {
+    min_ = std::min(min_, sample);
+    max_ = std::max(max_, sample);
+  }
+  ++count_;
+  sum_ += sample;
+  sum_sq_ += sample * sample;
+}
+
+void Histogram::add_all(const std::vector<double>& samples) {
+  for (double s : samples) add(s);
+}
+
+double Histogram::mean() const { return count_ ? sum_ / static_cast<double>(count_) : 0.0; }
+
+double Histogram::stddev() const {
+  if (count_ < 2) return 0.0;
+  const double n = static_cast<double>(count_);
+  const double var = std::max(0.0, sum_sq_ / n - (sum_ / n) * (sum_ / n));
+  return std::sqrt(var);
+}
+
+double Histogram::percentile(double q) const {
+  if (count_ == 0) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  const double target = q * static_cast<double>(count_);
+  double cumulative = 0.0;
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    const double next = cumulative + static_cast<double>(counts_[i]);
+    if (next >= target) {
+      const double frac =
+          counts_[i] ? (target - cumulative) / static_cast<double>(counts_[i]) : 0.0;
+      return bin_lo(i) + frac * (bin_hi(i) - bin_lo(i));
+    }
+    cumulative = next;
+  }
+  return hi_;
+}
+
+double Histogram::bin_lo(std::size_t i) const {
+  return lo_ + (hi_ - lo_) * static_cast<double>(i) / static_cast<double>(counts_.size());
+}
+
+std::string Histogram::ascii(std::size_t width) const {
+  std::size_t peak = 1;
+  for (std::size_t c : counts_) peak = std::max(peak, c);
+  std::string out;
+  char line[160];
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    const std::size_t bar = counts_[i] * width / peak;
+    std::snprintf(line, sizeof(line), "[%8.3f,%8.3f) ", bin_lo(i), bin_hi(i));
+    out += line;
+    out.append(bar, '#');
+    std::snprintf(line, sizeof(line), "  %zu\n", counts_[i]);
+    out += line;
+  }
+  return out;
+}
+
+}  // namespace crkhacc

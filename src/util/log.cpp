@@ -1,0 +1,48 @@
+#include "util/log.h"
+
+#include <atomic>
+#include <cstdio>
+#include <mutex>
+
+namespace crkhacc::log {
+namespace {
+
+std::atomic<Level> g_level{Level::kInfo};
+std::atomic<int> g_rank{-1};
+std::mutex g_mutex;
+
+const char* level_tag(Level level) {
+  switch (level) {
+    case Level::kDebug: return "DBG";
+    case Level::kInfo: return "INF";
+    case Level::kWarn: return "WRN";
+    case Level::kError: return "ERR";
+    default: return "???";
+  }
+}
+
+}  // namespace
+
+void set_level(Level level) { g_level.store(level, std::memory_order_relaxed); }
+Level level() { return g_level.load(std::memory_order_relaxed); }
+void set_rank(int rank) { g_rank.store(rank, std::memory_order_relaxed); }
+
+void write(Level level, const char* fmt, ...) {
+  if (static_cast<int>(level) < static_cast<int>(g_level.load(std::memory_order_relaxed))) {
+    return;
+  }
+  std::lock_guard<std::mutex> lock(g_mutex);
+  const int rank = g_rank.load(std::memory_order_relaxed);
+  if (rank >= 0) {
+    std::fprintf(stderr, "[%s r%d] ", level_tag(level), rank);
+  } else {
+    std::fprintf(stderr, "[%s] ", level_tag(level));
+  }
+  va_list args;
+  va_start(args, fmt);
+  std::vfprintf(stderr, fmt, args);
+  va_end(args);
+  std::fputc('\n', stderr);
+}
+
+}  // namespace crkhacc::log

@@ -1,0 +1,29 @@
+// Minimal leveled logger.
+//
+// Rank-aware: once a simulation attaches a rank id, messages are prefixed
+// with it so interleaved multi-rank traces stay readable. Not intended to
+// be hot-path; force-inlined level check keeps disabled levels cheap.
+#pragma once
+
+#include <cstdarg>
+#include <string>
+
+namespace crkhacc::log {
+
+enum class Level { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+/// Global minimum level; messages below it are dropped.
+void set_level(Level level);
+Level level();
+
+/// Optional rank prefix for multi-rank traces (-1 disables the prefix).
+void set_rank(int rank);
+
+void write(Level level, const char* fmt, ...) __attribute__((format(printf, 2, 3)));
+
+#define HACC_LOG_DEBUG(...) ::crkhacc::log::write(::crkhacc::log::Level::kDebug, __VA_ARGS__)
+#define HACC_LOG_INFO(...) ::crkhacc::log::write(::crkhacc::log::Level::kInfo, __VA_ARGS__)
+#define HACC_LOG_WARN(...) ::crkhacc::log::write(::crkhacc::log::Level::kWarn, __VA_ARGS__)
+#define HACC_LOG_ERROR(...) ::crkhacc::log::write(::crkhacc::log::Level::kError, __VA_ARGS__)
+
+}  // namespace crkhacc::log

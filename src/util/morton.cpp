@@ -1,0 +1,53 @@
+#include "util/morton.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace crkhacc {
+namespace {
+
+/// Spread the low 21 bits of v so that there are two zero bits between
+/// each original bit (standard magic-number bit dilation).
+std::uint64_t spread_bits(std::uint64_t v) {
+  v &= 0x1fffffULL;
+  v = (v | (v << 32)) & 0x1f00000000ffffULL;
+  v = (v | (v << 16)) & 0x1f0000ff0000ffULL;
+  v = (v | (v << 8)) & 0x100f00f00f00f00fULL;
+  v = (v | (v << 4)) & 0x10c30c30c30c30c3ULL;
+  v = (v | (v << 2)) & 0x1249249249249249ULL;
+  return v;
+}
+
+std::uint32_t compact_bits(std::uint64_t v) {
+  v &= 0x1249249249249249ULL;
+  v = (v ^ (v >> 2)) & 0x10c30c30c30c30c3ULL;
+  v = (v ^ (v >> 4)) & 0x100f00f00f00f00fULL;
+  v = (v ^ (v >> 8)) & 0x1f0000ff0000ffULL;
+  v = (v ^ (v >> 16)) & 0x1f00000000ffffULL;
+  v = (v ^ (v >> 32)) & 0x1fffffULL;
+  return static_cast<std::uint32_t>(v);
+}
+
+}  // namespace
+
+std::uint64_t morton3d(std::uint32_t x, std::uint32_t y, std::uint32_t z) {
+  return spread_bits(x) | (spread_bits(y) << 1) | (spread_bits(z) << 2);
+}
+
+void morton3d_decode(std::uint64_t code, std::uint32_t& x, std::uint32_t& y,
+                     std::uint32_t& z) {
+  x = compact_bits(code);
+  y = compact_bits(code >> 1);
+  z = compact_bits(code >> 2);
+}
+
+std::uint32_t quantize21(double value, double box) {
+  constexpr std::uint32_t kMax = (1u << 21) - 1;
+  if (box <= 0.0) return 0;
+  double t = value / box;
+  t -= std::floor(t);  // periodic wrap into [0,1)
+  const auto q = static_cast<std::int64_t>(t * static_cast<double>(1u << 21));
+  return static_cast<std::uint32_t>(std::clamp<std::int64_t>(q, 0, kMax));
+}
+
+}  // namespace crkhacc

@@ -1,0 +1,41 @@
+#include "util/timer.h"
+
+#include <algorithm>
+
+namespace crkhacc {
+
+void TimerRegistry::add(const std::string& name, double seconds) {
+  timers_[name] += seconds;
+}
+
+double TimerRegistry::total(const std::string& name) const {
+  auto it = timers_.find(name);
+  return it == timers_.end() ? 0.0 : it->second;
+}
+
+double TimerRegistry::grand_total() const {
+  double sum = 0.0;
+  for (const auto& [name, seconds] : timers_) sum += seconds;
+  return sum;
+}
+
+double TimerRegistry::fraction(const std::string& name) const {
+  const double total_seconds = grand_total();
+  if (total_seconds <= 0.0) return 0.0;
+  return total(name) / total_seconds;
+}
+
+std::vector<std::pair<std::string, double>> TimerRegistry::sorted() const {
+  std::vector<std::pair<std::string, double>> out(timers_.begin(), timers_.end());
+  std::sort(out.begin(), out.end(),
+            [](const auto& a, const auto& b) { return a.second > b.second; });
+  return out;
+}
+
+void TimerRegistry::merge(const TimerRegistry& other) {
+  for (const auto& [name, seconds] : other.timers_) timers_[name] += seconds;
+}
+
+ScopedTimer::~ScopedTimer() { registry_.add(name_, watch_.seconds()); }
+
+}  // namespace crkhacc

@@ -1,0 +1,258 @@
+// Tests for the in-process message-passing substrate and the cartesian
+// domain decomposition.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+
+#include "comm/decomposition.h"
+#include "comm/world.h"
+
+namespace crkhacc::comm {
+namespace {
+
+TEST(World, SingleRankRuns) {
+  World world(1);
+  int visited = 0;
+  world.run([&](Communicator& comm) {
+    EXPECT_EQ(comm.rank(), 0);
+    EXPECT_EQ(comm.size(), 1);
+    ++visited;
+  });
+  EXPECT_EQ(visited, 1);
+}
+
+TEST(World, PointToPointDelivers) {
+  World world(2);
+  world.run([](Communicator& comm) {
+    if (comm.rank() == 0) {
+      std::vector<int> payload{1, 2, 3};
+      comm.send(1, /*tag=*/7, std::span<const int>(payload));
+    } else {
+      const auto got = comm.recv<int>(0, 7);
+      ASSERT_EQ(got.size(), 3u);
+      EXPECT_EQ(got[2], 3);
+    }
+  });
+}
+
+TEST(World, TagMatchingIsSelective) {
+  World world(2);
+  world.run([](Communicator& comm) {
+    if (comm.rank() == 0) {
+      comm.send_value(1, /*tag=*/1, 111);
+      comm.send_value(1, /*tag=*/2, 222);
+    } else {
+      // Receive out of send order: tag 2 first.
+      EXPECT_EQ(comm.recv_value<int>(0, 2), 222);
+      EXPECT_EQ(comm.recv_value<int>(0, 1), 111);
+    }
+  });
+}
+
+TEST(World, FifoPerSourceAndTag) {
+  World world(2);
+  world.run([](Communicator& comm) {
+    if (comm.rank() == 0) {
+      for (int i = 0; i < 10; ++i) comm.send_value(1, 5, i);
+    } else {
+      for (int i = 0; i < 10; ++i) EXPECT_EQ(comm.recv_value<int>(0, 5), i);
+    }
+  });
+}
+
+TEST(World, BarrierSynchronizes) {
+  const int p = 4;
+  World world(p);
+  std::atomic<int> before{0}, after_min{100};
+  world.run([&](Communicator& comm) {
+    ++before;
+    comm.barrier();
+    // Everyone must have incremented before anyone proceeds.
+    int seen = before.load();
+    int expected = p;
+    EXPECT_EQ(seen, expected);
+    int current = after_min.load();
+    while (seen < current && !after_min.compare_exchange_weak(current, seen)) {
+    }
+  });
+}
+
+TEST(World, ReusableAcrossRuns) {
+  World world(3);
+  for (int round = 0; round < 3; ++round) {
+    world.run([round](Communicator& comm) {
+      const auto total = comm.allreduce_scalar(
+          static_cast<std::int64_t>(comm.rank() + round), ReduceOp::kSum);
+      EXPECT_EQ(total, 3 + 3 * round);
+    });
+  }
+}
+
+class CollectivesTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(CollectivesTest, AllreduceSumMinMax) {
+  const int p = GetParam();
+  World world(p);
+  world.run([p](Communicator& comm) {
+    const double mine = static_cast<double>(comm.rank() + 1);
+    EXPECT_DOUBLE_EQ(comm.allreduce_scalar(mine, ReduceOp::kSum),
+                     p * (p + 1) / 2.0);
+    EXPECT_DOUBLE_EQ(comm.allreduce_scalar(mine, ReduceOp::kMin), 1.0);
+    EXPECT_DOUBLE_EQ(comm.allreduce_scalar(mine, ReduceOp::kMax),
+                     static_cast<double>(p));
+  });
+}
+
+TEST_P(CollectivesTest, AllreduceVectorElementwise) {
+  const int p = GetParam();
+  World world(p);
+  world.run([p](Communicator& comm) {
+    std::vector<std::int64_t> values{comm.rank(), 2 * comm.rank()};
+    comm.allreduce(std::span<std::int64_t>(values), ReduceOp::kSum);
+    const std::int64_t sum = static_cast<std::int64_t>(p) * (p - 1) / 2;
+    EXPECT_EQ(values[0], sum);
+    EXPECT_EQ(values[1], 2 * sum);
+  });
+}
+
+TEST_P(CollectivesTest, BroadcastFromEveryRoot) {
+  const int p = GetParam();
+  World world(p);
+  world.run([p](Communicator& comm) {
+    for (int root = 0; root < p; ++root) {
+      std::vector<int> data;
+      if (comm.rank() == root) data = {root, root + 1, root + 2};
+      comm.bcast(data, root);
+      ASSERT_EQ(data.size(), 3u);
+      EXPECT_EQ(data[0], root);
+      EXPECT_EQ(data[2], root + 2);
+    }
+  });
+}
+
+TEST_P(CollectivesTest, AllgatherCollectsAllRanks) {
+  const int p = GetParam();
+  World world(p);
+  world.run([p](Communicator& comm) {
+    const auto all = comm.allgather_value(comm.rank() * 10);
+    ASSERT_EQ(all.size(), static_cast<std::size_t>(p));
+    for (int r = 0; r < p; ++r) EXPECT_EQ(all[static_cast<std::size_t>(r)], r * 10);
+  });
+}
+
+TEST_P(CollectivesTest, AlltoallvPersonalizedExchange) {
+  const int p = GetParam();
+  World world(p);
+  world.run([p](Communicator& comm) {
+    // Rank r sends to rank d a vector of r*100+d with length (d+1).
+    std::vector<std::vector<int>> sends(static_cast<std::size_t>(p));
+    for (int d = 0; d < p; ++d) {
+      sends[static_cast<std::size_t>(d)].assign(static_cast<std::size_t>(d + 1),
+                                                comm.rank() * 100 + d);
+    }
+    const auto recvs = comm.alltoallv(sends);
+    ASSERT_EQ(recvs.size(), static_cast<std::size_t>(p));
+    for (int s = 0; s < p; ++s) {
+      const auto& batch = recvs[static_cast<std::size_t>(s)];
+      ASSERT_EQ(batch.size(), static_cast<std::size_t>(comm.rank() + 1));
+      for (int v : batch) EXPECT_EQ(v, s * 100 + comm.rank());
+    }
+  });
+}
+
+INSTANTIATE_TEST_SUITE_P(RankCounts, CollectivesTest,
+                         ::testing::Values(1, 2, 3, 4, 8));
+
+// --- decomposition ---------------------------------------------------------
+
+TEST(Factorization, ProducesExactFactors) {
+  for (int n : {1, 2, 3, 4, 6, 8, 12, 16, 27, 64, 100}) {
+    const auto f = near_cubic_factorization(n);
+    EXPECT_EQ(f[0] * f[1] * f[2], n) << "n=" << n;
+    EXPECT_GE(f[0], f[1]);
+    EXPECT_GE(f[1], f[2]);
+  }
+}
+
+TEST(Factorization, PrefersCubicSplits) {
+  EXPECT_EQ(near_cubic_factorization(8), (std::array<int, 3>{2, 2, 2}));
+  EXPECT_EQ(near_cubic_factorization(27), (std::array<int, 3>{3, 3, 3}));
+  EXPECT_EQ(near_cubic_factorization(12), (std::array<int, 3>{3, 2, 2}));
+}
+
+class DecompositionTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(DecompositionTest, RankCoordinateRoundTrip) {
+  const CartDecomposition decomp(GetParam(), 100.0);
+  for (int r = 0; r < decomp.num_ranks(); ++r) {
+    EXPECT_EQ(decomp.rank_of(decomp.coords_of(r)), r);
+  }
+}
+
+TEST_P(DecompositionTest, LocalBoxesTileTheDomain) {
+  const CartDecomposition decomp(GetParam(), 100.0);
+  double volume = 0.0;
+  for (int r = 0; r < decomp.num_ranks(); ++r) {
+    volume += decomp.local_box(r).volume();
+  }
+  EXPECT_NEAR(volume, 100.0 * 100.0 * 100.0, 1e-6);
+}
+
+TEST_P(DecompositionTest, OwnerOfMatchesLocalBox) {
+  const CartDecomposition decomp(GetParam(), 100.0);
+  for (int trial = 0; trial < 200; ++trial) {
+    std::array<double, 3> p;
+    for (int d = 0; d < 3; ++d) {
+      p[d] = 100.0 * ((trial * 37 + d * 13) % 100) / 100.0 + 0.001;
+    }
+    const int owner = decomp.owner_of(p);
+    EXPECT_TRUE(decomp.local_box(owner).contains(p));
+  }
+}
+
+TEST_P(DecompositionTest, NeighborRelationIsSymmetric) {
+  const CartDecomposition decomp(GetParam(), 100.0);
+  for (int r = 0; r < decomp.num_ranks(); ++r) {
+    for (int nb : decomp.neighbors_of(r)) {
+      const auto back = decomp.neighbors_of(nb);
+      EXPECT_NE(std::find(back.begin(), back.end(), r), back.end());
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(RankCounts, DecompositionTest,
+                         ::testing::Values(1, 2, 4, 8, 12, 27));
+
+TEST(Decomposition, WrapAndMinImage) {
+  const CartDecomposition decomp(8, 10.0);
+  EXPECT_DOUBLE_EQ(decomp.wrap(10.5), 0.5);
+  EXPECT_DOUBLE_EQ(decomp.wrap(-0.5), 9.5);
+  EXPECT_DOUBLE_EQ(decomp.wrap(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(decomp.min_image(9.0), -1.0);
+  EXPECT_DOUBLE_EQ(decomp.min_image(-9.0), 1.0);
+  EXPECT_DOUBLE_EQ(decomp.min_image(3.0), 3.0);
+}
+
+TEST(Decomposition, OverloadedBoxCapsAtOneBox) {
+  // The pad is capped at one box length so the +-1 periodic image
+  // offsets used by the ghost exchange always cover the overloaded box.
+  const CartDecomposition decomp(1, 10.0);
+  const auto box = decomp.overloaded_box(0, 100.0);
+  EXPECT_NEAR(box.lo[0], -10.0, 1e-9);
+  EXPECT_NEAR(box.hi[0], 20.0, 1e-9);
+  // A single-rank box with a small overload keeps its ghost shell.
+  const auto shell = decomp.overloaded_box(0, 1.5);
+  EXPECT_NEAR(shell.lo[0], -1.5, 1e-12);
+  EXPECT_NEAR(shell.hi[0], 11.5, 1e-12);
+}
+
+TEST(Decomposition, OverloadedBoxExpandsByRequestedPad) {
+  const CartDecomposition decomp(8, 10.0);  // 2x2x2, subdomains 5 wide
+  const auto box = decomp.overloaded_box(0, 1.0);
+  EXPECT_NEAR(box.lo[0], -1.0, 1e-12);
+  EXPECT_NEAR(box.hi[0], 6.0, 1e-12);
+}
+
+}  // namespace
+}  // namespace crkhacc::comm

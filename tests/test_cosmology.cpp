@@ -1,0 +1,288 @@
+// Tests for background cosmology, the power spectrum, and the Zel'dovich
+// initial-conditions generator.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+#include <mutex>
+
+#include "comm/world.h"
+#include "cosmology/background.h"
+#include "cosmology/ics.h"
+#include "cosmology/power.h"
+#include "cosmology/units.h"
+
+namespace crkhacc::cosmo {
+namespace {
+
+Parameters lcdm() { return Parameters{}; }
+
+Parameters einstein_de_sitter() {
+  Parameters p;
+  p.omega_m = 1.0;
+  p.omega_b = 0.05;
+  p.omega_l = 0.0;
+  return p;
+}
+
+TEST(Background, HubbleNormalizedToday) {
+  const Background bg(lcdm());
+  EXPECT_NEAR(bg.E(1.0), 1.0, 1e-12);
+  EXPECT_NEAR(bg.hubble(1.0), units::kH0, 1e-9);
+}
+
+TEST(Background, MatterDominatesEarly) {
+  const Background bg(lcdm());
+  EXPECT_NEAR(bg.omega_m_at(0.01), 1.0, 0.01);
+  EXPECT_NEAR(bg.omega_m_at(1.0), lcdm().omega_m, 1e-10);
+}
+
+TEST(Background, EdsTimeIsAnalytic) {
+  // Einstein-de Sitter: t(a) = (2/3) a^{3/2} / H0.
+  const Background bg(einstein_de_sitter());
+  for (double a : {0.1, 0.5, 1.0}) {
+    const double expected = (2.0 / 3.0) * std::pow(a, 1.5) / units::kH0;
+    EXPECT_NEAR(bg.time_of(a), expected, 1e-4 * expected);
+  }
+}
+
+TEST(Background, TimeIsMonotonic) {
+  const Background bg(lcdm());
+  double prev = 0.0;
+  for (double a = 0.05; a <= 1.0; a += 0.05) {
+    const double t = bg.time_of(a);
+    EXPECT_GT(t, prev);
+    prev = t;
+  }
+}
+
+TEST(Background, GrowthNormalizedAndEdsLinear) {
+  const Background lcdm_bg(lcdm());
+  EXPECT_NEAR(lcdm_bg.growth(1.0), 1.0, 1e-10);
+  // EdS: D(a) = a exactly.
+  const Background eds(einstein_de_sitter());
+  for (double a : {0.1, 0.3, 0.7}) {
+    EXPECT_NEAR(eds.growth(a), a, 2e-3);
+  }
+}
+
+TEST(Background, GrowthSuppressedByDarkEnergy) {
+  // At fixed early normalization, LCDM growth lags EdS at late times:
+  // D_lcdm(0.5)/D_lcdm(1) > 0.5 (growth slows once Lambda dominates).
+  const Background bg(lcdm());
+  EXPECT_GT(bg.growth(0.5), 0.5);
+}
+
+TEST(Background, GrowthRateMatchesOmegaPower) {
+  // f(a) ~ Omega_m(a)^0.55 for LCDM.
+  const Background bg(lcdm());
+  for (double a : {0.3, 0.5, 1.0}) {
+    const double expected = std::pow(bg.omega_m_at(a), 0.55);
+    EXPECT_NEAR(bg.growth_rate(a), expected, 0.02);
+  }
+}
+
+TEST(Background, RedshiftConversions) {
+  EXPECT_DOUBLE_EQ(Background::a_of_z(0.0), 1.0);
+  EXPECT_DOUBLE_EQ(Background::a_of_z(1.0), 0.5);
+  EXPECT_NEAR(Background::z_of_a(0.25), 3.0, 1e-12);
+}
+
+// --- power spectrum ----------------------------------------------------------
+
+TEST(PowerSpectrum, Sigma8MatchesNormalization) {
+  const Parameters params = lcdm();
+  const PowerSpectrum power(params);
+  EXPECT_NEAR(power.sigma(8.0), params.sigma8, 1e-3);
+}
+
+TEST(PowerSpectrum, TransferApproachesUnityAtLargeScales) {
+  const PowerSpectrum power(lcdm());
+  EXPECT_NEAR(power.transfer(1e-5), 1.0, 1e-3);
+}
+
+TEST(PowerSpectrum, TransferDecreasesMonotonically) {
+  const PowerSpectrum power(lcdm());
+  double prev = 2.0;
+  for (double k = 1e-4; k < 100.0; k *= 2.0) {
+    const double t = power.transfer(k);
+    EXPECT_LT(t, prev);
+    prev = t;
+  }
+}
+
+TEST(PowerSpectrum, HasTurnoverShape) {
+  const PowerSpectrum power(lcdm());
+  // P(k) rises as ~k^ns at low k, falls at high k; the peak is near
+  // k_eq ~ 0.01-0.02 h/Mpc.
+  EXPECT_LT(power(1e-4), power(0.015));
+  EXPECT_GT(power(0.015), power(10.0));
+}
+
+TEST(PowerSpectrum, MoreBaryonsSuppressSmallScales) {
+  Parameters high_b = lcdm();
+  high_b.omega_b = 0.10;
+  const PowerSpectrum base(lcdm());
+  const PowerSpectrum suppressed(high_b);
+  // Compare raw transfer functions (normalization differs).
+  EXPECT_LT(suppressed.transfer(1.0), base.transfer(1.0));
+}
+
+// --- initial conditions --------------------------------------------------------
+
+TEST(InitialConditions, ParticleCountAndSpecies) {
+  comm::World world(1);
+  world.run([](comm::Communicator& comm) {
+    const Background bg(lcdm());
+    const PowerSpectrum power(lcdm());
+    IcConfig config;
+    config.np = 8;
+    config.box = 32.0;
+    auto particles = generate_zeldovich(comm, bg, power, config);
+    EXPECT_EQ(particles.size(), 2u * 8 * 8 * 8);
+    std::size_t gas = 0;
+    for (std::size_t i = 0; i < particles.size(); ++i) {
+      if (particles.is_gas(i)) ++gas;
+    }
+    EXPECT_EQ(gas, 8u * 8 * 8);
+  });
+}
+
+TEST(InitialConditions, MassesMatchCosmicBudget) {
+  comm::World world(1);
+  world.run([](comm::Communicator& comm) {
+    const Background bg(lcdm());
+    const PowerSpectrum power(lcdm());
+    IcConfig config;
+    config.np = 8;
+    config.box = 32.0;
+    auto particles = generate_zeldovich(comm, bg, power, config);
+    double total = 0.0, gas_mass = 0.0;
+    for (std::size_t i = 0; i < particles.size(); ++i) {
+      total += particles.mass[i];
+      if (particles.is_gas(i)) gas_mass += particles.mass[i];
+    }
+    const double expected =
+        bg.mean_matter_density() * config.box * config.box * config.box;
+    EXPECT_NEAR(total, expected, 1e-3 * expected);
+    EXPECT_NEAR(gas_mass / total, lcdm().omega_b / lcdm().omega_m, 1e-3);
+  });
+}
+
+TEST(InitialConditions, PositionsInsideBoxAndPerturbed) {
+  comm::World world(1);
+  world.run([](comm::Communicator& comm) {
+    const Background bg(lcdm());
+    const PowerSpectrum power(lcdm());
+    IcConfig config;
+    config.np = 16;
+    config.box = 64.0;
+    auto particles = generate_zeldovich(comm, bg, power, config);
+    double max_speed = 0.0;
+    for (std::size_t i = 0; i < particles.size(); ++i) {
+      ASSERT_GE(particles.x[i], 0.0f);
+      ASSERT_LT(particles.x[i], 64.0f);
+      ASSERT_GE(particles.z[i], 0.0f);
+      ASSERT_LT(particles.z[i], 64.0f);
+      max_speed = std::max(max_speed, std::abs(static_cast<double>(particles.vx[i])));
+    }
+    EXPECT_GT(max_speed, 0.0);   // actually perturbed
+    EXPECT_LT(max_speed, 500.0);  // but not absurdly (z=50 peculiar flows)
+  });
+}
+
+TEST(InitialConditions, VelocityProportionalToDisplacement) {
+  // Zel'dovich: v = a H f * (x - q); recover the proportionality from the
+  // emitted particles (dm only, displacement from its lattice site).
+  comm::World world(1);
+  world.run([](comm::Communicator& comm) {
+    const Background bg(lcdm());
+    const PowerSpectrum power(lcdm());
+    IcConfig config;
+    config.np = 8;
+    config.box = 32.0;
+    config.with_baryons = false;
+    auto particles = generate_zeldovich(comm, bg, power, config);
+    const double a = Background::a_of_z(config.z_init);
+    const double factor = a * bg.hubble(a) * bg.growth_rate(a);
+    const std::size_t n = config.np;
+    const double cell = config.box / static_cast<double>(n);
+    for (std::size_t i = 0; i < particles.size(); i += 17) {
+      const std::uint64_t id = particles.id[i];
+      const std::size_t ix = id % n;
+      const double qx = (static_cast<double>(ix) + 0.5) * cell;
+      double dx = particles.x[i] - qx;
+      if (dx > 16.0) dx -= 32.0;
+      if (dx < -16.0) dx += 32.0;
+      EXPECT_NEAR(particles.vx[i], factor * dx, 2e-2 * std::abs(factor * dx) + 1e-3);
+    }
+  });
+}
+
+TEST(InitialConditions, RealizationIndependentOfRankCount) {
+  const Background bg(lcdm());
+  const PowerSpectrum power(lcdm());
+  IcConfig config;
+  config.np = 8;
+  config.box = 32.0;
+
+  auto collect = [&](int ranks) {
+    std::vector<std::pair<std::uint64_t, std::array<float, 6>>> all;
+    std::mutex mutex;
+    comm::World world(ranks);
+    world.run([&](comm::Communicator& comm) {
+      auto particles = generate_zeldovich(comm, bg, power, config);
+      std::lock_guard<std::mutex> lock(mutex);
+      for (std::size_t i = 0; i < particles.size(); ++i) {
+        all.emplace_back(particles.id[i],
+                         std::array<float, 6>{particles.x[i], particles.y[i],
+                                              particles.z[i], particles.vx[i],
+                                              particles.vy[i], particles.vz[i]});
+      }
+    });
+    std::sort(all.begin(), all.end(),
+              [](const auto& a, const auto& b) { return a.first < b.first; });
+    return all;
+  };
+
+  const auto serial = collect(1);
+  const auto parallel = collect(4);
+  ASSERT_EQ(serial.size(), parallel.size());
+  for (std::size_t i = 0; i < serial.size(); ++i) {
+    ASSERT_EQ(serial[i].first, parallel[i].first);
+    for (int d = 0; d < 6; ++d) {
+      ASSERT_NEAR(serial[i].second[d], parallel[i].second[d], 1e-4)
+          << "particle " << serial[i].first << " component " << d;
+    }
+  }
+}
+
+TEST(InitialConditions, RmsDisplacementIsReasonable) {
+  const Background bg(lcdm());
+  const PowerSpectrum power(lcdm());
+  IcConfig config;
+  config.np = 16;
+  config.box = 64.0;
+  const double rms = zeldovich_rms_displacement(bg, power, config);
+  // At z=50 the rms displacement is a small fraction of the 4 Mpc/h cell.
+  EXPECT_GT(rms, 0.001);
+  EXPECT_LT(rms, 4.0);
+}
+
+TEST(Units, TemperatureConversionRoundTrips) {
+  const double u = 150.0;  // (km/s)^2
+  const double t = units::temperature_K(u, units::kMuIonized);
+  EXPECT_NEAR(units::internal_energy(t, units::kMuIonized), u, 1e-9);
+  EXPECT_GT(t, 0.0);
+}
+
+TEST(Units, CriticalDensityConsistentWithG) {
+  // rho_crit = 3 H0^2 / (8 pi G) in code units.
+  const double rho = 3.0 * units::kH0 * units::kH0 /
+                     (8.0 * M_PI * units::kGravity);
+  EXPECT_NEAR(rho, units::kRhoCrit0, 1e-3 * units::kRhoCrit0);
+}
+
+}  // namespace
+}  // namespace crkhacc::cosmo

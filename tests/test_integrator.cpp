@@ -1,0 +1,212 @@
+// Tests for KDK operators and hierarchical timestep bins.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/particles.h"
+#include "cosmology/units.h"
+#include "integrator/kdk.h"
+#include "integrator/timestep.h"
+
+namespace crkhacc::integrator {
+namespace {
+
+cosmo::Background lcdm() { return cosmo::Background(cosmo::Parameters{}); }
+
+Particles one_particle(float x, float vx, Species species = Species::kDarkMatter) {
+  Particles p;
+  const auto i = p.push_back(0, species, x, 1.0f, 1.0f, vx, 0, 0, 1.0f);
+  if (species == Species::kGas) p.u[i] = 100.0f;
+  return p;
+}
+
+// --- timestep bins ---------------------------------------------------------
+
+TEST(TimeBins, BinForBoundaries) {
+  const double dt_pm = 1.0;
+  EXPECT_EQ(bin_for(2.0, dt_pm, 8), 0);    // slower than PM: coarsest
+  EXPECT_EQ(bin_for(1.0, dt_pm, 8), 0);
+  EXPECT_EQ(bin_for(0.6, dt_pm, 8), 1);
+  EXPECT_EQ(bin_for(0.25, dt_pm, 8), 2);
+  EXPECT_EQ(bin_for(0.2, dt_pm, 8), 3);
+  EXPECT_EQ(bin_for(1e-9, dt_pm, 8), 8);   // clamped at max depth
+  EXPECT_EQ(bin_for(0.0, dt_pm, 8), 8);    // pathological: deepest
+}
+
+TEST(TimeBins, ActivitySchedule) {
+  // depth 3: bin 0 fires once (s=0), bin 3 fires every fine step.
+  const int depth = 3;
+  std::array<int, 4> fire_count{};
+  for (std::uint64_t s = 0; s < 8; ++s) {
+    for (std::uint8_t b = 0; b <= 3; ++b) {
+      if (bin_active(b, s, depth)) ++fire_count[b];
+    }
+  }
+  EXPECT_EQ(fire_count[0], 1);
+  EXPECT_EQ(fire_count[1], 2);
+  EXPECT_EQ(fire_count[2], 4);
+  EXPECT_EQ(fire_count[3], 8);
+  // Everyone fires at s=0 (synchronization point).
+  for (std::uint8_t b = 0; b <= 3; ++b) {
+    EXPECT_TRUE(bin_active(b, 0, depth));
+  }
+}
+
+TEST(TimeBins, AssignBinsReturnsDepth) {
+  Particles p;
+  for (int i = 0; i < 4; ++i) {
+    p.push_back(static_cast<std::uint64_t>(i), Species::kDarkMatter, 0, 0, 0,
+                0, 0, 0, 1.0f);
+  }
+  const std::vector<double> limits{1.0, 0.3, 0.1, 1e30};
+  TimeBinConfig config;
+  config.max_depth = 6;
+  const int depth = assign_bins(p, limits, 1.0, config);
+  EXPECT_EQ(p.bin[0], 0);
+  EXPECT_EQ(p.bin[1], 2);
+  EXPECT_EQ(p.bin[2], 4);
+  EXPECT_EQ(p.bin[3], 0);
+  EXPECT_EQ(depth, 4);
+}
+
+TEST(TimeBins, ActivityMaskMatchesSchedule) {
+  Particles p;
+  p.push_back(0, Species::kDarkMatter, 0, 0, 0, 0, 0, 0, 1.0f);
+  p.push_back(1, Species::kDarkMatter, 0, 0, 0, 0, 0, 0, 1.0f);
+  p.bin[0] = 0;
+  p.bin[1] = 2;
+  std::vector<std::uint8_t> mask;
+  activity_mask(p, 1, 2, mask);
+  EXPECT_EQ(mask[0], 0);
+  EXPECT_EQ(mask[1], 1);
+  activity_mask(p, 0, 2, mask);
+  EXPECT_EQ(mask[0], 1);
+  EXPECT_EQ(mask[1], 1);
+}
+
+TEST(TimeBins, AccelCriterionScaling) {
+  TimeBinConfig config;
+  // dt ~ 1/sqrt(|a|): 4x the acceleration halves the step.
+  const double dt1 = accel_timestep(config, 1.0, 1.0, 0.0, 0.0);
+  const double dt4 = accel_timestep(config, 1.0, 4.0, 0.0, 0.0);
+  EXPECT_NEAR(dt1 / dt4, 2.0, 1e-9);
+  EXPECT_TRUE(std::isinf(accel_timestep(config, 1.0, 0.0, 0.0, 0.0)));
+}
+
+TEST(TimeBins, ScheduleWorkCountsUpdates) {
+  Particles p;
+  for (int i = 0; i < 3; ++i) {
+    p.push_back(static_cast<std::uint64_t>(i), Species::kDarkMatter, 0, 0, 0,
+                0, 0, 0, 1.0f);
+  }
+  p.bin[0] = 0;
+  p.bin[1] = 1;
+  p.bin[2] = 3;
+  EXPECT_EQ(schedule_work(p, 3), 1u + 2u + 8u);
+}
+
+// --- KDK --------------------------------------------------------------------
+
+TEST(Kdk, HubbleDragScalesVelocityExactly) {
+  const auto bg = lcdm();
+  const Kdk kdk(bg);
+  auto p = one_particle(5.0f, 100.0f);
+  // No acceleration: v must scale by exactly a0/a1.
+  kdk.kick(p, 0.5, 1.0, nullptr, /*with_drag=*/true);
+  EXPECT_NEAR(p.vx[0], 50.0f, 1e-3);
+}
+
+TEST(Kdk, DragFreeKickAddsAccelerationTimesDt) {
+  const auto bg = lcdm();
+  const Kdk kdk(bg);
+  auto p = one_particle(5.0f, 10.0f);
+  p.ax[0] = 2.0f;
+  const double dt = kdk.dt_of(0.9, 1.0);
+  kdk.kick(p, 0.9, 1.0, nullptr, /*with_drag=*/false);
+  EXPECT_NEAR(p.vx[0], 10.0f + 2.0f * dt, 1e-4 * (10.0 + 2.0 * dt));
+}
+
+TEST(Kdk, DriftMovesByVOverA) {
+  const auto bg = lcdm();
+  const Kdk kdk(bg);
+  auto p = one_particle(5.0f, 30.0f);
+  const double dt = kdk.dt_of(0.99, 1.0);
+  kdk.drift(p, 0.99, 1.0, 100.0, nullptr);
+  EXPECT_NEAR(p.x[0], 5.0 + 30.0 * dt / 0.995, 1e-4);
+}
+
+TEST(Kdk, DriftWrapsOwnedButNotGhosts) {
+  const auto bg = lcdm();
+  const Kdk kdk(bg);
+  Particles p;
+  p.push_back(0, Species::kDarkMatter, 9.99f, 1, 1, 1000.0f, 0, 0, 1.0f);
+  p.push_back(1, Species::kDarkMatter, 9.99f, 1, 1, 1000.0f, 0, 0, 1.0f);
+  p.ghost[1] = 1;
+  kdk.drift(p, 0.5, 0.52, 10.0, nullptr);
+  EXPECT_LT(p.x[0], 10.0f);      // wrapped
+  EXPECT_GT(p.x[1], 10.0f);      // ghost keeps its image coordinate
+  EXPECT_NEAR(p.x[1] - 10.0f, p.x[0], 1e-3);
+}
+
+TEST(Kdk, ExpansionCoolsGasAdiabatically) {
+  const auto bg = lcdm();
+  const Kdk kdk(bg);
+  auto p = one_particle(5.0f, 0.0f, Species::kGas);
+  const float u0 = p.u[0];
+  kdk.drift(p, 0.5, 1.0, 100.0, nullptr);
+  // u ~ a^{-2} for gamma = 5/3.
+  EXPECT_NEAR(p.u[0], u0 * 0.25f, 1e-3 * u0);
+}
+
+TEST(Kdk, ExpansionDoesNotTouchDarkMatter) {
+  const auto bg = lcdm();
+  const Kdk kdk(bg);
+  auto p = one_particle(5.0f, 0.0f, Species::kDarkMatter);
+  p.u[0] = 7.0f;
+  kdk.drift(p, 0.5, 1.0, 100.0, nullptr);
+  EXPECT_EQ(p.u[0], 7.0f);
+}
+
+TEST(Kdk, EnergyKickAppliesDuAndFloors) {
+  const auto bg = lcdm();
+  const Kdk kdk(bg);
+  auto p = one_particle(5.0f, 0.0f, Species::kGas);
+  const double dt = kdk.dt_of(0.9, 1.0);
+  p.du[0] = 3.0f;
+  const float u0 = p.u[0];
+  kdk.energy_kick(p, 0.9, 1.0, nullptr);
+  EXPECT_NEAR(p.u[0], u0 + 3.0 * dt, 1e-3);
+  // Strong negative du cannot drive u below zero.
+  p.du[0] = -1e9f;
+  kdk.energy_kick(p, 0.9, 1.0, nullptr);
+  EXPECT_GE(p.u[0], 0.0f);
+}
+
+TEST(Kdk, ActiveMaskRestrictsUpdates) {
+  const auto bg = lcdm();
+  const Kdk kdk(bg);
+  Particles p;
+  p.push_back(0, Species::kDarkMatter, 1, 1, 1, 10.0f, 0, 0, 1.0f);
+  p.push_back(1, Species::kDarkMatter, 2, 1, 1, 10.0f, 0, 0, 1.0f);
+  std::vector<std::uint8_t> active{1, 0};
+  kdk.kick(p, 0.5, 1.0, active.data(), true);
+  EXPECT_NEAR(p.vx[0], 5.0f, 1e-4);
+  EXPECT_EQ(p.vx[1], 10.0f);
+}
+
+TEST(Kdk, FreeParticleLeapfrogConsistency) {
+  // Two half-kicks + drift with zero acceleration: pure drag evolution,
+  // independent of how the interval is subdivided.
+  const auto bg = lcdm();
+  const Kdk kdk(bg);
+  auto one_step = one_particle(0.0f, 64.0f);
+  kdk.kick(one_step, 0.5, 1.0, nullptr, true);
+
+  auto two_steps = one_particle(0.0f, 64.0f);
+  kdk.kick(two_steps, 0.5, 0.75, nullptr, true);
+  kdk.kick(two_steps, 0.75, 1.0, nullptr, true);
+  EXPECT_NEAR(one_step.vx[0], two_steps.vx[0], 1e-3);
+}
+
+}  // namespace
+}  // namespace crkhacc::integrator

@@ -1,0 +1,334 @@
+// Tests for the subgrid astrophysics: cooling table, star formation,
+// SN/AGN feedback, and conservation properties.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+#include "core/particles.h"
+#include "cosmology/units.h"
+#include "subgrid/cooling.h"
+#include "subgrid/model.h"
+#include "tree/chaining_mesh.h"
+
+namespace crkhacc::subgrid {
+namespace {
+
+comm::Box3 cube(double size) {
+  comm::Box3 box;
+  box.lo = {0, 0, 0};
+  box.hi = {size, size, size};
+  return box;
+}
+
+// --- unit conversions ---------------------------------------------------------
+
+TEST(UnitsCgs, DensityConversionMagnitude) {
+  // 1 code density unit = h^2 * 1e10 Msun / Mpc^3 ~ 6.8e-31 h^2 g/cm^3.
+  const double rho = rho_code_to_cgs(1.0, 1.0);
+  EXPECT_NEAR(rho, 6.77e-31, 0.05e-31);
+}
+
+TEST(UnitsCgs, CosmicMeanGivesRealisticHydrogenDensity) {
+  // Mean baryon density today: n_H ~ 1.9e-7 cm^-3.
+  const double rho_b = 0.049 * units::kRhoCrit0;
+  const double n_h = n_hydrogen_cgs(rho_b, 0.6766, 0.76);
+  EXPECT_GT(n_h, 1e-7);
+  EXPECT_LT(n_h, 4e-7);
+}
+
+TEST(UnitsCgs, ErgConversionRoundTrip) {
+  // One code energy unit = 1e10 Msun/h * (km/s)^2 = 1.989e53/h erg.
+  const double h = 0.7;
+  EXPECT_NEAR(erg_to_code_energy(1.989e53 / h, h), 1.0, 1e-3);
+}
+
+// --- cooling table --------------------------------------------------------------
+
+TEST(CoolingTable, ShapeOfLambda) {
+  const CoolingTable table(CoolingConfig{});
+  EXPECT_EQ(table.lambda(5000.0, 0.0), 0.0);            // neutral gas
+  EXPECT_GT(table.lambda(3e4, 0.0), 0.0);               // line cooling on
+  // Peak near 1e5 K exceeds the bremsstrahlung floor at 1e7 K.
+  EXPECT_GT(table.lambda(1.2e5, 0.0), table.lambda(1e7, 0.0));
+  // Bremsstrahlung grows again toward very high T.
+  EXPECT_GT(table.lambda(1e9, 0.0), table.lambda(1e7, 0.0));
+}
+
+TEST(CoolingTable, MetalsEnhanceCooling) {
+  const CoolingTable table(CoolingConfig{});
+  EXPECT_GT(table.lambda(2.5e5, 0.02), 2.0 * table.lambda(2.5e5, 0.0));
+}
+
+TEST(CoolingTable, CoolingTimeDecreasesWithDensity) {
+  const CoolingTable table(CoolingConfig{});
+  const double u = units::internal_energy(1e6, units::kMuIonized);
+  const double t_low = table.cooling_time(1.0, u, 0.0, 1.0);
+  const double t_high = table.cooling_time(100.0, u, 0.0, 1.0);
+  EXPECT_GT(t_low, 0.0);
+  // t_cool ~ 1/n: 100x density -> ~100x faster.
+  EXPECT_NEAR(t_low / t_high, 100.0, 5.0);
+}
+
+TEST(CoolingTable, ColdGasNeverCools) {
+  const CoolingTable table(CoolingConfig{});
+  const double u = units::internal_energy(5000.0, units::kMuIonized);
+  EXPECT_TRUE(std::isinf(table.cooling_time(100.0, u, 0.0, 1.0)));
+}
+
+TEST(CoolingTable, CoolApproachesFloorStably) {
+  const CoolingTable table(CoolingConfig{});
+  const double u_floor =
+      units::internal_energy(table.floor_K(1.0), units::kMuIonized);
+  const double u_hot = units::internal_energy(1e7, units::kMuIonized);
+  // Gigantic dt with overdense gas: must land exactly on the floor, not
+  // overshoot negative.
+  const double u_cooled = table.cool(u_hot, 1e4, 0.02, 1.0, 1e6);
+  EXPECT_GE(u_cooled, u_floor * 0.999);
+  EXPECT_LE(u_cooled, u_hot);
+  // Zero dt: unchanged.
+  EXPECT_NEAR(table.cool(u_hot, 1e4, 0.0, 1.0, 0.0), u_hot, 1e-9 * u_hot);
+}
+
+TEST(CoolingTable, UvFloorWarmsColdGas) {
+  const CoolingTable table(CoolingConfig{});
+  const double u_floor =
+      units::internal_energy(table.floor_K(1.0), units::kMuIonized);
+  const double u_cold = 0.01 * u_floor;
+  const double warmed = table.cool(u_cold, 10.0, 0.0, 1.0, 1e5);
+  EXPECT_GT(warmed, u_cold);
+  EXPECT_LE(warmed, u_floor * 1.001);
+}
+
+TEST(CoolingTable, FloorTracksReionization) {
+  CoolingConfig config;
+  config.z_reion = 8.0;
+  const CoolingTable table(config);
+  EXPECT_DOUBLE_EQ(table.floor_K(1.0), config.t_floor_K);          // z=0
+  EXPECT_DOUBLE_EQ(table.floor_K(1.0 / 9.0), config.t_floor_K);    // z=8
+  EXPECT_LT(table.floor_K(1.0 / 21.0), config.t_floor_K);          // z=20
+}
+
+TEST(CoolingTable, DisabledTableIsInert) {
+  CoolingConfig config;
+  config.enabled = false;
+  const CoolingTable table(config);
+  EXPECT_TRUE(std::isinf(table.cooling_time(100.0, 1000.0, 0.0, 1.0)));
+  EXPECT_DOUBLE_EQ(table.cool(1000.0, 100.0, 0.0, 1.0, 1e5), 1000.0);
+}
+
+// --- model ---------------------------------------------------------------------
+
+/// Dense cold blob of gas around the center, mesh built over it.
+struct ModelSetup {
+  Particles particles;
+  tree::ChainingMesh mesh;
+
+  explicit ModelSetup(double n_h_target, double t_K, std::size_t count = 64)
+      : mesh(cube(4.0), {1.0, 16}) {
+    // Convert target hydrogen density to a code rho (a=1, h=0.6766).
+    const double rho =
+        n_h_target / n_hydrogen_cgs(1.0, 0.6766, 0.76);
+    for (std::size_t i = 0; i < count; ++i) {
+      const float x = 1.5f + 0.25f * (i % 4);
+      const float y = 1.5f + 0.25f * ((i / 4) % 4);
+      const float z = 1.5f + 0.25f * ((i / 16) % 4);
+      const std::size_t idx = particles.push_back(
+          i, Species::kGas, x, y, z, 0, 0, 0, 0.1f);
+      particles.rho[idx] = static_cast<float>(rho);
+      particles.hsml[idx] = 0.3f;
+      particles.u[idx] = static_cast<float>(
+          units::internal_energy(t_K, units::kMuIonized));
+    }
+    std::vector<std::uint32_t> gas(count);
+    for (std::size_t i = 0; i < count; ++i) gas[i] = static_cast<std::uint32_t>(i);
+    mesh.build(particles, gas);
+  }
+};
+
+SubgridConfig sf_only_config() {
+  SubgridConfig config;
+  config.cooling.enabled = false;
+  config.agn.enabled = false;
+  config.supernova.enabled = false;
+  return config;
+}
+
+TEST(SubgridModel, DenseColdGasFormsStars) {
+  ModelSetup setup(/*n_h=*/1.0, /*t_K=*/1e4);
+  SubgridModel model(sf_only_config());
+  std::vector<double> dt(setup.particles.size(), 1e3);  // many dynamical times
+  const auto stats = model.apply(setup.particles, setup.mesh,
+                                 cosmo::Background(cosmo::Parameters{}), 1.0,
+                                 dt, nullptr, 0);
+  EXPECT_GT(stats.stars_formed, 32);  // nearly all should convert
+  EXPECT_GT(stats.mass_in_stars, 0.0);
+}
+
+TEST(SubgridModel, HotOrDiffuseGasDoesNotFormStars) {
+  SubgridModel model(sf_only_config());
+  const cosmo::Background bg{cosmo::Parameters{}};
+  {
+    ModelSetup hot(/*n_h=*/1.0, /*t_K=*/1e7);
+    std::vector<double> dt(hot.particles.size(), 1e3);
+    const auto stats = model.apply(hot.particles, hot.mesh, bg, 1.0, dt,
+                                   nullptr, 0);
+    EXPECT_EQ(stats.stars_formed, 0);
+  }
+  {
+    ModelSetup diffuse(/*n_h=*/1e-4, /*t_K=*/1e4);
+    std::vector<double> dt(diffuse.particles.size(), 1e3);
+    const auto stats = model.apply(diffuse.particles, diffuse.mesh, bg, 1.0,
+                                   dt, nullptr, 0);
+    EXPECT_EQ(stats.stars_formed, 0);
+  }
+}
+
+TEST(SubgridModel, StochasticDrawsAreDeterministic) {
+  const cosmo::Background bg{cosmo::Parameters{}};
+  auto run_once = [&] {
+    ModelSetup setup(1.0, 1e4);
+    SubgridModel model(sf_only_config());
+    std::vector<double> dt(setup.particles.size(), 0.5);
+    model.apply(setup.particles, setup.mesh, bg, 1.0, dt, nullptr, 7);
+    std::vector<std::uint8_t> species(setup.particles.species);
+    return species;
+  };
+  EXPECT_EQ(run_once(), run_once());
+}
+
+TEST(SubgridModel, SupernovaInjectsEnergyAndMetals) {
+  SubgridConfig config = sf_only_config();
+  config.supernova.enabled = true;
+  ModelSetup setup(1.0, 1e4, 128);
+  SubgridModel model(config);
+  const double u_before = setup.particles.u[0];
+  std::vector<double> dt(setup.particles.size(), 1e3);
+  const auto stats = model.apply(setup.particles, setup.mesh,
+                                 cosmo::Background(cosmo::Parameters{}), 1.0,
+                                 dt, nullptr, 0);
+  ASSERT_GT(stats.sn_events, 0);
+  EXPECT_GT(stats.energy_injected, 0.0);
+  EXPECT_GT(stats.metals_produced, 0.0);
+  // Some surviving gas got hotter and enriched.
+  bool heated = false, enriched = false;
+  for (std::size_t i = 0; i < setup.particles.size(); ++i) {
+    if (!setup.particles.is_gas(i)) continue;
+    if (setup.particles.u[i] > 2.0f * u_before) heated = true;
+    if (setup.particles.metal[i] > 0.0f) enriched = true;
+  }
+  EXPECT_TRUE(heated);
+  EXPECT_TRUE(enriched);
+}
+
+TEST(SubgridModel, MassConservedThroughStarFormationAndAgn) {
+  SubgridConfig config;
+  config.cooling.enabled = false;
+  ModelSetup setup(20.0, 1e4, 128);  // dense enough to seed a BH
+  SubgridModel model(config);
+  double mass_before = 0.0;
+  for (std::size_t i = 0; i < setup.particles.size(); ++i) {
+    mass_before += setup.particles.mass[i];
+  }
+  std::vector<double> dt(setup.particles.size(), 10.0);
+  for (std::uint64_t step = 0; step < 5; ++step) {
+    model.apply(setup.particles, setup.mesh,
+                cosmo::Background(cosmo::Parameters{}), 1.0, dt, nullptr, step);
+  }
+  double mass_after = 0.0;
+  for (std::size_t i = 0; i < setup.particles.size(); ++i) {
+    mass_after += setup.particles.mass[i];
+  }
+  EXPECT_NEAR(mass_after, mass_before, 1e-4 * mass_before);
+}
+
+TEST(SubgridModel, BlackHoleSeedingRespectsExclusion) {
+  SubgridConfig config;
+  config.cooling.enabled = false;
+  config.star_formation.enabled = false;
+  config.supernova.enabled = false;
+  config.agn.seed_exclusion = 10.0;  // whole box: at most one BH
+  ModelSetup setup(50.0, 1e4, 128);
+  SubgridModel model(config);
+  std::vector<double> dt(setup.particles.size(), 1.0);
+  const auto stats = model.apply(setup.particles, setup.mesh,
+                                 cosmo::Background(cosmo::Parameters{}), 1.0,
+                                 dt, nullptr, 0);
+  EXPECT_EQ(stats.bh_seeded, 1);
+  int bh_count = 0;
+  for (std::size_t i = 0; i < setup.particles.size(); ++i) {
+    if (setup.particles.species[i] ==
+        static_cast<std::uint8_t>(Species::kBlackHole)) {
+      ++bh_count;
+    }
+  }
+  EXPECT_EQ(bh_count, 1);
+}
+
+TEST(SubgridModel, AgnAccretesAndHeats) {
+  SubgridConfig config;
+  config.cooling.enabled = false;
+  config.star_formation.enabled = false;
+  config.supernova.enabled = false;
+  ModelSetup setup(50.0, 1e4, 128);
+  SubgridModel model(config);
+  std::vector<double> dt(setup.particles.size(), 10.0);
+  const cosmo::Background bg{cosmo::Parameters{}};
+  // Step 0 seeds; later steps accrete.
+  SubgridStats total;
+  for (std::uint64_t step = 0; step < 4; ++step) {
+    total += model.apply(setup.particles, setup.mesh, bg, 1.0, dt, nullptr,
+                         step);
+  }
+  EXPECT_GE(total.bh_seeded, 1);
+  EXPECT_GT(total.agn_events, 0);
+  EXPECT_GT(total.energy_injected, 0.0);
+  // The BH gained mass beyond its seed.
+  float bh_mass = 0.0f;
+  for (std::size_t i = 0; i < setup.particles.size(); ++i) {
+    if (setup.particles.species[i] ==
+        static_cast<std::uint8_t>(Species::kBlackHole)) {
+      bh_mass = std::max(bh_mass, setup.particles.mass[i]);
+    }
+  }
+  EXPECT_GT(bh_mass, 0.1f);
+}
+
+TEST(SubgridModel, OverdensityGateBlocksMeanDensityGas) {
+  // The high-z guard: gas at the cosmic mean density must not form stars
+  // even when the early universe's physical density exceeds the n_H
+  // threshold — only overdense regions qualify.
+  SubgridConfig config = sf_only_config();
+  ModelSetup setup(/*n_h=*/1.0, /*t_K=*/1e4);
+  // Declare the blob's density to BE the mean: overdensity == 1.
+  config.mean_gas_density = setup.particles.rho[0];
+  SubgridModel gated(config);
+  std::vector<double> dt(setup.particles.size(), 1e3);
+  const cosmo::Background bg{cosmo::Parameters{}};
+  const auto blocked = gated.apply(setup.particles, setup.mesh, bg, 1.0, dt,
+                                   nullptr, 0);
+  EXPECT_EQ(blocked.stars_formed, 0);
+
+  // Same gas, but declared 100x overdense: forms stars.
+  config.mean_gas_density = setup.particles.rho[0] / 100.0;
+  SubgridModel open_gate(config);
+  const auto allowed = open_gate.apply(setup.particles, setup.mesh, bg, 1.0,
+                                       dt, nullptr, 0);
+  EXPECT_GT(allowed.stars_formed, 0);
+}
+
+TEST(SubgridModel, SourceTimescaleFlagsDenseGas) {
+  const cosmo::Background bg{cosmo::Parameters{}};
+  ModelSetup dense(1.0, 1e4);
+  SubgridModel model(SubgridConfig{});
+  const double t_dense =
+      model.min_source_timescale(dense.particles, bg, 1.0, nullptr);
+  EXPECT_TRUE(std::isfinite(t_dense));
+  ModelSetup diffuse(1e-5, 1e4);
+  const double t_diffuse =
+      model.min_source_timescale(diffuse.particles, bg, 1.0, nullptr);
+  EXPECT_TRUE(std::isinf(t_diffuse));
+}
+
+}  // namespace
+}  // namespace crkhacc::subgrid

@@ -1,0 +1,243 @@
+// Tests for the chaining mesh / coarse-leaf k-d trees and the LBVH.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+#include "core/particles.h"
+#include "tree/chaining_mesh.h"
+#include "tree/lbvh.h"
+#include "util/rng.h"
+
+namespace crkhacc::tree {
+namespace {
+
+Particles random_particles(std::size_t n, double box, std::uint64_t seed) {
+  SplitMix64 rng(seed);
+  Particles p;
+  for (std::size_t i = 0; i < n; ++i) {
+    p.push_back(i, Species::kDarkMatter,
+                static_cast<float>(rng.next_double() * box),
+                static_cast<float>(rng.next_double() * box),
+                static_cast<float>(rng.next_double() * box), 0, 0, 0, 1.0f);
+  }
+  return p;
+}
+
+comm::Box3 unit_box(double size) {
+  comm::Box3 box;
+  box.lo = {0.0, 0.0, 0.0};
+  box.hi = {size, size, size};
+  return box;
+}
+
+// --- chaining mesh -----------------------------------------------------------
+
+TEST(ChainingMesh, EveryParticleInExactlyOneLeaf) {
+  const auto p = random_particles(500, 10.0, 1);
+  ChainingMesh mesh(unit_box(10.0), {2.0, 16});
+  mesh.build(p);
+  std::vector<int> seen(p.size(), 0);
+  for (std::size_t l = 0; l < mesh.num_leaves(); ++l) {
+    const Leaf& leaf = mesh.leaf(l);
+    for (std::uint32_t s = leaf.begin; s < leaf.end; ++s) {
+      ++seen[mesh.permutation()[s]];
+    }
+  }
+  for (int count : seen) EXPECT_EQ(count, 1);
+  EXPECT_EQ(mesh.num_particles(), p.size());
+}
+
+TEST(ChainingMesh, LeafSizeRespected) {
+  const auto p = random_particles(1000, 10.0, 2);
+  const std::uint32_t leaf_size = 24;
+  ChainingMesh mesh(unit_box(10.0), {2.5, leaf_size});
+  mesh.build(p);
+  for (std::size_t l = 0; l < mesh.num_leaves(); ++l) {
+    EXPECT_LE(mesh.leaf(l).size(), leaf_size);
+    EXPECT_GT(mesh.leaf(l).size(), 0u);
+  }
+}
+
+TEST(ChainingMesh, BoundsContainMembers) {
+  const auto p = random_particles(400, 8.0, 3);
+  ChainingMesh mesh(unit_box(8.0), {2.0, 16});
+  mesh.build(p);
+  for (std::size_t l = 0; l < mesh.num_leaves(); ++l) {
+    const Leaf& leaf = mesh.leaf(l);
+    for (std::uint32_t s = leaf.begin; s < leaf.end; ++s) {
+      const auto i = mesh.permutation()[s];
+      EXPECT_GE(p.x[i], leaf.lo[0]);
+      EXPECT_LE(p.x[i], leaf.hi[0]);
+      EXPECT_GE(p.y[i], leaf.lo[1]);
+      EXPECT_LE(p.y[i], leaf.hi[1]);
+      EXPECT_GE(p.z[i], leaf.lo[2]);
+      EXPECT_LE(p.z[i], leaf.hi[2]);
+    }
+  }
+}
+
+TEST(ChainingMesh, RefitTracksMotionWithoutRepartition) {
+  auto p = random_particles(300, 10.0, 4);
+  ChainingMesh mesh(unit_box(10.0), {2.0, 16});
+  mesh.build(p);
+  const auto perm_before = mesh.permutation();
+  // Drift everything.
+  for (std::size_t i = 0; i < p.size(); ++i) p.x[i] += 0.3f;
+  mesh.refit_bounds(p);
+  EXPECT_EQ(mesh.permutation(), perm_before);  // membership unchanged
+  for (std::size_t l = 0; l < mesh.num_leaves(); ++l) {
+    const Leaf& leaf = mesh.leaf(l);
+    for (std::uint32_t s = leaf.begin; s < leaf.end; ++s) {
+      const auto i = mesh.permutation()[s];
+      EXPECT_GE(p.x[i], leaf.lo[0]);
+      EXPECT_LE(p.x[i], leaf.hi[0]);
+    }
+  }
+}
+
+/// Property: every particle pair within `radius` is covered by some
+/// leaf pair in interaction_pairs(radius).
+TEST(ChainingMesh, InteractionPairsCoverAllCloseParticlePairs) {
+  const double box = 6.0, radius = 0.9;
+  const auto p = random_particles(250, box, 5);
+  ChainingMesh mesh(unit_box(box), {1.0, 8});
+  mesh.build(p);
+  const auto pairs = mesh.interaction_pairs(radius);
+
+  // leaf of each particle
+  std::vector<std::uint32_t> leaf_of(p.size());
+  for (std::size_t l = 0; l < mesh.num_leaves(); ++l) {
+    const Leaf& leaf = mesh.leaf(l);
+    for (std::uint32_t s = leaf.begin; s < leaf.end; ++s) {
+      leaf_of[mesh.permutation()[s]] = static_cast<std::uint32_t>(l);
+    }
+  }
+  std::set<std::pair<std::uint32_t, std::uint32_t>> pair_set(pairs.begin(),
+                                                             pairs.end());
+  for (std::size_t i = 0; i < p.size(); ++i) {
+    for (std::size_t j = i + 1; j < p.size(); ++j) {
+      const double dx = p.x[i] - p.x[j];
+      const double dy = p.y[i] - p.y[j];
+      const double dz = p.z[i] - p.z[j];
+      if (dx * dx + dy * dy + dz * dz > radius * radius) continue;
+      auto a = leaf_of[i], b = leaf_of[j];
+      if (a > b) std::swap(a, b);
+      EXPECT_TRUE(pair_set.count({a, b}))
+          << "pair (" << i << "," << j << ") not covered";
+    }
+  }
+}
+
+TEST(ChainingMesh, SubsetBuildUsesOnlySubset) {
+  const auto p = random_particles(200, 10.0, 6);
+  std::vector<std::uint32_t> subset;
+  for (std::uint32_t i = 0; i < 200; i += 2) subset.push_back(i);
+  ChainingMesh mesh(unit_box(10.0), {2.0, 16});
+  mesh.build(p, subset);
+  EXPECT_EQ(mesh.num_particles(), subset.size());
+  for (std::uint32_t idx : mesh.permutation()) {
+    EXPECT_EQ(idx % 2, 0u);
+  }
+}
+
+TEST(ChainingMesh, ForEachInRadiusMatchesBruteForce) {
+  const double box = 6.0;
+  const auto p = random_particles(300, box, 7);
+  ChainingMesh mesh(unit_box(box), {1.5, 8});
+  mesh.build(p);
+  const float radius = 1.2f;
+  for (int trial = 0; trial < 20; ++trial) {
+    const float qx = static_cast<float>(0.5 + trial * 0.25);
+    const float qy = static_cast<float>(3.0 - trial * 0.1);
+    const float qz = 2.0f;
+    std::set<std::uint32_t> found;
+    mesh.for_each_in_radius(p, qx, qy, qz, radius,
+                            [&](std::uint32_t i, float) { found.insert(i); });
+    std::set<std::uint32_t> expected;
+    for (std::size_t i = 0; i < p.size(); ++i) {
+      const float dx = p.x[i] - qx, dy = p.y[i] - qy, dz = p.z[i] - qz;
+      if (dx * dx + dy * dy + dz * dz <= radius * radius) {
+        expected.insert(static_cast<std::uint32_t>(i));
+      }
+    }
+    EXPECT_EQ(found, expected);
+  }
+}
+
+TEST(ChainingMesh, AabbDistanceSq) {
+  Leaf a, b;
+  a.lo = {0, 0, 0};
+  a.hi = {1, 1, 1};
+  b.lo = {3, 0, 0};
+  b.hi = {4, 1, 1};
+  EXPECT_DOUBLE_EQ(ChainingMesh::aabb_distance_sq(a, b), 4.0);
+  b.lo = {0.5, 0.5, 0.5};
+  b.hi = {2, 2, 2};
+  EXPECT_DOUBLE_EQ(ChainingMesh::aabb_distance_sq(a, b), 0.0);
+}
+
+TEST(ChainingMesh, ClampsStrayParticlesIntoEdgeBins) {
+  Particles p;
+  p.push_back(0, Species::kDarkMatter, -0.5f, 5.0f, 5.0f, 0, 0, 0, 1.0f);
+  p.push_back(1, Species::kDarkMatter, 10.5f, 5.0f, 5.0f, 0, 0, 0, 1.0f);
+  ChainingMesh mesh(unit_box(10.0), {2.0, 16});
+  mesh.build(p);  // must not crash; both particles land in edge bins
+  EXPECT_EQ(mesh.num_particles(), 2u);
+}
+
+// --- LBVH ---------------------------------------------------------------------
+
+class BvhTest : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(BvhTest, RadiusQueryMatchesBruteForce) {
+  const std::size_t n = GetParam();
+  const auto p = random_particles(n, 4.0, 8);
+  const Bvh bvh(p.x, p.y, p.z);
+  EXPECT_EQ(bvh.size(), n);
+  SplitMix64 rng(9);
+  for (int trial = 0; trial < 25; ++trial) {
+    const float qx = static_cast<float>(rng.next_double() * 4.0);
+    const float qy = static_cast<float>(rng.next_double() * 4.0);
+    const float qz = static_cast<float>(rng.next_double() * 4.0);
+    const float radius = static_cast<float>(0.2 + rng.next_double());
+    std::set<std::uint32_t> found;
+    bvh.radius_query(qx, qy, qz, radius,
+                     [&](std::uint32_t i) { found.insert(i); });
+    std::set<std::uint32_t> expected;
+    for (std::size_t i = 0; i < n; ++i) {
+      const float dx = p.x[i] - qx, dy = p.y[i] - qy, dz = p.z[i] - qz;
+      if (dx * dx + dy * dy + dz * dz <= radius * radius) {
+        expected.insert(static_cast<std::uint32_t>(i));
+      }
+    }
+    EXPECT_EQ(found, expected);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, BvhTest, ::testing::Values(1, 2, 7, 64, 500));
+
+TEST(Bvh, EmptySetHandled) {
+  std::vector<float> none;
+  const Bvh bvh(none, none, none);
+  std::size_t visits = 0;
+  bvh.radius_query(0, 0, 0, 10, [&](std::uint32_t) { ++visits; });
+  EXPECT_EQ(visits, 0u);
+}
+
+TEST(Bvh, CountWithinIncludesSelf) {
+  std::vector<float> x{1.0f, 2.0f}, y{0.0f, 0.0f}, z{0.0f, 0.0f};
+  const Bvh bvh(x, y, z);
+  EXPECT_EQ(bvh.count_within(1.0f, 0.0f, 0.0f, 0.5f), 1u);
+  EXPECT_EQ(bvh.count_within(1.0f, 0.0f, 0.0f, 1.5f), 2u);
+}
+
+TEST(Bvh, DuplicatePointsAllFound) {
+  std::vector<float> x(10, 1.0f), y(10, 1.0f), z(10, 1.0f);
+  const Bvh bvh(x, y, z);
+  EXPECT_EQ(bvh.count_within(1.0f, 1.0f, 1.0f, 0.1f), 10u);
+}
+
+}  // namespace
+}  // namespace crkhacc::tree
