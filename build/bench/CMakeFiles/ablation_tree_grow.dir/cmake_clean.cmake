@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_tree_grow.dir/ablation_tree_grow.cpp.o"
+  "CMakeFiles/ablation_tree_grow.dir/ablation_tree_grow.cpp.o.d"
+  "ablation_tree_grow"
+  "ablation_tree_grow.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_tree_grow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

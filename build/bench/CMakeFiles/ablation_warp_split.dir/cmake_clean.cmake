@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_warp_split.dir/ablation_warp_split.cpp.o"
+  "CMakeFiles/ablation_warp_split.dir/ablation_warp_split.cpp.o.d"
+  "ablation_warp_split"
+  "ablation_warp_split.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_warp_split.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/fig1_landscape.cpp" "bench/CMakeFiles/fig1_landscape.dir/fig1_landscape.cpp.o" "gcc" "bench/CMakeFiles/fig1_landscape.dir/fig1_landscape.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/crkhacc_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/sph/CMakeFiles/crkhacc_sph.dir/DependInfo.cmake"
+  "/root/repo/build/src/gravity/CMakeFiles/crkhacc_gravity.dir/DependInfo.cmake"
+  "/root/repo/build/src/gpu/CMakeFiles/crkhacc_gpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/subgrid/CMakeFiles/crkhacc_subgrid.dir/DependInfo.cmake"
+  "/root/repo/build/src/integrator/CMakeFiles/crkhacc_integrator.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/crkhacc_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/mesh/CMakeFiles/crkhacc_mesh.dir/DependInfo.cmake"
+  "/root/repo/build/src/cosmology/CMakeFiles/crkhacc_cosmology.dir/DependInfo.cmake"
+  "/root/repo/build/src/fft/CMakeFiles/crkhacc_fft.dir/DependInfo.cmake"
+  "/root/repo/build/src/tree/CMakeFiles/crkhacc_tree.dir/DependInfo.cmake"
+  "/root/repo/build/src/comm/CMakeFiles/crkhacc_comm.dir/DependInfo.cmake"
+  "/root/repo/build/src/io/CMakeFiles/crkhacc_io.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/crkhacc_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

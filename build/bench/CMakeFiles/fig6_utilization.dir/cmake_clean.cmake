@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6_utilization.dir/fig6_utilization.cpp.o"
+  "CMakeFiles/fig6_utilization.dir/fig6_utilization.cpp.o.d"
+  "fig6_utilization"
+  "fig6_utilization.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_utilization.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

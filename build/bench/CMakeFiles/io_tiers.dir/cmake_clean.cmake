@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/io_tiers.dir/io_tiers.cpp.o"
+  "CMakeFiles/io_tiers.dir/io_tiers.cpp.o.d"
+  "io_tiers"
+  "io_tiers.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/io_tiers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/frontier_mini.dir/frontier_mini.cpp.o"
+  "CMakeFiles/frontier_mini.dir/frontier_mini.cpp.o.d"
+  "frontier_mini"
+  "frontier_mini.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/frontier_mini.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/halo_finding.dir/halo_finding.cpp.o"
+  "CMakeFiles/halo_finding.dir/halo_finding.cpp.o.d"
+  "halo_finding"
+  "halo_finding.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/halo_finding.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

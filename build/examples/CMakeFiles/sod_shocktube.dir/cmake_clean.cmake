@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sod_shocktube.dir/sod_shocktube.cpp.o"
+  "CMakeFiles/sod_shocktube.dir/sod_shocktube.cpp.o.d"
+  "sod_shocktube"
+  "sod_shocktube.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sod_shocktube.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for sod_shocktube.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,2 @@
+# Empty dependencies file for sod_shocktube.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,20 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("util")
+subdirs("comm")
+subdirs("fft")
+subdirs("cosmology")
+subdirs("mesh")
+subdirs("tree")
+subdirs("gpu")
+subdirs("sph")
+subdirs("gravity")
+subdirs("subgrid")
+subdirs("integrator")
+subdirs("analysis")
+subdirs("io")
+subdirs("core")

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/analysis/dbscan.cpp" "src/analysis/CMakeFiles/crkhacc_analysis.dir/dbscan.cpp.o" "gcc" "src/analysis/CMakeFiles/crkhacc_analysis.dir/dbscan.cpp.o.d"
+  "/root/repo/src/analysis/fof.cpp" "src/analysis/CMakeFiles/crkhacc_analysis.dir/fof.cpp.o" "gcc" "src/analysis/CMakeFiles/crkhacc_analysis.dir/fof.cpp.o.d"
+  "/root/repo/src/analysis/galaxies.cpp" "src/analysis/CMakeFiles/crkhacc_analysis.dir/galaxies.cpp.o" "gcc" "src/analysis/CMakeFiles/crkhacc_analysis.dir/galaxies.cpp.o.d"
+  "/root/repo/src/analysis/halos.cpp" "src/analysis/CMakeFiles/crkhacc_analysis.dir/halos.cpp.o" "gcc" "src/analysis/CMakeFiles/crkhacc_analysis.dir/halos.cpp.o.d"
+  "/root/repo/src/analysis/power_spectrum.cpp" "src/analysis/CMakeFiles/crkhacc_analysis.dir/power_spectrum.cpp.o" "gcc" "src/analysis/CMakeFiles/crkhacc_analysis.dir/power_spectrum.cpp.o.d"
+  "/root/repo/src/analysis/slices.cpp" "src/analysis/CMakeFiles/crkhacc_analysis.dir/slices.cpp.o" "gcc" "src/analysis/CMakeFiles/crkhacc_analysis.dir/slices.cpp.o.d"
+  "/root/repo/src/analysis/so_masses.cpp" "src/analysis/CMakeFiles/crkhacc_analysis.dir/so_masses.cpp.o" "gcc" "src/analysis/CMakeFiles/crkhacc_analysis.dir/so_masses.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/crkhacc_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/tree/CMakeFiles/crkhacc_tree.dir/DependInfo.cmake"
+  "/root/repo/build/src/mesh/CMakeFiles/crkhacc_mesh.dir/DependInfo.cmake"
+  "/root/repo/build/src/comm/CMakeFiles/crkhacc_comm.dir/DependInfo.cmake"
+  "/root/repo/build/src/cosmology/CMakeFiles/crkhacc_cosmology.dir/DependInfo.cmake"
+  "/root/repo/build/src/fft/CMakeFiles/crkhacc_fft.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

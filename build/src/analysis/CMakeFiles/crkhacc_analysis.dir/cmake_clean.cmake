@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/crkhacc_analysis.dir/dbscan.cpp.o"
+  "CMakeFiles/crkhacc_analysis.dir/dbscan.cpp.o.d"
+  "CMakeFiles/crkhacc_analysis.dir/fof.cpp.o"
+  "CMakeFiles/crkhacc_analysis.dir/fof.cpp.o.d"
+  "CMakeFiles/crkhacc_analysis.dir/galaxies.cpp.o"
+  "CMakeFiles/crkhacc_analysis.dir/galaxies.cpp.o.d"
+  "CMakeFiles/crkhacc_analysis.dir/halos.cpp.o"
+  "CMakeFiles/crkhacc_analysis.dir/halos.cpp.o.d"
+  "CMakeFiles/crkhacc_analysis.dir/power_spectrum.cpp.o"
+  "CMakeFiles/crkhacc_analysis.dir/power_spectrum.cpp.o.d"
+  "CMakeFiles/crkhacc_analysis.dir/slices.cpp.o"
+  "CMakeFiles/crkhacc_analysis.dir/slices.cpp.o.d"
+  "CMakeFiles/crkhacc_analysis.dir/so_masses.cpp.o"
+  "CMakeFiles/crkhacc_analysis.dir/so_masses.cpp.o.d"
+  "libcrkhacc_analysis.a"
+  "libcrkhacc_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/crkhacc_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

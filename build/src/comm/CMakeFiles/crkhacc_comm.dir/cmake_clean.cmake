@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/crkhacc_comm.dir/decomposition.cpp.o"
+  "CMakeFiles/crkhacc_comm.dir/decomposition.cpp.o.d"
+  "CMakeFiles/crkhacc_comm.dir/world.cpp.o"
+  "CMakeFiles/crkhacc_comm.dir/world.cpp.o.d"
+  "libcrkhacc_comm.a"
+  "libcrkhacc_comm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/crkhacc_comm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

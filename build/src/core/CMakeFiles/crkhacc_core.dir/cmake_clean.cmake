@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/crkhacc_core.dir/diagnostics.cpp.o"
+  "CMakeFiles/crkhacc_core.dir/diagnostics.cpp.o.d"
+  "CMakeFiles/crkhacc_core.dir/exchange.cpp.o"
+  "CMakeFiles/crkhacc_core.dir/exchange.cpp.o.d"
+  "CMakeFiles/crkhacc_core.dir/param_file.cpp.o"
+  "CMakeFiles/crkhacc_core.dir/param_file.cpp.o.d"
+  "CMakeFiles/crkhacc_core.dir/simulation.cpp.o"
+  "CMakeFiles/crkhacc_core.dir/simulation.cpp.o.d"
+  "libcrkhacc_core.a"
+  "libcrkhacc_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/crkhacc_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/crkhacc_cosmology.dir/background.cpp.o"
+  "CMakeFiles/crkhacc_cosmology.dir/background.cpp.o.d"
+  "CMakeFiles/crkhacc_cosmology.dir/ics.cpp.o"
+  "CMakeFiles/crkhacc_cosmology.dir/ics.cpp.o.d"
+  "CMakeFiles/crkhacc_cosmology.dir/power.cpp.o"
+  "CMakeFiles/crkhacc_cosmology.dir/power.cpp.o.d"
+  "libcrkhacc_cosmology.a"
+  "libcrkhacc_cosmology.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/crkhacc_cosmology.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

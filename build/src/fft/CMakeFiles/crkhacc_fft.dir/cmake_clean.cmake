@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/crkhacc_fft.dir/distributed_fft.cpp.o"
+  "CMakeFiles/crkhacc_fft.dir/distributed_fft.cpp.o.d"
+  "CMakeFiles/crkhacc_fft.dir/fft.cpp.o"
+  "CMakeFiles/crkhacc_fft.dir/fft.cpp.o.d"
+  "libcrkhacc_fft.a"
+  "libcrkhacc_fft.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/crkhacc_fft.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/crkhacc_gpu.dir/device.cpp.o"
+  "CMakeFiles/crkhacc_gpu.dir/device.cpp.o.d"
+  "libcrkhacc_gpu.a"
+  "libcrkhacc_gpu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/crkhacc_gpu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

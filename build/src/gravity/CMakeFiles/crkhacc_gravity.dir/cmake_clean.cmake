@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/crkhacc_gravity.dir/short_range.cpp.o"
+  "CMakeFiles/crkhacc_gravity.dir/short_range.cpp.o.d"
+  "libcrkhacc_gravity.a"
+  "libcrkhacc_gravity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/crkhacc_gravity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/crkhacc_integrator.dir/kdk.cpp.o"
+  "CMakeFiles/crkhacc_integrator.dir/kdk.cpp.o.d"
+  "CMakeFiles/crkhacc_integrator.dir/timestep.cpp.o"
+  "CMakeFiles/crkhacc_integrator.dir/timestep.cpp.o.d"
+  "libcrkhacc_integrator.a"
+  "libcrkhacc_integrator.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/crkhacc_integrator.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/io/checkpoint.cpp" "src/io/CMakeFiles/crkhacc_io.dir/checkpoint.cpp.o" "gcc" "src/io/CMakeFiles/crkhacc_io.dir/checkpoint.cpp.o.d"
+  "/root/repo/src/io/generic_io.cpp" "src/io/CMakeFiles/crkhacc_io.dir/generic_io.cpp.o" "gcc" "src/io/CMakeFiles/crkhacc_io.dir/generic_io.cpp.o.d"
+  "/root/repo/src/io/multi_tier.cpp" "src/io/CMakeFiles/crkhacc_io.dir/multi_tier.cpp.o" "gcc" "src/io/CMakeFiles/crkhacc_io.dir/multi_tier.cpp.o.d"
+  "/root/repo/src/io/storage.cpp" "src/io/CMakeFiles/crkhacc_io.dir/storage.cpp.o" "gcc" "src/io/CMakeFiles/crkhacc_io.dir/storage.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/crkhacc_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

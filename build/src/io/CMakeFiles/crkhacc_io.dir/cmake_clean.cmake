@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/crkhacc_io.dir/checkpoint.cpp.o"
+  "CMakeFiles/crkhacc_io.dir/checkpoint.cpp.o.d"
+  "CMakeFiles/crkhacc_io.dir/generic_io.cpp.o"
+  "CMakeFiles/crkhacc_io.dir/generic_io.cpp.o.d"
+  "CMakeFiles/crkhacc_io.dir/multi_tier.cpp.o"
+  "CMakeFiles/crkhacc_io.dir/multi_tier.cpp.o.d"
+  "CMakeFiles/crkhacc_io.dir/storage.cpp.o"
+  "CMakeFiles/crkhacc_io.dir/storage.cpp.o.d"
+  "libcrkhacc_io.a"
+  "libcrkhacc_io.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/crkhacc_io.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/crkhacc_mesh.dir/force_split.cpp.o"
+  "CMakeFiles/crkhacc_mesh.dir/force_split.cpp.o.d"
+  "CMakeFiles/crkhacc_mesh.dir/pm_solver.cpp.o"
+  "CMakeFiles/crkhacc_mesh.dir/pm_solver.cpp.o.d"
+  "libcrkhacc_mesh.a"
+  "libcrkhacc_mesh.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/crkhacc_mesh.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

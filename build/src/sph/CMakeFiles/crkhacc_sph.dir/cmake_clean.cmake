@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/crkhacc_sph.dir/crk.cpp.o"
+  "CMakeFiles/crkhacc_sph.dir/crk.cpp.o.d"
+  "CMakeFiles/crkhacc_sph.dir/solver.cpp.o"
+  "CMakeFiles/crkhacc_sph.dir/solver.cpp.o.d"
+  "libcrkhacc_sph.a"
+  "libcrkhacc_sph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/crkhacc_sph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

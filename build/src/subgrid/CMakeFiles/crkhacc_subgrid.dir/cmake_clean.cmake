@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/crkhacc_subgrid.dir/cooling.cpp.o"
+  "CMakeFiles/crkhacc_subgrid.dir/cooling.cpp.o.d"
+  "CMakeFiles/crkhacc_subgrid.dir/model.cpp.o"
+  "CMakeFiles/crkhacc_subgrid.dir/model.cpp.o.d"
+  "libcrkhacc_subgrid.a"
+  "libcrkhacc_subgrid.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/crkhacc_subgrid.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/crkhacc_tree.dir/chaining_mesh.cpp.o"
+  "CMakeFiles/crkhacc_tree.dir/chaining_mesh.cpp.o.d"
+  "CMakeFiles/crkhacc_tree.dir/lbvh.cpp.o"
+  "CMakeFiles/crkhacc_tree.dir/lbvh.cpp.o.d"
+  "libcrkhacc_tree.a"
+  "libcrkhacc_tree.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/crkhacc_tree.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

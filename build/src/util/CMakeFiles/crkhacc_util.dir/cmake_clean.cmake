@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/crkhacc_util.dir/crc32.cpp.o"
+  "CMakeFiles/crkhacc_util.dir/crc32.cpp.o.d"
+  "CMakeFiles/crkhacc_util.dir/histogram.cpp.o"
+  "CMakeFiles/crkhacc_util.dir/histogram.cpp.o.d"
+  "CMakeFiles/crkhacc_util.dir/log.cpp.o"
+  "CMakeFiles/crkhacc_util.dir/log.cpp.o.d"
+  "CMakeFiles/crkhacc_util.dir/morton.cpp.o"
+  "CMakeFiles/crkhacc_util.dir/morton.cpp.o.d"
+  "CMakeFiles/crkhacc_util.dir/timer.cpp.o"
+  "CMakeFiles/crkhacc_util.dir/timer.cpp.o.d"
+  "libcrkhacc_util.a"
+  "libcrkhacc_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/crkhacc_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libcrkhacc_util.a"
+)

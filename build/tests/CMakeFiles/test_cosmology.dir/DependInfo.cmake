@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_cosmology.cpp" "tests/CMakeFiles/test_cosmology.dir/test_cosmology.cpp.o" "gcc" "tests/CMakeFiles/test_cosmology.dir/test_cosmology.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/cosmology/CMakeFiles/crkhacc_cosmology.dir/DependInfo.cmake"
+  "/root/repo/build/src/fft/CMakeFiles/crkhacc_fft.dir/DependInfo.cmake"
+  "/root/repo/build/src/comm/CMakeFiles/crkhacc_comm.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/crkhacc_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

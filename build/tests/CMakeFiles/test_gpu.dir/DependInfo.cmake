@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_gpu.cpp" "tests/CMakeFiles/test_gpu.dir/test_gpu.cpp.o" "gcc" "tests/CMakeFiles/test_gpu.dir/test_gpu.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/gpu/CMakeFiles/crkhacc_gpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/tree/CMakeFiles/crkhacc_tree.dir/DependInfo.cmake"
+  "/root/repo/build/src/comm/CMakeFiles/crkhacc_comm.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/crkhacc_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_gravity.dir/test_gravity.cpp.o"
+  "CMakeFiles/test_gravity.dir/test_gravity.cpp.o.d"
+  "test_gravity"
+  "test_gravity.pdb"
+  "test_gravity[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_gravity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_subgrid.dir/test_subgrid.cpp.o"
+  "CMakeFiles/test_subgrid.dir/test_subgrid.cpp.o.d"
+  "test_subgrid"
+  "test_subgrid.pdb"
+  "test_subgrid[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_subgrid.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

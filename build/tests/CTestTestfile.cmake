@@ -1,0 +1,22 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/test_util[1]_include.cmake")
+include("/root/repo/build/tests/test_comm[1]_include.cmake")
+include("/root/repo/build/tests/test_fft[1]_include.cmake")
+include("/root/repo/build/tests/test_cosmology[1]_include.cmake")
+include("/root/repo/build/tests/test_mesh[1]_include.cmake")
+include("/root/repo/build/tests/test_tree[1]_include.cmake")
+include("/root/repo/build/tests/test_gpu[1]_include.cmake")
+include("/root/repo/build/tests/test_sph[1]_include.cmake")
+include("/root/repo/build/tests/test_gravity[1]_include.cmake")
+include("/root/repo/build/tests/test_subgrid[1]_include.cmake")
+include("/root/repo/build/tests/test_integrator[1]_include.cmake")
+include("/root/repo/build/tests/test_io[1]_include.cmake")
+include("/root/repo/build/tests/test_analysis[1]_include.cmake")
+include("/root/repo/build/tests/test_exchange[1]_include.cmake")
+include("/root/repo/build/tests/test_simulation[1]_include.cmake")
+include("/root/repo/build/tests/test_property_sweeps[1]_include.cmake")
