@@ -8,7 +8,12 @@
 // accounting: timer taxonomy, data written, effective I/O bandwidth, and
 // interruption count.
 //
-//   ./examples/frontier_mini [num_ranks] [workdir]
+//   ./examples/frontier_mini [num_ranks] [workdir] [storage_fault_seed]
+//
+// With a storage_fault_seed, the PFS additionally injects silent
+// corruption (torn writes, bit flips) and transient I/O errors; the
+// campaign must still complete with every checkpoint provably intact
+// (write-verify + CRC completion markers + retries).
 #include <cstdio>
 #include <cstdlib>
 #include <filesystem>
@@ -58,6 +63,17 @@ int main(int argc, char** argv) {
   // Storage models: per-node NVMe (private, fast) + shared PFS (slow).
   io::ThrottledStore pfs(
       io::StoreConfig{workdir + "/pfs", 40e6, 0.002, /*shared=*/true});
+  if (argc > 3) {
+    io::FaultPolicy storage_faults;
+    storage_faults.seed = static_cast<std::uint64_t>(std::atoll(argv[3]));
+    storage_faults.torn_write = 0.05;
+    storage_faults.bit_flip = 0.05;
+    storage_faults.transient_eio = 0.10;
+    pfs.set_fault_policy(storage_faults);
+    std::printf("PFS fault injection armed (seed %s): 5%% torn writes, "
+                "5%% bit flips, 10%% transient EIO\n\n",
+                argv[3]);
+  }
   std::vector<std::unique_ptr<io::ThrottledStore>> nvmes;
   for (int r = 0; r < ranks; ++r) {
     nvmes.push_back(std::make_unique<io::ThrottledStore>(io::StoreConfig{
@@ -96,9 +112,22 @@ int main(int argc, char** argv) {
 
     if (comm.rank() == 0) {
       std::printf("campaign complete: %llu steps, %llu machine interruptions "
-                  "survived\n\n",
+                  "survived\n",
                   static_cast<unsigned long long>(result.steps_done),
                   static_cast<unsigned long long>(result.interruptions));
+      std::printf("recovery: %llu checkpoint restores attempted, %llu "
+                  "fallbacks to older steps, %llu restarts from ICs\n",
+                  static_cast<unsigned long long>(result.recovery_attempts),
+                  static_cast<unsigned long long>(result.checkpoint_fallbacks),
+                  static_cast<unsigned long long>(result.restarts_from_ics));
+      std::printf("io hardening: %llu local retries, %llu PFS retries, %llu "
+                  "verify failures caught, %llu bleed failures%s\n\n",
+                  static_cast<unsigned long long>(result.io.local_retries),
+                  static_cast<unsigned long long>(result.io.pfs_retries),
+                  static_cast<unsigned long long>(result.io.verify_failures),
+                  static_cast<unsigned long long>(result.io.bleed_failures),
+                  result.io.degraded_to_direct ? " (degraded to direct PFS)"
+                                               : "");
       std::printf("checkpoint data written: %.1f MB total, sim blocked "
                   "%.3f s (max rank)\n",
                   static_cast<double>(total_bytes) / 1e6, max_blocked);

@@ -1,6 +1,7 @@
 #include "comm/world.h"
 
 #include <algorithm>
+#include <chrono>
 #include <thread>
 
 namespace crkhacc::comm {
@@ -19,30 +20,232 @@ constexpr int kTagAlltoall = -3;
 // --------------------------------------------------------------------------
 // World
 
-World::World(int num_ranks) : num_ranks_(num_ranks) {
+World::World(int num_ranks, const WatchdogConfig& watchdog)
+    : num_ranks_(num_ranks), watchdog_config_(watchdog) {
   CHECK(num_ranks >= 1);
   mailboxes_.reserve(static_cast<std::size_t>(num_ranks));
   for (int i = 0; i < num_ranks; ++i) {
     mailboxes_.push_back(std::make_unique<Mailbox>());
   }
+  fail_at_op_.assign(static_cast<std::size_t>(num_ranks), -1);
+  rank_states_.resize(static_cast<std::size_t>(num_ranks));
 }
 
 World::~World() = default;
 
+void World::schedule_rank_failure(int rank, std::uint64_t op) {
+  CHECK(rank >= 0 && rank < num_ranks_);
+  fail_at_op_[static_cast<std::size_t>(rank)] = static_cast<std::int64_t>(op);
+}
+
+void World::clear_failure_schedule() {
+  std::fill(fail_at_op_.begin(), fail_at_op_.end(), -1);
+}
+
 void World::run(const std::function<void(Communicator&)>& rank_main) {
-  // Any leftover state from a previous (buggy) run would corrupt this one.
-  for (auto& box : mailboxes_) {
-    CHECK(box->messages.empty());
+  if (dirty_) {
+    // A previous run lost ranks or deadlocked: drop undelivered messages
+    // and half-formed barrier arrivals instead of poisoning this run.
+    for (auto& box : mailboxes_) {
+      std::lock_guard<std::mutex> lock(box->mutex);
+      box->messages.clear();
+    }
+    {
+      std::lock_guard<std::mutex> lock(barrier_mutex_);
+      barrier_arrived_ = 0;
+    }
+    dirty_ = false;
+  } else {
+    // Any leftover state from a previous (buggy) run would corrupt this
+    // one.
+    for (auto& box : mailboxes_) {
+      CHECK(box->messages.empty());
+    }
   }
+  failures_.clear();
+  deadlock_flag_.store(false);
+  {
+    std::lock_guard<std::mutex> lock(state_mutex_);
+    deadlock_diagnosis_.clear();
+    std::fill(rank_states_.begin(), rank_states_.end(), RankState{});
+  }
+  progress_.store(0);
+  unfinished_.store(num_ranks_);
+
+  std::thread watchdog;
+  if (watchdog_config_.enabled) {
+    watchdog = std::thread([this] { watchdog_loop(); });
+  }
+
   std::vector<std::thread> threads;
   threads.reserve(static_cast<std::size_t>(num_ranks_));
   for (int r = 0; r < num_ranks_; ++r) {
     threads.emplace_back([this, r, &rank_main] {
       Communicator comm(*this, r);
-      rank_main(comm);
+      try {
+        rank_main(comm);
+        set_phase(r, Phase::kFinished);
+      } catch (const RankFailure& failure) {
+        {
+          std::lock_guard<std::mutex> lock(state_mutex_);
+          failures_.push_back(FailureRecord{failure.rank(), failure.op()});
+        }
+        set_phase(r, Phase::kFailed);
+      } catch (const DeadlockError&) {
+        set_phase(r, Phase::kFailed);
+      }
+      unfinished_.fetch_sub(1);
+      watchdog_cv_.notify_all();
     });
   }
   for (auto& t : threads) t.join();
+  watchdog_cv_.notify_all();
+  if (watchdog.joinable()) watchdog.join();
+
+  if (!failures_.empty() || deadlock_flag_.load()) dirty_ = true;
+  if (deadlock_flag_.load()) {
+    std::lock_guard<std::mutex> lock(state_mutex_);
+    throw DeadlockError(deadlock_diagnosis_);
+  }
+}
+
+void World::set_phase(int rank, Phase phase, int source, int tag,
+                      std::uint64_t barrier_gen) {
+  {
+    std::lock_guard<std::mutex> lock(state_mutex_);
+    auto& state = rank_states_[static_cast<std::size_t>(rank)];
+    state.phase = phase;
+    state.source = source;
+    state.tag = tag;
+    state.barrier_gen = barrier_gen;
+  }
+  progress_.fetch_add(1, std::memory_order_relaxed);
+}
+
+void World::watchdog_loop() {
+  std::uint64_t last_progress = progress_.load();
+  bool armed = false;
+  while (unfinished_.load() > 0 && !deadlock_flag_.load()) {
+    {
+      std::unique_lock<std::mutex> lock(watchdog_mutex_);
+      watchdog_cv_.wait_for(
+          lock,
+          std::chrono::duration<double>(watchdog_config_.poll_interval_s),
+          [this] { return unfinished_.load() == 0; });
+    }
+    if (unfinished_.load() == 0) return;
+    const std::string diagnosis = watchdog_probe(last_progress, armed);
+    if (!diagnosis.empty()) {
+      declare_deadlock(diagnosis);
+      return;
+    }
+  }
+}
+
+std::string World::watchdog_probe(std::uint64_t& last_progress, bool& armed) {
+  // A deadlock is proven, not guessed: every live rank is blocked, no
+  // blocked recv has a deliverable message, and nothing moved between
+  // two consecutive polls. All three can only hold simultaneously for a
+  // genuinely wedged machine, because only ranks deliver messages.
+  const std::uint64_t progress_now = progress_.load();
+  if (progress_now != last_progress) {
+    last_progress = progress_now;
+    armed = false;
+    return {};
+  }
+
+  std::vector<RankState> snapshot;
+  {
+    std::lock_guard<std::mutex> lock(state_mutex_);
+    snapshot = rank_states_;
+  }
+  bool any_blocked = false;
+  for (const auto& state : snapshot) {
+    if (state.phase == Phase::kRunning) {
+      armed = false;
+      return {};
+    }
+    if (state.phase == Phase::kBlockedRecv ||
+        state.phase == Phase::kBlockedBarrier) {
+      any_blocked = true;
+    }
+  }
+  if (!any_blocked) return {};
+
+  for (std::size_t r = 0; r < snapshot.size(); ++r) {
+    if (snapshot[r].phase != Phase::kBlockedRecv) continue;
+    Mailbox& box = *mailboxes_[r];
+    std::lock_guard<std::mutex> lock(box.mutex);
+    for (const auto& m : box.messages) {
+      if (m.source == snapshot[r].source && m.tag == snapshot[r].tag) {
+        // Deliverable message: the rank just hasn't woken yet.
+        armed = false;
+        return {};
+      }
+    }
+  }
+  if (progress_.load() != last_progress) return {};
+  if (!armed) {
+    armed = true;  // require a second identical sample before firing
+    return {};
+  }
+  return dump_rank_states();
+}
+
+std::string World::dump_rank_states() {
+  std::vector<RankState> snapshot;
+  {
+    std::lock_guard<std::mutex> lock(state_mutex_);
+    snapshot = rank_states_;
+  }
+  std::string out =
+      "communication deadlock: no live rank can make progress\n";
+  for (std::size_t r = 0; r < snapshot.size(); ++r) {
+    const auto& state = snapshot[r];
+    out += "  rank " + std::to_string(r) + ": ";
+    switch (state.phase) {
+      case Phase::kRunning:
+        out += "running";
+        break;
+      case Phase::kBlockedRecv:
+        out += "blocked in recv(source=" + std::to_string(state.source) +
+               ", tag=" + std::to_string(state.tag) + ")";
+        break;
+      case Phase::kBlockedBarrier:
+        out += "blocked in barrier(generation=" +
+               std::to_string(state.barrier_gen) + ")";
+        break;
+      case Phase::kFinished:
+        out += "finished";
+        break;
+      case Phase::kFailed:
+        out += "failed (rank lost)";
+        break;
+    }
+    out += "\n";
+  }
+  return out;
+}
+
+void World::declare_deadlock(const std::string& diagnosis) {
+  {
+    std::lock_guard<std::mutex> lock(state_mutex_);
+    deadlock_diagnosis_ = diagnosis;
+  }
+  deadlock_flag_.store(true);
+  for (auto& box : mailboxes_) {
+    std::lock_guard<std::mutex> lock(box->mutex);
+    box->cv.notify_all();
+  }
+  {
+    std::lock_guard<std::mutex> lock(barrier_mutex_);
+    barrier_cv_.notify_all();
+  }
+}
+
+void World::throw_deadlock() {
+  std::lock_guard<std::mutex> lock(state_mutex_);
+  throw DeadlockError(deadlock_diagnosis_);
 }
 
 void World::deliver(int dest, Message message) {
@@ -52,13 +255,16 @@ void World::deliver(int dest, Message message) {
     std::lock_guard<std::mutex> lock(box.mutex);
     box.messages.push_back(std::move(message));
   }
+  progress_.fetch_add(1, std::memory_order_relaxed);
   box.cv.notify_all();
 }
 
 std::vector<std::uint8_t> World::wait_for(int self, int source, int tag) {
   Mailbox& box = *mailboxes_[static_cast<std::size_t>(self)];
   std::unique_lock<std::mutex> lock(box.mutex);
+  set_phase(self, Phase::kBlockedRecv, source, tag);
   while (true) {
+    if (deadlock_flag_.load()) throw_deadlock();
     auto it = std::find_if(box.messages.begin(), box.messages.end(),
                            [&](const Message& m) {
                              return m.source == source && m.tag == tag;
@@ -66,22 +272,29 @@ std::vector<std::uint8_t> World::wait_for(int self, int source, int tag) {
     if (it != box.messages.end()) {
       auto payload = std::move(it->payload);
       box.messages.erase(it);
+      set_phase(self, Phase::kRunning);
       return payload;
     }
     box.cv.wait(lock);
   }
 }
 
-void World::barrier_wait() {
+void World::barrier_wait(int self) {
   std::unique_lock<std::mutex> lock(barrier_mutex_);
   const std::uint64_t generation = barrier_generation_;
   if (++barrier_arrived_ == num_ranks_) {
     barrier_arrived_ = 0;
     ++barrier_generation_;
+    progress_.fetch_add(1, std::memory_order_relaxed);
     barrier_cv_.notify_all();
     return;
   }
-  barrier_cv_.wait(lock, [&] { return barrier_generation_ != generation; });
+  set_phase(self, Phase::kBlockedBarrier, -1, 0, generation);
+  while (barrier_generation_ == generation) {
+    if (deadlock_flag_.load()) throw_deadlock();
+    barrier_cv_.wait(lock);
+  }
+  set_phase(self, Phase::kRunning);
 }
 
 // --------------------------------------------------------------------------
@@ -89,9 +302,18 @@ void World::barrier_wait() {
 
 int Communicator::size() const { return world_.num_ranks_; }
 
+void Communicator::tick() {
+  const std::int64_t fail_at = world_.fail_at_op_[static_cast<std::size_t>(rank_)];
+  const std::uint64_t op = op_count_++;
+  if (fail_at >= 0 && static_cast<std::int64_t>(op) == fail_at) {
+    throw RankFailure(rank_, op);
+  }
+}
+
 void Communicator::send_bytes(int dest, int tag, const void* data,
                               std::size_t size) {
   CHECK(tag >= 0);
+  tick();
   const auto* bytes = static_cast<const std::uint8_t*>(data);
   bytes_sent_ += size;
   world_.deliver(dest, World::Message{rank_, tag,
@@ -100,13 +322,18 @@ void Communicator::send_bytes(int dest, int tag, const void* data,
 
 std::vector<std::uint8_t> Communicator::recv_bytes(int source, int tag) {
   CHECK(tag >= 0);
+  tick();
   return world_.wait_for(rank_, source, tag);
 }
 
-void Communicator::barrier() { world_.barrier_wait(); }
+void Communicator::barrier() {
+  tick();
+  world_.barrier_wait(rank_);
+}
 
 std::vector<std::vector<std::uint8_t>> Communicator::allgather_bytes(
     const std::vector<std::uint8_t>& mine) {
+  tick();
   const int n = size();
   for (int d = 0; d < n; ++d) {
     bytes_sent_ += mine.size();
@@ -166,6 +393,7 @@ std::int64_t Communicator::allreduce_scalar(std::int64_t value, ReduceOp op) {
 }
 
 void Communicator::bcast_bytes(std::vector<std::uint8_t>& bytes, int root) {
+  tick();
   if (rank_ == root) {
     for (int d = 0; d < size(); ++d) {
       if (d == root) continue;
@@ -179,6 +407,7 @@ void Communicator::bcast_bytes(std::vector<std::uint8_t>& bytes, int root) {
 
 std::vector<std::vector<std::uint8_t>> Communicator::alltoallv_bytes(
     const std::vector<std::vector<std::uint8_t>>& sends) {
+  tick();
   const int n = size();
   CHECK(static_cast<int>(sends.size()) == n);
   for (int d = 0; d < n; ++d) {

@@ -12,8 +12,15 @@
 // Messages are deep-copied byte buffers: no shared mutable state leaks
 // between ranks, preserving the distributed-memory discipline that makes
 // the overload/ghost-zone design of the paper necessary in the first place.
+//
+// Fault domain: a deterministic rank-failure schedule can abort any rank
+// mid-step (RankFailure unwinds that rank's program cleanly), and a hang
+// watchdog converts the resulting — or any other — communication deadlock
+// into a DeadlockError carrying every rank's blocked state (who it waits
+// on, which tag, which barrier generation) instead of hanging forever.
 #pragma once
 
+#include <atomic>
 #include <condition_variable>
 #include <cstdint>
 #include <cstring>
@@ -22,6 +29,9 @@
 #include <memory>
 #include <mutex>
 #include <span>
+#include <stdexcept>
+#include <string>
+#include <thread>
 #include <vector>
 
 #include "util/assertions.h"
@@ -32,6 +42,32 @@ namespace crkhacc::comm {
 enum class ReduceOp { kSum, kMin, kMax };
 
 class World;
+
+/// Thrown inside a rank's program when its injected failure point is
+/// reached; World::run catches it, records the loss, and lets the other
+/// ranks keep running (they deadlock — caught by the watchdog — if they
+/// depend on the dead rank).
+class RankFailure : public std::runtime_error {
+ public:
+  RankFailure(int rank, std::uint64_t op)
+      : std::runtime_error("rank " + std::to_string(rank) +
+                           " failed at comm op " + std::to_string(op)),
+        rank_(rank), op_(op) {}
+  int rank() const { return rank_; }
+  std::uint64_t op() const { return op_; }
+
+ private:
+  int rank_;
+  std::uint64_t op_;
+};
+
+/// Thrown by World::run when the watchdog proves no rank can make
+/// progress; what() carries the per-rank blocked-state dump.
+class DeadlockError : public std::runtime_error {
+ public:
+  explicit DeadlockError(const std::string& diagnosis)
+      : std::runtime_error(diagnosis) {}
+};
 
 /// Per-rank communication handle. Valid only inside World::run.
 ///
@@ -156,9 +192,21 @@ class Communicator {
   friend class World;
   Communicator(World& world, int rank) : world_(world), rank_(rank) {}
 
+  /// Advance the comm-op counter; throws RankFailure at the scheduled op.
+  void tick();
+
   World& world_;
   int rank_;
   std::uint64_t bytes_sent_ = 0;
+  std::uint64_t op_count_ = 0;
+};
+
+/// Watchdog tuning. The watchdog only fires on a *proven* deadlock (all
+/// live ranks blocked, no deliverable message, no progress across two
+/// consecutive polls), so it is safe to leave on by default.
+struct WatchdogConfig {
+  bool enabled = true;
+  double poll_interval_s = 0.05;
 };
 
 /// A simulated machine: N ranks, each running `rank_main` on its own
@@ -166,7 +214,7 @@ class Communicator {
 /// rank threads before returning.
 class World {
  public:
-  explicit World(int num_ranks);
+  explicit World(int num_ranks, const WatchdogConfig& watchdog = {});
   ~World();
 
   World(const World&) = delete;
@@ -176,7 +224,24 @@ class World {
 
   /// Execute `rank_main(comm)` on every rank concurrently; returns after
   /// all ranks finish. May be called repeatedly on the same World.
+  /// Throws DeadlockError (after joining every rank thread) if the
+  /// watchdog proved a communication deadlock; injected RankFailures do
+  /// not throw — inspect failures().
   void run(const std::function<void(Communicator&)>& rank_main);
+
+  /// Deterministic rank-failure schedule: rank `rank` throws RankFailure
+  /// when it issues its `op`-th communication operation (0-based count
+  /// of sends/recvs/collectives). Persists across run() calls until
+  /// clear_failure_schedule().
+  void schedule_rank_failure(int rank, std::uint64_t op);
+  void clear_failure_schedule();
+
+  /// Injected failures observed during the most recent run().
+  struct FailureRecord {
+    int rank = 0;
+    std::uint64_t op = 0;
+  };
+  std::vector<FailureRecord> failures() const { return failures_; }
 
  private:
   friend class Communicator;
@@ -193,19 +258,58 @@ class World {
     std::deque<Message> messages;
   };
 
+  /// What a rank is doing right now, as seen by the watchdog.
+  enum class Phase : std::uint8_t {
+    kRunning = 0,
+    kBlockedRecv,
+    kBlockedBarrier,
+    kFinished,
+    kFailed,
+  };
+  struct RankState {
+    Phase phase = Phase::kRunning;
+    int source = -1;          ///< recv: awaited source rank
+    int tag = 0;              ///< recv: awaited tag
+    std::uint64_t barrier_gen = 0;  ///< barrier: awaited generation
+  };
+
   void deliver(int dest, Message message);
   std::vector<std::uint8_t> wait_for(int self, int source, int tag);
 
   // Central generation-counted barrier shared by all collectives.
-  void barrier_wait();
+  void barrier_wait(int self);
+
+  void set_phase(int rank, Phase phase, int source = -1, int tag = 0,
+                 std::uint64_t barrier_gen = 0);
+  void watchdog_loop();
+  /// One watchdog sample; returns a diagnosis string if this sample
+  /// proves a deadlock, empty otherwise.
+  std::string watchdog_probe(std::uint64_t& last_progress, bool& armed);
+  std::string dump_rank_states();
+  void declare_deadlock(const std::string& diagnosis);
+  [[noreturn]] void throw_deadlock();
 
   int num_ranks_;
+  WatchdogConfig watchdog_config_;
   std::vector<std::unique_ptr<Mailbox>> mailboxes_;
 
   std::mutex barrier_mutex_;
   std::condition_variable barrier_cv_;
   int barrier_arrived_ = 0;
   std::uint64_t barrier_generation_ = 0;
+
+  // --- fault domain -------------------------------------------------------
+  std::vector<std::int64_t> fail_at_op_;  ///< per rank; -1 = never
+  std::vector<FailureRecord> failures_;
+  mutable std::mutex state_mutex_;
+  std::vector<RankState> rank_states_;
+  std::atomic<std::uint64_t> progress_{0};  ///< bumped on any forward step
+  std::atomic<int> unfinished_{0};          ///< live rank threads this run
+  std::atomic<bool> deadlock_flag_{false};
+  std::string deadlock_diagnosis_;
+  std::mutex watchdog_mutex_;
+  std::condition_variable watchdog_cv_;
+  bool dirty_ = false;  ///< previous run left mailboxes/barrier corrupt
 };
 
 }  // namespace crkhacc::comm

@@ -453,6 +453,41 @@ AnalysisResult Simulation::run_analysis() {
   return result;
 }
 
+void Simulation::recover(io::ThrottledStore& pfs, RunResult& result) {
+  // Candidate steps are enumerated once on rank 0 and broadcast, so every
+  // rank probes the same sequence and the restore decision stays
+  // collective even when ranks disagree about which files are intact.
+  std::vector<std::uint64_t> candidates;
+  if (comm_.rank() == 0) candidates = io::checkpoint_steps(pfs);
+  comm_.bcast(candidates, 0);
+
+  for (std::uint64_t step : candidates) {
+    ++result.recovery_attempts;
+    Particles restored;
+    io::SnapshotMeta meta;
+    std::int64_t ok =
+        io::restore_checkpoint(pfs, step, comm_.rank(), meta, restored) &&
+                meta.step == step
+            ? 1
+            : 0;
+    // A checkpoint is only usable if EVERY rank validated its file.
+    if (comm_.allreduce_scalar(ok, comm::ReduceOp::kMin) == 1) {
+      particles_ = std::move(restored);
+      step_ = meta.step;
+      a_ = meta.scale_factor;
+      if (step != candidates.front()) {
+        HACC_LOG_WARN(
+            "rank %d: newest checkpoint corrupt; recovered from step %llu",
+            comm_.rank(), static_cast<unsigned long long>(step));
+      }
+      return;
+    }
+    ++result.checkpoint_fallbacks;
+  }
+  ++result.restarts_from_ics;
+  initialize();
+}
+
 RunResult Simulation::run(io::MultiTierWriter* writer, io::ThrottledStore* pfs,
                           const io::FaultInjector* fault) {
   RunResult result;
@@ -464,22 +499,11 @@ RunResult Simulation::run(io::MultiTierWriter* writer, io::ThrottledStore* pfs,
       ++result.interruptions;
       CHECK_MSG(writer && pfs, "fault injected without checkpointing");
       // "Machine interruption": all ranks fall back to the newest fully
-      // bled checkpoint (or regenerate ICs if none survived).
+      // bled checkpoint that still validates (or regenerate ICs if none
+      // survived).
       writer->drain();
       comm_.barrier();
-      const auto latest = io::latest_complete_checkpoint(*pfs, comm_.size());
-      if (latest) {
-        Particles restored;
-        io::SnapshotMeta meta;
-        CHECK_MSG(io::restore_checkpoint(*pfs, *latest, comm_.rank(), meta,
-                                         restored),
-                  "checkpoint marked complete but unreadable");
-        particles_ = std::move(restored);
-        step_ = meta.step;
-        a_ = meta.scale_factor;
-      } else {
-        initialize();
-      }
+      recover(*pfs, result);
       comm_.barrier();
       continue;
     }
@@ -494,6 +518,7 @@ RunResult Simulation::run(io::MultiTierWriter* writer, io::ThrottledStore* pfs,
     }
   }
   result.completed = true;
+  if (writer) result.io = writer->stats();
   return result;
 }
 

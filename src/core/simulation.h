@@ -79,6 +79,17 @@ struct RunResult {
   bool completed = false;
   std::uint64_t steps_done = 0;
   std::uint64_t interruptions = 0;
+  /// Checkpoint restores attempted across all interruptions (each step
+  /// probed counts once).
+  std::uint64_t recovery_attempts = 0;
+  /// Times the newest candidate checkpoint failed integrity validation
+  /// and recovery fell back to an older step.
+  std::uint64_t checkpoint_fallbacks = 0;
+  /// Times no usable checkpoint survived and the run restarted from ICs.
+  std::uint64_t restarts_from_ics = 0;
+  /// Writer-side fault accounting (retries, verify failures, degraded
+  /// mode), captured at the end of the run.
+  io::IoStats io;
   std::vector<StepReport> reports;
   std::vector<AnalysisResult> analyses;
 };
@@ -105,6 +116,15 @@ class Simulation {
   RunResult run(io::MultiTierWriter* writer = nullptr,
                 io::ThrottledStore* pfs = nullptr,
                 const io::FaultInjector* fault = nullptr);
+
+  /// Collective recovery (all ranks must call together): restore the
+  /// newest checkpoint that every rank can validate end to end, falling
+  /// back to older steps when the newest is corrupt or partial, and
+  /// regenerating initial conditions if nothing usable survived.
+  /// Recovery attempts / fallbacks / IC restarts accumulate into
+  /// `result`. Called by run() on every interruption; public so restart
+  /// tooling and tests can drive the same state machine directly.
+  void recover(io::ThrottledStore& pfs, RunResult& result);
 
   /// In situ analysis at the current epoch.
   AnalysisResult run_analysis();

@@ -2,16 +2,57 @@
 
 #include <algorithm>
 #include <charconv>
+#include <cstring>
 #include <filesystem>
 
 #include "io/multi_tier.h"
+#include "util/crc32.h"
 
 namespace crkhacc::io {
 namespace fs = std::filesystem;
 
-std::optional<std::uint64_t> latest_complete_checkpoint(ThrottledStore& pfs,
-                                                        int num_ranks) {
-  // Enumerate ckpt/stepNNNNNN directories.
+namespace {
+
+constexpr std::uint32_t kMarkerMagic = 0x434b4f4bu;  // "CKOK"
+constexpr std::size_t kMarkerSize = 4 + 8 + 4 + 4;
+
+template <typename T>
+void append_pod(std::vector<std::uint8_t>& out, const T& value) {
+  const auto* p = reinterpret_cast<const std::uint8_t*>(&value);
+  out.insert(out.end(), p, p + sizeof(T));
+}
+
+template <typename T>
+T read_pod(const std::uint8_t* p) {
+  T value;
+  std::memcpy(&value, p, sizeof(T));
+  return value;
+}
+
+}  // namespace
+
+std::vector<std::uint8_t> encode_marker(const CheckpointMarker& marker) {
+  std::vector<std::uint8_t> out;
+  out.reserve(kMarkerSize);
+  append_pod(out, kMarkerMagic);
+  append_pod(out, marker.payload_bytes);
+  append_pod(out, marker.payload_crc);
+  append_pod(out, crc32(out.data(), out.size()));
+  return out;
+}
+
+bool decode_marker(const std::vector<std::uint8_t>& bytes,
+                   CheckpointMarker& out) {
+  if (bytes.size() != kMarkerSize) return false;
+  if (read_pod<std::uint32_t>(bytes.data()) != kMarkerMagic) return false;
+  const std::uint32_t stored = read_pod<std::uint32_t>(bytes.data() + 16);
+  if (crc32(bytes.data(), 16) != stored) return false;
+  out.payload_bytes = read_pod<std::uint64_t>(bytes.data() + 4);
+  out.payload_crc = read_pod<std::uint32_t>(bytes.data() + 12);
+  return true;
+}
+
+std::vector<std::uint64_t> checkpoint_steps(ThrottledStore& pfs) {
   std::vector<std::uint64_t> steps;
   const auto ckpt_dir = fs::path(pfs.full_path("ckpt"));
   std::error_code ec;
@@ -27,12 +68,31 @@ std::optional<std::uint64_t> latest_complete_checkpoint(ThrottledStore& pfs,
     }
   }
   std::sort(steps.rbegin(), steps.rend());
+  return steps;
+}
 
-  for (std::uint64_t step : steps) {
+bool verify_checkpoint_rank(ThrottledStore& pfs, std::uint64_t step,
+                            int rank) {
+  std::vector<std::uint8_t> marker_bytes;
+  if (!pfs.read(MultiTierWriter::marker_path(step, rank), marker_bytes)) {
+    return false;
+  }
+  CheckpointMarker marker;
+  if (!decode_marker(marker_bytes, marker)) return false;
+  std::vector<std::uint8_t> payload;
+  if (!pfs.read(MultiTierWriter::checkpoint_path(step, rank), payload)) {
+    return false;
+  }
+  return payload.size() == marker.payload_bytes &&
+         crc32(payload.data(), payload.size()) == marker.payload_crc;
+}
+
+std::optional<std::uint64_t> latest_complete_checkpoint(ThrottledStore& pfs,
+                                                        int num_ranks) {
+  for (std::uint64_t step : checkpoint_steps(pfs)) {
     bool complete = true;
     for (int r = 0; r < num_ranks && complete; ++r) {
-      complete = pfs.exists(MultiTierWriter::checkpoint_path(step, r)) &&
-                 pfs.exists(MultiTierWriter::marker_path(step, r));
+      complete = verify_checkpoint_rank(pfs, step, r);
     }
     if (complete) return step;
   }
@@ -41,8 +101,18 @@ std::optional<std::uint64_t> latest_complete_checkpoint(ThrottledStore& pfs,
 
 bool restore_checkpoint(ThrottledStore& pfs, std::uint64_t step, int rank,
                         SnapshotMeta& meta, Particles& out) {
+  std::vector<std::uint8_t> marker_bytes;
+  if (!pfs.read(MultiTierWriter::marker_path(step, rank), marker_bytes)) {
+    return false;
+  }
+  CheckpointMarker marker;
+  if (!decode_marker(marker_bytes, marker)) return false;
   std::vector<std::uint8_t> bytes;
   if (!pfs.read(MultiTierWriter::checkpoint_path(step, rank), bytes)) {
+    return false;
+  }
+  if (bytes.size() != marker.payload_bytes ||
+      crc32(bytes.data(), bytes.size()) != marker.payload_crc) {
     return false;
   }
   return decode_snapshot(bytes, meta, out);

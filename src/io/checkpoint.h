@@ -2,18 +2,24 @@
 //
 // Restart policy mirrors the paper's fault-tolerance loop: every PM step
 // writes a full checkpoint; after an interruption, the run resumes from
-// the newest step for which EVERY rank's file reached the PFS intact
-// (completion markers + CRC validation). Partial checkpoints — a fault
-// mid-bleed — are skipped automatically.
+// the newest step for which EVERY rank's file reached the PFS intact.
+// "Intact" is verified end to end: the `.ok` completion marker carries the
+// payload size and CRC32 stamped at write time, and both discovery
+// (latest_complete_checkpoint) and restore (restore_checkpoint) recompute
+// the CRC over the bytes actually on the PFS. Partial checkpoints — a
+// fault mid-bleed — and silently corrupted ones (torn writes, bit flips
+// at rest) are skipped automatically.
 //
 // FaultInjector models the machine's mean time to interrupt: a
 // deterministic counter-based draw per step, so tests can replay the
-// exact same failure schedule.
+// exact same failure schedule. It is virtual so tests can script exact
+// interruption points.
 #pragma once
 
 #include <cstdint>
 #include <optional>
 #include <string>
+#include <vector>
 
 #include "core/particles.h"
 #include "io/generic_io.h"
@@ -22,13 +28,35 @@
 
 namespace crkhacc::io {
 
-/// Newest step for which all `num_ranks` checkpoint files exist on the
-/// PFS with completion markers. nullopt if none.
+/// Contents of a checkpoint completion marker (`.ok` file): the integrity
+/// contract between the writer that bled the file and any later restart.
+struct CheckpointMarker {
+  std::uint64_t payload_bytes = 0;  ///< size of the checkpoint file
+  std::uint32_t payload_crc = 0;    ///< CRC32 of the checkpoint file
+};
+
+/// Marker wire format: magic + payload size + payload CRC, closed by a
+/// CRC over the marker itself (a torn marker write must not validate).
+std::vector<std::uint8_t> encode_marker(const CheckpointMarker& marker);
+bool decode_marker(const std::vector<std::uint8_t>& bytes,
+                   CheckpointMarker& out);
+
+/// Steps with a checkpoint directory on the PFS, newest first. Existence
+/// only — no integrity validation (recovery probes candidates in order).
+std::vector<std::uint64_t> checkpoint_steps(ThrottledStore& pfs);
+
+/// Full integrity check of one rank's file at `step`: marker present and
+/// well-formed, payload present, size and CRC32 match the marker.
+bool verify_checkpoint_rank(ThrottledStore& pfs, std::uint64_t step, int rank);
+
+/// Newest step for which all `num_ranks` checkpoint files pass
+/// verify_checkpoint_rank on the PFS. nullopt if none.
 std::optional<std::uint64_t> latest_complete_checkpoint(ThrottledStore& pfs,
                                                         int num_ranks);
 
-/// Load rank `rank`'s particles from checkpoint `step` on the PFS.
-/// Returns false on any integrity failure.
+/// Load rank `rank`'s particles from checkpoint `step` on the PFS after
+/// validating the marker CRC against the stored bytes. Returns false on
+/// any integrity failure.
 bool restore_checkpoint(ThrottledStore& pfs, std::uint64_t step, int rank,
                         SnapshotMeta& meta, Particles& out);
 
@@ -39,11 +67,12 @@ class FaultInjector {
   /// mtti in the same time unit as the dt passed to should_fail.
   FaultInjector(double mtti, std::uint64_t seed)
       : mtti_(mtti), rng_(seed, /*stream=*/0xFA17) {}
+  virtual ~FaultInjector() = default;
 
   /// True if the machine is interrupted during this execution attempt
   /// (`trial` must increase monotonically across retries of the same
   /// step, or a deterministic failure would recur forever).
-  bool should_fail(std::uint64_t trial, double dt) const {
+  virtual bool should_fail(std::uint64_t trial, double dt) const {
     if (mtti_ <= 0.0) return false;
     return rng_.uniform(trial) < dt / mtti_;
   }

@@ -1,9 +1,14 @@
 #include "io/multi_tier.h"
 
 #include <algorithm>
+#include <chrono>
 #include <cstdio>
+#include <thread>
 
+#include "io/checkpoint.h"
 #include "util/assertions.h"
+#include "util/crc32.h"
+#include "util/log.h"
 #include "util/timer.h"
 
 namespace crkhacc::io {
@@ -22,23 +27,110 @@ std::string MultiTierWriter::marker_path(std::uint64_t step, int rank) {
 MultiTierWriter::MultiTierWriter(ThrottledStore& local, ThrottledStore& pfs,
                                  const MultiTierConfig& config)
     : local_(local), pfs_(pfs), config_(config) {
+  CHECK(config.max_write_attempts >= 1);
   worker_ = std::thread([this] { worker_loop(); });
 }
 
-MultiTierWriter::~MultiTierWriter() {
+MultiTierWriter::~MultiTierWriter() { shutdown(); }
+
+void MultiTierWriter::shutdown() {
   {
     std::lock_guard<std::mutex> lock(mutex_);
+    if (stopping_) return;
     stopping_ = true;
   }
   cv_.notify_all();
   if (worker_.joinable()) worker_.join();
 }
 
+bool MultiTierWriter::write_verified(ThrottledStore& store,
+                                     const std::string& rel_path,
+                                     const std::vector<std::uint8_t>& data,
+                                     std::uint32_t crc,
+                                     std::uint64_t& retry_counter) {
+  double backoff = config_.backoff_base_s;
+  for (int attempt = 0; attempt < config_.max_write_attempts; ++attempt) {
+    if (attempt > 0) {
+      std::this_thread::sleep_for(std::chrono::duration<double>(backoff));
+      backoff = std::min(2.0 * backoff, config_.backoff_max_s);
+      std::lock_guard<std::mutex> lock(mutex_);
+      ++retry_counter;
+    }
+    const auto outcome = store.try_write(rel_path, data);
+    if (outcome.status == IoStatus::kNoSpace) {
+      // Sticky tier failure: retrying against a full/dead device is
+      // pointless; the caller decides how to degrade.
+      return false;
+    }
+    if (outcome.status != IoStatus::kOk) continue;
+    // Read-back verify: torn writes and bit flips report success but
+    // leave wrong bytes; only the CRC proves the checkpoint landed.
+    std::vector<std::uint8_t> echo;
+    if (store.read(rel_path, echo) && echo.size() == data.size() &&
+        crc32(echo.data(), echo.size()) == crc) {
+      return true;
+    }
+    std::lock_guard<std::mutex> lock(mutex_);
+    ++stats_.verify_failures;
+  }
+  return false;
+}
+
+bool MultiTierWriter::publish_to_pfs(std::uint64_t step,
+                                     const std::vector<std::uint8_t>& bytes) {
+  const std::uint32_t crc = crc32(bytes.data(), bytes.size());
+  if (!write_verified(pfs_, checkpoint_path(step, config_.rank), bytes, crc,
+                      stats_.pfs_retries)) {
+    return false;
+  }
+  CheckpointMarker marker;
+  marker.payload_bytes = bytes.size();
+  marker.payload_crc = crc;
+  const auto marker_bytes = encode_marker(marker);
+  return write_verified(pfs_, marker_path(step, config_.rank), marker_bytes,
+                        crc32(marker_bytes.data(), marker_bytes.size()),
+                        stats_.pfs_retries);
+}
+
 double MultiTierWriter::write_checkpoint(const SnapshotMeta& meta,
                                          const Particles& particles) {
   const auto bytes = encode_snapshot(meta, particles, /*include_ghosts=*/true);
+  const std::uint32_t crc = crc32(bytes.data(), bytes.size());
   Stopwatch watch;
-  local_.write(checkpoint_path(meta.step, config_.rank), bytes);
+
+  bool direct = false;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    direct = degraded_;
+  }
+  if (!direct) {
+    if (!write_verified(local_, checkpoint_path(meta.step, config_.rank),
+                        bytes, crc, stats_.local_retries)) {
+      // Node-local tier is gone (ENOSPC / persistent corruption): bleed
+      // everything that can still bleed and fall back to verified direct
+      // PFS writes from here on.
+      HACC_LOG_WARN("rank %d: node-local tier failed at step %llu; "
+                    "degrading to direct PFS checkpoints",
+                    config_.rank,
+                    static_cast<unsigned long long>(meta.step));
+      std::lock_guard<std::mutex> lock(mutex_);
+      degraded_ = true;
+      stats_.degraded_to_direct = true;
+      direct = true;
+    }
+  }
+
+  if (direct) {
+    const bool published = publish_to_pfs(meta.step, bytes);
+    const double blocked = watch.seconds();
+    prune(meta.step);
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (!published) ++stats_.bleed_failures;
+    records_.push_back(
+        IoRecord{meta.step, bytes.size(), blocked, blocked, published});
+    return blocked;
+  }
+
   const double blocked = watch.seconds();
   {
     std::lock_guard<std::mutex> lock(mutex_);
@@ -53,13 +145,13 @@ double MultiTierWriter::write_checkpoint_direct(const SnapshotMeta& meta,
                                                 const Particles& particles) {
   const auto bytes = encode_snapshot(meta, particles, /*include_ghosts=*/true);
   Stopwatch watch;
-  pfs_.write(checkpoint_path(meta.step, config_.rank), bytes);
-  pfs_.write(marker_path(meta.step, config_.rank), {1});
+  const bool published = publish_to_pfs(meta.step, bytes);
   const double blocked = watch.seconds();
   {
     std::lock_guard<std::mutex> lock(mutex_);
+    if (!published) ++stats_.bleed_failures;
     records_.push_back(
-        IoRecord{meta.step, bytes.size(), blocked, blocked, true});
+        IoRecord{meta.step, bytes.size(), blocked, blocked, published});
   }
   return blocked;
 }
@@ -70,30 +162,36 @@ void MultiTierWriter::worker_loop() {
     {
       std::unique_lock<std::mutex> lock(mutex_);
       cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
-      if (queue_.empty()) {
-        if (stopping_) return;
-        continue;
-      }
+      if (stopping_) return;  // shutdown abandons still-queued bleeds
       step = queue_.front();
       queue_.pop_front();
       ++in_flight_;
     }
 
-    // Asynchronous bleed: move the completed file, then stamp the marker.
+    // Asynchronous bleed: re-read the local copy (the only trusted
+    // source), publish it to the PFS with write-verify + retries, and
+    // only then stamp the completion marker and drop the local file.
     Stopwatch watch;
     const auto rel = checkpoint_path(step, config_.rank);
-    pfs_.ingest(local_, rel);
-    pfs_.write(marker_path(step, config_.rank), {1});
+    std::vector<std::uint8_t> bytes;
+    bool published = false;
+    if (local_.read(rel, bytes)) {
+      published = publish_to_pfs(step, bytes);
+    }
+    if (published) {
+      local_.remove(rel);
+    }
     const double seconds = watch.seconds();
 
     prune(step);
 
     {
       std::lock_guard<std::mutex> lock(mutex_);
+      if (!published) ++stats_.bleed_failures;
       for (auto& record : records_) {
         if (record.step == step && !record.bled) {
           record.pfs_seconds = seconds;
-          record.bled = true;
+          record.bled = published;
           break;
         }
       }
@@ -105,29 +203,39 @@ void MultiTierWriter::worker_loop() {
 
 void MultiTierWriter::prune(std::uint64_t newest_step) {
   // Time-window retention: drop anything older than the last
-  // checkpoint_window steps that have fully reached the PFS.
+  // checkpoint_window steps that have fully reached the PFS. The floor
+  // tracks the lowest step not yet pruned, so no step leaks however many
+  // steps elapse between bleeds.
   if (newest_step < static_cast<std::uint64_t>(config_.checkpoint_window)) {
     return;
   }
   const std::uint64_t cutoff =
       newest_step - static_cast<std::uint64_t>(config_.checkpoint_window);
-  for (std::uint64_t step = (cutoff > 8 ? cutoff - 8 : 0); step < cutoff;
-       ++step) {
+  std::lock_guard<std::mutex> lock(prune_mutex_);
+  for (std::uint64_t step = prune_floor_; step < cutoff; ++step) {
     const auto rel = checkpoint_path(step, config_.rank);
     local_.remove(rel);
     pfs_.remove(marker_path(step, config_.rank));
     pfs_.remove(rel);
   }
+  prune_floor_ = std::max(prune_floor_, cutoff);
 }
 
 void MultiTierWriter::drain() {
   std::unique_lock<std::mutex> lock(mutex_);
-  cv_.wait(lock, [this] { return queue_.empty() && in_flight_ == 0; });
+  cv_.wait(lock, [this] {
+    return stopping_ || (queue_.empty() && in_flight_ == 0);
+  });
 }
 
 std::vector<IoRecord> MultiTierWriter::records() const {
   std::lock_guard<std::mutex> lock(mutex_);
   return records_;
+}
+
+IoStats MultiTierWriter::stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return stats_;
 }
 
 std::uint64_t MultiTierWriter::bytes_written() const {

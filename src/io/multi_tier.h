@@ -8,6 +8,14 @@
 // never sits on the critical path, which is how the paper sustains an
 // effective bandwidth above Orion's direct-write peak.
 //
+// Fault hardening: every tier write is verified by read-back against the
+// payload CRC32 and retried with bounded exponential backoff (torn
+// writes, bit flips, and transient EIO are injectable via the stores'
+// FaultPolicy). Completion markers carry the payload size + CRC, so a
+// checkpoint only counts as complete once its bytes are provably intact
+// on the PFS. If the node-local tier fails hard (sticky ENOSPC), the
+// writer degrades gracefully to verified direct-to-PFS writes.
+//
 // write_checkpoint_direct() is the baseline: a synchronous write straight
 // to the shared PFS, blocking the simulation for the full channel time.
 #pragma once
@@ -29,6 +37,9 @@ namespace crkhacc::io {
 struct MultiTierConfig {
   int rank = 0;
   int checkpoint_window = 2;  ///< keep this many most-recent steps
+  int max_write_attempts = 4;   ///< verified-write attempts per tier op
+  double backoff_base_s = 1e-3; ///< first retry delay (doubles per retry)
+  double backoff_max_s = 5e-2;  ///< backoff ceiling
 };
 
 /// One checkpoint's accounting.
@@ -38,6 +49,15 @@ struct IoRecord {
   double local_seconds = 0.0;  ///< simulation-blocking time
   double pfs_seconds = 0.0;    ///< asynchronous bleed time
   bool bled = false;
+};
+
+/// Fault-handling accounting across the writer's lifetime.
+struct IoStats {
+  std::uint64_t local_retries = 0;    ///< re-attempted node-local writes
+  std::uint64_t pfs_retries = 0;      ///< re-attempted PFS writes
+  std::uint64_t verify_failures = 0;  ///< read-back CRC mismatches caught
+  std::uint64_t bleed_failures = 0;   ///< checkpoints that never completed
+  bool degraded_to_direct = false;    ///< node-local tier abandoned
 };
 
 class MultiTierWriter {
@@ -58,11 +78,19 @@ class MultiTierWriter {
   double write_checkpoint_direct(const SnapshotMeta& meta,
                                  const Particles& particles);
 
-  /// Block until every queued bleed and prune has completed.
+  /// Block until every queued bleed and prune has completed — or until
+  /// the writer is shut down, whichever comes first.
   void drain();
+
+  /// Stop the bleeder promptly, abandoning any still-queued bleeds, and
+  /// release every blocked drain(). Idempotent; the destructor calls it.
+  /// drain() first if settled bleeds are required.
+  void shutdown();
 
   /// Accounting snapshot (drain() first for settled pfs numbers).
   std::vector<IoRecord> records() const;
+
+  IoStats stats() const;
 
   std::uint64_t bytes_written() const;
 
@@ -72,6 +100,14 @@ class MultiTierWriter {
  private:
   void worker_loop();
   void prune(std::uint64_t newest_step);
+  /// Verified write with bounded-backoff retries: write, read back,
+  /// compare CRC; returns true once the bytes are provably on `store`.
+  bool write_verified(ThrottledStore& store,  const std::string& rel_path,
+                      const std::vector<std::uint8_t>& data,
+                      std::uint32_t crc, std::uint64_t& retry_counter);
+  /// Verified write of payload + CRC marker to the PFS; true on success.
+  bool publish_to_pfs(std::uint64_t step,
+                      const std::vector<std::uint8_t>& bytes);
 
   ThrottledStore& local_;
   ThrottledStore& pfs_;
@@ -81,8 +117,14 @@ class MultiTierWriter {
   std::condition_variable cv_;
   std::deque<std::uint64_t> queue_;  ///< steps awaiting bleed
   std::vector<IoRecord> records_;
+  IoStats stats_;
   bool stopping_ = false;
+  bool degraded_ = false;  ///< local tier failed; direct PFS mode
   std::size_t in_flight_ = 0;
+
+  std::mutex prune_mutex_;
+  std::uint64_t prune_floor_ = 0;  ///< lowest step not yet pruned
+
   std::thread worker_;
 };
 

@@ -57,24 +57,118 @@ double ThrottledStore::occupy_channel(std::uint64_t bytes,
   return service;
 }
 
+void ThrottledStore::set_fault_policy(const FaultPolicy& policy) {
+  std::lock_guard<std::mutex> lock(fault_mutex_);
+  fault_policy_ = policy;
+}
+
+bool ThrottledStore::tier_failed() const {
+  std::lock_guard<std::mutex> lock(fault_mutex_);
+  return tier_failed_;
+}
+
+void ThrottledStore::reset_tier() {
+  std::lock_guard<std::mutex> lock(fault_mutex_);
+  tier_failed_ = false;
+}
+
+FaultStats ThrottledStore::fault_stats() const {
+  std::lock_guard<std::mutex> lock(fault_mutex_);
+  return fault_stats_;
+}
+
+ThrottledStore::Fault ThrottledStore::draw_fault(std::uint64_t op) {
+  // One uniform draw per op, partitioned into fault bands. Counter-based,
+  // so the schedule is a pure function of (seed, op index).
+  const CounterRng rng(fault_policy_.seed, /*stream=*/0x51F0);
+  const double u = rng.uniform(op);
+  double edge = fault_policy_.transient_eio;
+  if (u < edge) return Fault::kEio;
+  edge += fault_policy_.enospc;
+  if (u < edge) return Fault::kEnospc;
+  edge += fault_policy_.torn_write;
+  if (u < edge) return Fault::kTorn;
+  edge += fault_policy_.bit_flip;
+  if (u < edge) return Fault::kBitFlip;
+  return Fault::kNone;
+}
+
 double ThrottledStore::write(const std::string& rel_path,
                              const std::vector<std::uint8_t>& data) {
+  const auto outcome = try_write(rel_path, data);
+  CHECK_MSG(outcome.status == IoStatus::kOk, "store write failed");
+  return outcome.seconds;
+}
+
+WriteOutcome ThrottledStore::try_write(const std::string& rel_path,
+                                       const std::vector<std::uint8_t>& data) {
   const double start = monotonic_seconds();
+
+  Fault fault = Fault::kNone;
+  std::uint64_t op = 0;
+  {
+    std::lock_guard<std::mutex> lock(fault_mutex_);
+    if (tier_failed_) {
+      ++fault_stats_.enospc_errors;
+      return WriteOutcome{IoStatus::kNoSpace, monotonic_seconds() - start};
+    }
+    op = write_ops_;
+    if (fault_policy_.any()) {
+      fault = draw_fault(op);
+      switch (fault) {
+        case Fault::kEio: ++fault_stats_.eio_errors; break;
+        case Fault::kEnospc:
+          ++fault_stats_.enospc_errors;
+          tier_failed_ = true;
+          break;
+        case Fault::kTorn: ++fault_stats_.torn_writes; break;
+        case Fault::kBitFlip: ++fault_stats_.bit_flips; break;
+        case Fault::kNone: break;
+      }
+    }
+    ++write_ops_;
+  }
+  if (fault == Fault::kEio || fault == Fault::kEnospc) {
+    // Reported errors leave no partial file behind; the device rejected
+    // the operation up front. Only the setup latency is charged.
+    occupy_channel(0, monotonic_seconds() - start);
+    return WriteOutcome{fault == Fault::kEio ? IoStatus::kTransientError
+                                             : IoStatus::kNoSpace,
+                        monotonic_seconds() - start};
+  }
+
+  // Silent faults mutate the bytes that actually land on disk.
+  std::size_t write_size = data.size();
+  std::vector<std::uint8_t> flipped;
+  const std::uint8_t* payload = data.data();
+  if (fault == Fault::kTorn && !data.empty()) {
+    // Deterministic torn fraction in [0, 90%) of the payload.
+    const CounterRng params(fault_policy_.seed, /*stream=*/0x7EA2);
+    write_size = static_cast<std::size_t>(
+        0.9 * params.uniform(op) * static_cast<double>(data.size()));
+  } else if (fault == Fault::kBitFlip && !data.empty()) {
+    const CounterRng params(fault_policy_.seed, /*stream=*/0x7EA2);
+    flipped = data;
+    const std::uint64_t bit = params.u64(op) % (flipped.size() * 8);
+    flipped[bit / 8] ^= static_cast<std::uint8_t>(1u << (bit % 8));
+    payload = flipped.data();
+  }
+
   const auto path = fs::path(full_path(rel_path));
   fs::create_directories(path.parent_path());
   {
     std::ofstream file(path, std::ios::binary | std::ios::trunc);
     CHECK_MSG(static_cast<bool>(file), "cannot open store file for write");
-    file.write(reinterpret_cast<const char*>(data.data()),
-               static_cast<std::streamsize>(data.size()));
+    file.write(reinterpret_cast<const char*>(payload),
+               static_cast<std::streamsize>(write_size));
     CHECK_MSG(static_cast<bool>(file), "store write failed");
   }
-  occupy_channel(data.size(), monotonic_seconds() - start);
+  occupy_channel(write_size, monotonic_seconds() - start);
   {
     std::lock_guard<std::mutex> lock(stats_mutex_);
-    bytes_written_ += data.size();
+    bytes_written_ += write_size;
   }
-  return monotonic_seconds() - start;
+  return WriteOutcome{IoStatus::kOk, monotonic_seconds() - start};
 }
 
 bool ThrottledStore::read(const std::string& rel_path,

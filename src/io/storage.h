@@ -19,6 +19,8 @@
 #include <string>
 #include <vector>
 
+#include "util/rng.h"
+
 namespace crkhacc::io {
 
 struct StoreConfig {
@@ -28,16 +30,79 @@ struct StoreConfig {
   bool shared_channel = true;        ///< all writers share the bandwidth
 };
 
+/// Injectable storage-fault model. Draws are counter-based (seeded, one
+/// draw per write op) — the same determinism discipline as FaultInjector,
+/// so a failing schedule replays bit-identically across reruns.
+///
+/// Torn writes and bit flips are *silent*: the write reports success but
+/// the bytes on disk are wrong, which is what end-to-end CRC validation
+/// exists to catch. EIO is transient (a later attempt redraws); ENOSPC is
+/// sticky — the tier stays failed until reset_tier(), modeling a filled or
+/// dead node-local device.
+struct FaultPolicy {
+  std::uint64_t seed = 0;
+  double torn_write = 0.0;     ///< P(prefix-only write) per op
+  double bit_flip = 0.0;       ///< P(one flipped bit) per op
+  double transient_eio = 0.0;  ///< P(reported I/O error) per op
+  double enospc = 0.0;         ///< P(tier fails permanently) per op
+
+  bool any() const {
+    return torn_write + bit_flip + transient_eio + enospc > 0.0;
+  }
+};
+
+/// Outcome of a single write attempt.
+enum class IoStatus {
+  kOk = 0,
+  kTransientError,  ///< EIO-style: retrying may succeed
+  kNoSpace,         ///< ENOSPC-style: tier is failed until reset
+};
+
+struct WriteOutcome {
+  IoStatus status = IoStatus::kOk;
+  double seconds = 0.0;
+};
+
+/// Count of injected faults, for observability and tests. Silent faults
+/// (torn/flip) are counted here but deliberately NOT reported through the
+/// write API — detection is the integrity layer's job.
+struct FaultStats {
+  std::uint64_t torn_writes = 0;
+  std::uint64_t bit_flips = 0;
+  std::uint64_t eio_errors = 0;
+  std::uint64_t enospc_errors = 0;
+};
+
 class ThrottledStore {
  public:
   explicit ThrottledStore(const StoreConfig& config);
 
   const StoreConfig& config() const { return config_; }
 
+  /// Arm (or disarm, with a default-constructed policy) fault injection
+  /// for subsequent writes. Not thread-safe against in-flight writes;
+  /// call before handing the store to workers.
+  void set_fault_policy(const FaultPolicy& policy);
+
+  /// True once a sticky ENOSPC fault has tripped; every write fails with
+  /// kNoSpace until reset_tier().
+  bool tier_failed() const;
+  void reset_tier();
+
+  FaultStats fault_stats() const;
+
   /// Write data to root/rel_path (parent dirs created); returns elapsed
   /// wall-clock seconds including modeled channel time. Thread-safe.
+  /// CHECK-fails on an injected error — callers that want to survive
+  /// faults use try_write.
   double write(const std::string& rel_path,
                const std::vector<std::uint8_t>& data);
+
+  /// Fault-aware write: reports injected EIO/ENOSPC instead of aborting.
+  /// Silent corruption (torn write, bit flip) still returns kOk — only a
+  /// read-back verify can catch it. Thread-safe.
+  WriteOutcome try_write(const std::string& rel_path,
+                         const std::vector<std::uint8_t>& data);
 
   /// Read an entire file; empty optional-style: returns false if absent
   /// or unreadable. Reads are paced at the same bandwidth.
@@ -63,11 +128,21 @@ class ThrottledStore {
   /// of the host disk. Returns seconds of modeled service.
   double occupy_channel(std::uint64_t bytes, double already_spent = 0.0);
 
+  /// What fault (if any) the policy injects for write op `op`.
+  enum class Fault { kNone, kTorn, kBitFlip, kEio, kEnospc };
+  Fault draw_fault(std::uint64_t op);
+
   StoreConfig config_;
   std::mutex channel_mutex_;
   double channel_available_at_ = 0.0;  ///< monotonic seconds
   std::uint64_t bytes_written_ = 0;
   std::mutex stats_mutex_;
+
+  FaultPolicy fault_policy_;
+  mutable std::mutex fault_mutex_;
+  std::uint64_t write_ops_ = 0;  ///< fault-draw counter
+  bool tier_failed_ = false;
+  FaultStats fault_stats_;
 };
 
 }  // namespace crkhacc::io

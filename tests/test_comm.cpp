@@ -1,8 +1,10 @@
 // Tests for the in-process message-passing substrate and the cartesian
-// domain decomposition.
+// domain decomposition, including the fault domain: injected rank
+// failures and the hang watchdog.
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
 #include <numeric>
 
 #include "comm/decomposition.h"
@@ -163,6 +165,146 @@ TEST_P(CollectivesTest, AlltoallvPersonalizedExchange) {
 
 INSTANTIATE_TEST_SUITE_P(RankCounts, CollectivesTest,
                          ::testing::Values(1, 2, 3, 4, 8));
+
+// --- fault domain: rank failures + hang watchdog ---------------------------
+
+WatchdogConfig fast_watchdog() {
+  WatchdogConfig config;
+  config.poll_interval_s = 0.01;
+  return config;
+}
+
+TEST(WorldFaults, WatchdogConvertsMismatchedRecvIntoDiagnostic) {
+  // Guaranteed deadlock: both ranks block on recvs nobody will ever
+  // send. Without the watchdog this test would hang ctest forever.
+  World world(2, fast_watchdog());
+  const auto start = std::chrono::steady_clock::now();
+  try {
+    world.run([](Communicator& comm) {
+      if (comm.rank() == 0) {
+        comm.recv_bytes(1, /*tag=*/7);
+      } else {
+        comm.recv_bytes(0, /*tag=*/9);  // deliberately mismatched
+      }
+    });
+    FAIL() << "expected DeadlockError";
+  } catch (const DeadlockError& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("rank 0"), std::string::npos) << what;
+    EXPECT_NE(what.find("recv(source=1, tag=7)"), std::string::npos) << what;
+    EXPECT_NE(what.find("recv(source=0, tag=9)"), std::string::npos) << what;
+  }
+  const auto elapsed = std::chrono::steady_clock::now() - start;
+  // Bounded detection: well under CI timeouts.
+  EXPECT_LT(std::chrono::duration<double>(elapsed).count(), 10.0);
+}
+
+TEST(WorldFaults, WatchdogReportsBarrierDeadlock) {
+  // Rank 1 dies before the barrier; the survivor waits on a barrier that
+  // can never complete.
+  World world(2, fast_watchdog());
+  world.schedule_rank_failure(1, /*op=*/0);
+  try {
+    world.run([](Communicator& comm) { comm.barrier(); });
+    FAIL() << "expected DeadlockError";
+  } catch (const DeadlockError& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("blocked in barrier"), std::string::npos) << what;
+    EXPECT_NE(what.find("failed (rank lost)"), std::string::npos) << what;
+  }
+  ASSERT_EQ(world.failures().size(), 1u);
+  EXPECT_EQ(world.failures()[0].rank, 1);
+  world.clear_failure_schedule();
+}
+
+TEST(WorldFaults, RankFailureUnwindsCleanlyWhenUnobserved) {
+  // The failing rank aborts after the collective everyone depends on:
+  // the other ranks finish normally and run() returns instead of
+  // throwing.
+  World world(3, fast_watchdog());
+  world.schedule_rank_failure(2, /*op=*/1);
+  std::atomic<int> completed{0};
+  world.run([&](Communicator& comm) {
+    const auto total = comm.allreduce_scalar(std::int64_t{1}, ReduceOp::kSum);
+    EXPECT_EQ(total, 3);
+    if (comm.rank() == 2) {
+      comm.allreduce_scalar(std::int64_t{1}, ReduceOp::kSum);  // op 1: dies here
+      FAIL() << "rank 2 should have failed";
+    }
+    ++completed;
+  });
+  EXPECT_EQ(completed.load(), 2);
+  ASSERT_EQ(world.failures().size(), 1u);
+  EXPECT_EQ(world.failures()[0].rank, 2);
+  EXPECT_EQ(world.failures()[0].op, 1u);
+  world.clear_failure_schedule();
+}
+
+TEST(WorldFaults, FailureScheduleIsDeterministic) {
+  // The same schedule kills the same rank at the same op every run.
+  for (int repeat = 0; repeat < 2; ++repeat) {
+    World world(2, fast_watchdog());
+    world.schedule_rank_failure(0, /*op=*/2);
+    world.run([](Communicator& comm) {
+      if (comm.rank() == 0) {
+        comm.send_value(1, 1, 10);  // op 0
+        comm.send_value(1, 1, 20);  // op 1
+        try {
+          comm.send_value(1, 1, 30);  // op 2: dies before delivering
+          FAIL() << "expected RankFailure";
+        } catch (const RankFailure& f) {
+          EXPECT_EQ(f.rank(), 0);
+          EXPECT_EQ(f.op(), 2u);
+          throw;
+        }
+      } else {
+        EXPECT_EQ(comm.recv_value<int>(0, 1), 10);
+        EXPECT_EQ(comm.recv_value<int>(0, 1), 20);
+      }
+    });
+    ASSERT_EQ(world.failures().size(), 1u);
+    EXPECT_EQ(world.failures()[0].op, 2u);
+  }
+}
+
+TEST(WorldFaults, WorldIsReusableAfterDeadlock) {
+  World world(2, fast_watchdog());
+  world.schedule_rank_failure(1, /*op=*/0);
+  EXPECT_THROW(world.run([](Communicator& comm) {
+    comm.send_value(1 - comm.rank(), 1, comm.rank());
+    comm.recv_value<int>(1 - comm.rank(), 1);
+    comm.barrier();
+  }),
+               DeadlockError);
+  // Undelivered messages and the half-formed barrier must not leak into
+  // the next run.
+  world.clear_failure_schedule();
+  world.run([](Communicator& comm) {
+    const auto total = comm.allreduce_scalar(std::int64_t{1}, ReduceOp::kSum);
+    EXPECT_EQ(total, 2);
+    comm.barrier();
+  });
+  EXPECT_TRUE(world.failures().empty());
+}
+
+TEST(WorldFaults, HealthyTrafficDoesNotTripWatchdog) {
+  // Sustained send/recv/barrier traffic with an aggressive poll interval:
+  // the watchdog must never fire on a live machine.
+  World world(4, fast_watchdog());
+  world.run([](Communicator& comm) {
+    for (int round = 0; round < 50; ++round) {
+      const int peer = comm.rank() ^ 1;
+      if (comm.rank() < peer) {
+        comm.send_value(peer, round, comm.rank());
+        EXPECT_EQ(comm.recv_value<int>(peer, round), peer);
+      } else {
+        EXPECT_EQ(comm.recv_value<int>(peer, round), peer);
+        comm.send_value(peer, round, comm.rank());
+      }
+      comm.barrier();
+    }
+  });
+}
 
 // --- decomposition ---------------------------------------------------------
 
