@@ -8,7 +8,12 @@
 // accounting: timer taxonomy, data written, effective I/O bandwidth, and
 // interruption count.
 //
-//   ./examples/frontier_mini [num_ranks] [workdir] [storage_fault_seed]
+//   ./examples/frontier_mini [--threads=N] [num_ranks] [workdir]
+//                            [storage_fault_seed]
+//
+// --threads=N runs each rank's short-range pipeline on an N-thread
+// work-stealing pool (0 = hardware concurrency). The answer is bitwise
+// identical for every N; the report adds the pool's scheduler accounting.
 //
 // With a storage_fault_seed, the PFS additionally injects silent
 // corruption (torn writes, bit flips) and transient I/O errors; the
@@ -16,8 +21,10 @@
 // (write-verify + CRC completion markers + retries).
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <filesystem>
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "comm/world.h"
@@ -26,11 +33,21 @@
 using namespace crkhacc;
 
 int main(int argc, char** argv) {
-  const int ranks = argc > 1 ? std::atoi(argv[1]) : 4;
+  int threads = 1;
+  std::vector<const char*> positional;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--threads=", 10) == 0) {
+      threads = std::atoi(argv[i] + 10);
+    } else {
+      positional.push_back(argv[i]);
+    }
+  }
+  const int ranks = positional.size() > 0 ? std::atoi(positional[0]) : 4;
   const std::string workdir =
-      argc > 2 ? argv[2]
-               : (std::filesystem::temp_directory_path() / "frontier_mini")
-                     .string();
+      positional.size() > 1
+          ? positional[1]
+          : (std::filesystem::temp_directory_path() / "frontier_mini")
+                .string();
   std::filesystem::remove_all(workdir);
 
   core::SimConfig config;
@@ -55,24 +72,27 @@ int main(int argc, char** argv) {
   config.subgrid.star_formation.efficiency = 0.5;
   config.subgrid.agn.seed_n_h = 5e-5;
   config.subgrid.agn.seed_exclusion = 2.0;
+  config.threads = threads;
 
-  std::printf("frontier-mini: %d ranks, %zu^3 particle pairs, %d PM steps\n",
-              ranks, config.np, config.num_pm_steps);
+  std::printf("frontier-mini: %d ranks, %zu^3 particle pairs, %d PM steps, "
+              "%d pool threads/rank\n",
+              ranks, config.np, config.num_pm_steps, config.threads);
   std::printf("workdir: %s\n\n", workdir.c_str());
 
   // Storage models: per-node NVMe (private, fast) + shared PFS (slow).
   io::ThrottledStore pfs(
       io::StoreConfig{workdir + "/pfs", 40e6, 0.002, /*shared=*/true});
-  if (argc > 3) {
+  if (positional.size() > 2) {
     io::FaultPolicy storage_faults;
-    storage_faults.seed = static_cast<std::uint64_t>(std::atoll(argv[3]));
+    storage_faults.seed =
+        static_cast<std::uint64_t>(std::atoll(positional[2]));
     storage_faults.torn_write = 0.05;
     storage_faults.bit_flip = 0.05;
     storage_faults.transient_eio = 0.10;
     pfs.set_fault_policy(storage_faults);
     std::printf("PFS fault injection armed (seed %s): 5%% torn writes, "
                 "5%% bit flips, 10%% transient EIO\n\n",
-                argv[3]);
+                positional[2]);
   }
   std::vector<std::unique_ptr<io::ThrottledStore>> nvmes;
   for (int r = 0; r < ranks; ++r) {
@@ -165,6 +185,20 @@ int main(int argc, char** argv) {
                   "peak kernel '%s' at %.2f GFLOP/s\n",
                   flops.total_flops() / 1e9, flops.sustained_gflops(),
                   flops.peak_kernel().c_str(), flops.peak_gflops());
+      const auto& pool = result.threading;
+      if (pool.parallel_regions > 0) {
+        double busy = 0.0;
+        for (double b : pool.busy_seconds) busy += b;
+        std::printf("thread pool (rank 0): %u threads, %llu regions, %llu "
+                    "chunks, %llu steals, busy %.3f s, critical path %.3f s\n",
+                    pool.threads,
+                    static_cast<unsigned long long>(pool.parallel_regions),
+                    static_cast<unsigned long long>(pool.chunks_executed),
+                    static_cast<unsigned long long>(pool.steals), busy,
+                    pool.critical_path_seconds());
+      } else {
+        std::printf("thread pool: serial path (threads=%d)\n", config.threads);
+      }
     }
   });
   std::filesystem::remove_all(workdir);

@@ -46,6 +46,11 @@ struct SimConfig {
   // when requested explicitly).
   int analysis_every = 0;
 
+  /// Intra-node worker threads for the short-range pipeline (tree builds,
+  /// pair kernels, PM deposit/interpolate). 0 selects hardware
+  /// concurrency. Results are bitwise identical for every value.
+  int threads = 1;
+
   std::uint64_t seed = 42;
 
   sph::SphConfig sph;

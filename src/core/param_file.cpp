@@ -178,6 +178,8 @@ std::vector<std::string> ParamFile::apply(SimConfig& config) const {
         config.sph.warp_size = static_cast<std::uint32_t>(*v);
         config.gravity.warp_size = static_cast<std::uint32_t>(*v);
       }
+    } else if (key == "threads") {
+      if (auto v = get_int(key)) config.threads = static_cast<int>(*v);
     } else {
       ok = false;
     }

@@ -44,6 +44,8 @@ SimConfig resolve_config(SimConfig config) {
 Simulation::Simulation(comm::Communicator& comm, const SimConfig& config)
     : comm_(comm),
       config_(resolve_config(config)),
+      pool_(config_.threads < 0 ? 1u
+                                : static_cast<unsigned>(config_.threads)),
       decomp_(comm.size(), config.box),
       bg_(config_.cosmology),
       power_(config_.cosmology),
@@ -63,6 +65,7 @@ Simulation::Simulation(comm::Communicator& comm, const SimConfig& config)
   sph_.mutable_config().h_max =
       static_cast<float>(0.45 * cm_bin_width_ / sph::CubicSpline::kSupport *
                          2.0);
+  pm_.set_thread_pool(&pool_);
   a_ = cosmo::Background::a_of_z(config_.z_init);
 }
 
@@ -118,12 +121,13 @@ void Simulation::prime_solver_state() {
   if (!config_.hydro) return;
   const auto obox = decomp_.overloaded_box(comm_.rank(), overload_);
   tree::ChainingMesh gas_mesh(obox, {cm_bin_width_, 64});
-  gas_mesh.build(particles_, gas_indices());
+  gas_mesh.build(particles_, gas_indices(), &pool_);
   std::fill(particles_.ax.begin(), particles_.ax.end(), 0.0f);
   std::fill(particles_.ay.begin(), particles_.ay.end(), 0.0f);
   std::fill(particles_.az.begin(), particles_.az.end(), 0.0f);
   std::fill(particles_.du.begin(), particles_.du.end(), 0.0f);
-  sph_.compute_forces(particles_, gas_mesh, a_, nullptr, flops_);
+  sph_.compute_forces(particles_, gas_mesh, a_, nullptr, flops_, nullptr,
+                      &pool_);
   sph_.update_smoothing_lengths(particles_, nullptr);
   std::fill(particles_.ax.begin(), particles_.ax.end(), 0.0f);
   std::fill(particles_.ay.begin(), particles_.ay.end(), 0.0f);
@@ -220,8 +224,8 @@ StepReport Simulation::step(io::MultiTierWriter* writer) {
   tree::ChainingMesh mesh_gas(obox, {cm_bin_width_, 64});
   {
     ScopedTimer t(timers_, timers::kTreeBuild);
-    mesh_all.build(particles_);
-    if (config_.hydro) mesh_gas.build(particles_, gas_indices());
+    mesh_all.build(particles_, &pool_);
+    if (config_.hydro) mesh_gas.build(particles_, gas_indices(), &pool_);
   }
 
   // --- 3. long-range spectral solve + PM-level kick ----------------------
@@ -258,11 +262,11 @@ StepReport Simulation::step(io::MultiTierWriter* writer) {
     {
       ScopedTimer t(timers_, timers::kTreeBuild);
       if (config_.rebuild_tree_every_substep) {
-        mesh_all.build(particles_);
-        if (config_.hydro) mesh_gas.build(particles_, gas_indices());
+        mesh_all.build(particles_, &pool_);
+        if (config_.hydro) mesh_gas.build(particles_, gas_indices(), &pool_);
       } else {
-        mesh_all.refit_bounds(particles_);
-        if (config_.hydro) mesh_gas.refit_bounds(particles_);
+        mesh_all.refit_bounds(particles_, &pool_);
+        if (config_.hydro) mesh_gas.refit_bounds(particles_, &pool_);
       }
     }
 
@@ -289,14 +293,14 @@ StepReport Simulation::step(io::MultiTierWriter* writer) {
         const auto active_pairs = filter_active_pairs(mesh_all, pairs, active);
         gravity::compute_short_range(particles_, mesh_all, &pm_.split(),
                                      config_.gravity, a_sub_mid, active.data(),
-                                     flops_, &active_pairs);
+                                     flops_, &active_pairs, &pool_);
       }
       if (config_.hydro && mesh_gas.num_particles() > 0) {
         auto pairs = mesh_gas.interaction_pairs(
             sph::SphSolver::interaction_radius(particles_, mesh_gas));
         const auto active_pairs = filter_active_pairs(mesh_gas, pairs, active);
         sph_.compute_forces(particles_, mesh_gas, a_sub_mid, active.data(),
-                            flops_, &active_pairs);
+                            flops_, &active_pairs, &pool_);
       }
 
       // Kick each active particle across its own bin interval (drag-free;
@@ -519,6 +523,7 @@ RunResult Simulation::run(io::MultiTierWriter* writer, io::ThrottledStore* pfs,
   }
   result.completed = true;
   if (writer) result.io = writer->stats();
+  result.threading = pool_.stats();
   return result;
 }
 

@@ -37,6 +37,7 @@
 #include "sph/solver.h"
 #include "subgrid/model.h"
 #include "tree/chaining_mesh.h"
+#include "util/thread_pool.h"
 #include "util/timer.h"
 
 namespace crkhacc::core {
@@ -92,6 +93,9 @@ struct RunResult {
   io::IoStats io;
   std::vector<StepReport> reports;
   std::vector<AnalysisResult> analyses;
+  /// Intra-node scheduler accounting (per-thread busy time, steal counts)
+  /// accumulated over the whole run.
+  util::ThreadPoolStats threading;
 };
 
 class Simulation {
@@ -141,6 +145,8 @@ class Simulation {
   const TimerRegistry& timers() const { return timers_; }
   gpu::FlopRegistry& flops() { return flops_; }
   double overload_width() const { return overload_; }
+  util::ThreadPool& thread_pool() { return pool_; }
+  const util::ThreadPool& thread_pool() const { return pool_; }
 
   /// Scale factor at the start of PM step s (uniform-in-a schedule).
   double a_at_step(std::uint64_t s) const;
@@ -156,6 +162,9 @@ class Simulation {
 
   comm::Communicator& comm_;
   SimConfig config_;
+  /// Declared before the solvers so it is alive whenever they run
+  /// (config_.threads: 0 = hardware concurrency).
+  util::ThreadPool pool_;
   comm::CartDecomposition decomp_;
   cosmo::Background bg_;
   cosmo::PowerSpectrum power_;

@@ -33,6 +33,10 @@ const std::vector<DeviceSpec>& known_devices();
 double host_peak_gflops();
 
 /// Accumulates analytic FLOP counts per kernel name.
+///
+/// Like TimerRegistry, add() is unsynchronized: launches record their
+/// totals on the calling thread after the parallel region completes, so
+/// worker threads never mutate a registry.
 class FlopRegistry {
  public:
   void add(const std::string& kernel, double flops, double seconds);

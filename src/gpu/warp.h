@@ -40,6 +40,17 @@
 //                                        // `other` onto `self`
 //     void store(std::uint32_t particle, const Accum&);  // += semantics
 //   };
+//
+// Deterministic parallel launch: launch_pair_kernel optionally takes a
+// util::ThreadPool. The pair list is split into fixed chunks (independent
+// of the thread count); worker threads evaluate chunks concurrently with
+// stores CAPTURED into per-chunk buffers, and the calling thread replays
+// every captured store in chunk order afterwards. Because the replay
+// order equals the serial store order, a parallel launch is bitwise
+// identical to the serial one for any thread count. This relies on a
+// contract every kernel here satisfies: load() must not read any field
+// that store() writes within the same launch (the pass structure already
+// guarantees it — positions/masses in, accelerations/densities out).
 #pragma once
 
 #include <algorithm>
@@ -50,6 +61,7 @@
 #include <vector>
 
 #include "tree/chaining_mesh.h"
+#include "util/thread_pool.h"
 #include "util/timer.h"
 
 namespace crkhacc::gpu {
@@ -185,35 +197,119 @@ void warp_split_pair(Kernel& kernel, const tree::ChainingMesh& cm,
   }
 }
 
+/// Evaluate a contiguous sub-range [first, last) of the pair list.
+template <typename Kernel>
+void run_pair_range(
+    Kernel& kernel, const tree::ChainingMesh& cm,
+    std::span<const std::pair<std::uint32_t, std::uint32_t>> pairs,
+    std::size_t first, std::size_t last, std::uint32_t warp_size,
+    LaunchMode mode, LaunchStats& stats) {
+  if (mode == LaunchMode::kNaive) {
+    for (std::size_t q = first; q < last; ++q) {
+      const auto [la, lb] = pairs[q];
+      const bool same = la == lb;
+      naive_side(kernel, cm, cm.leaf(la), cm.leaf(lb), same, stats);
+      if (!same) {
+        naive_side(kernel, cm, cm.leaf(lb), cm.leaf(la), false, stats);
+      }
+    }
+  } else {
+    for (std::size_t q = first; q < last; ++q) {
+      const auto [la, lb] = pairs[q];
+      warp_split_pair(kernel, cm, la, lb, warp_size, stats);
+    }
+  }
+}
+
+/// Forwards load/partial/interact to the wrapped kernel (shared read-only
+/// across workers) and captures store() calls into a chunk-private buffer
+/// for ordered replay on the calling thread.
+template <typename Kernel>
+class DeferredStoreKernel {
+ public:
+  using State = typename Kernel::State;
+  using Partial = typename Kernel::Partial;
+  using Accum = typename Kernel::Accum;
+  static constexpr const char* kName = Kernel::kName;
+  static constexpr double kFlopsPerInteraction = Kernel::kFlopsPerInteraction;
+  static constexpr double kFlopsPerPartial = Kernel::kFlopsPerPartial;
+
+  DeferredStoreKernel(const Kernel& kernel,
+                      std::vector<std::pair<std::uint32_t, Accum>>& stores)
+      : kernel_(kernel), stores_(stores) {}
+
+  State load(std::uint32_t i) const { return kernel_.load(i); }
+  Partial partial(const State& s) const { return kernel_.partial(s); }
+  void interact(const State& self, const Partial& self_p, const State& other,
+                const Partial& other_p, Accum& acc) const {
+    kernel_.interact(self, self_p, other, other_p, acc);
+  }
+  void store(std::uint32_t i, const Accum& acc) {
+    stores_.emplace_back(i, acc);
+  }
+
+ private:
+  const Kernel& kernel_;
+  std::vector<std::pair<std::uint32_t, Accum>>& stores_;
+};
+
+/// Pairs per parallel chunk. Fixed (never derived from the thread count)
+/// so the chunk decomposition — and therefore the store-replay order —
+/// is identical for every pool size.
+inline constexpr std::size_t kPairsPerChunk = 8;
+
 }  // namespace detail
 
 /// Execute `kernel` over the given leaf pairs. Pairs must satisfy
 /// first <= second (as produced by ChainingMesh::interaction_pairs);
-/// both orientations are accumulated.
+/// both orientations are accumulated. With a pool of more than one
+/// thread, chunks of the pair list are evaluated concurrently with
+/// deferred stores replayed in chunk order — bitwise identical to the
+/// serial launch (see the header comment for the kernel contract).
 template <typename Kernel>
 LaunchStats launch_pair_kernel(
     Kernel& kernel, const tree::ChainingMesh& cm,
     std::span<const std::pair<std::uint32_t, std::uint32_t>> pairs,
-    std::uint32_t warp_size, LaunchMode mode) {
+    std::uint32_t warp_size, LaunchMode mode,
+    util::ThreadPool* pool = nullptr) {
   LaunchStats stats;
   Stopwatch watch;
   if (mode == LaunchMode::kNaive) {
     stats.register_bytes_per_thread =
         2 * sizeof(typename Kernel::State) +
         2 * sizeof(typename Kernel::Partial) + sizeof(typename Kernel::Accum);
-    for (const auto& [la, lb] : pairs) {
-      const bool same = la == lb;
-      detail::naive_side(kernel, cm, cm.leaf(la), cm.leaf(lb), same, stats);
-      if (!same) {
-        detail::naive_side(kernel, cm, cm.leaf(lb), cm.leaf(la), false, stats);
-      }
-    }
   } else {
     stats.register_bytes_per_thread = sizeof(typename Kernel::State) +
                                       sizeof(typename Kernel::Partial) +
                                       sizeof(typename Kernel::Accum);
-    for (const auto& [la, lb] : pairs) {
-      detail::warp_split_pair(kernel, cm, la, lb, warp_size, stats);
+  }
+  if (!pool || pool->num_threads() <= 1) {
+    detail::run_pair_range(kernel, cm, pairs, 0, pairs.size(), warp_size, mode,
+                           stats);
+  } else {
+    using Accum = typename Kernel::Accum;
+    struct ChunkResult {
+      LaunchStats stats;
+      std::vector<std::pair<std::uint32_t, Accum>> stores;
+    };
+    const std::size_t nchunks =
+        (pairs.size() + detail::kPairsPerChunk - 1) / detail::kPairsPerChunk;
+    std::vector<ChunkResult> chunks(nchunks);
+    pool->parallel_for(
+        0, pairs.size(), detail::kPairsPerChunk,
+        [&](std::size_t lo, std::size_t hi, std::size_t c) {
+          detail::DeferredStoreKernel<Kernel> deferred(kernel,
+                                                       chunks[c].stores);
+          detail::run_pair_range(deferred, cm, pairs, lo, hi, warp_size, mode,
+                                 chunks[c].stats);
+        });
+    // Ordered replay: chunk order x in-chunk order == serial pair order.
+    for (auto& chunk : chunks) {
+      for (const auto& [i, acc] : chunk.stores) kernel.store(i, acc);
+      stats.interactions += chunk.stats.interactions;
+      stats.global_loads += chunk.stats.global_loads;
+      stats.partial_evals += chunk.stats.partial_evals;
+      stats.stores += chunk.stats.stores;
     }
   }
   stats.seconds = watch.seconds();

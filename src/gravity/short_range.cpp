@@ -8,7 +8,8 @@ gpu::LaunchStats compute_short_range(
     Particles& particles, const tree::ChainingMesh& mesh,
     const mesh::ForceSplit* split, const GravityConfig& config, double a,
     const std::uint8_t* active, gpu::FlopRegistry& flops,
-    const std::vector<std::pair<std::uint32_t, std::uint32_t>>* pairs) {
+    const std::vector<std::pair<std::uint32_t, std::uint32_t>>* pairs,
+    util::ThreadPool* pool) {
   // Without a split the kernel is pure Newtonian and every neighbor-bin
   // leaf pair interacts (1e15 >> any box, still finite when squared).
   const double cutoff = split ? split->cutoff() : 1e15;
@@ -21,7 +22,8 @@ gpu::LaunchStats compute_short_range(
     pairs = &own_pairs;
   }
   const auto stats = gpu::launch_pair_kernel(kernel, mesh, *pairs,
-                                             config.warp_size, config.mode);
+                                             config.warp_size, config.mode,
+                                             pool);
   flops.add(ShortRangeKernel::kName, stats.flops, stats.seconds);
   return stats;
 }

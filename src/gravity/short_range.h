@@ -102,13 +102,15 @@ struct GravityConfig {
 /// over every species). Accumulates into ax/ay/az; `a` is the scale
 /// factor (1 = non-cosmological => pure Newtonian requires split=null).
 /// If `pairs` is non-null, uses the caller's (active-filtered) leaf pair
-/// list instead of building one.
+/// list instead of building one. With a pool, pair chunks evaluate
+/// concurrently with deferred stores (bitwise identical to serial).
 gpu::LaunchStats compute_short_range(
     Particles& particles, const tree::ChainingMesh& mesh,
     const mesh::ForceSplit* split, const GravityConfig& config, double a,
     const std::uint8_t* active, gpu::FlopRegistry& flops,
     const std::vector<std::pair<std::uint32_t, std::uint32_t>>* pairs =
-        nullptr);
+        nullptr,
+    util::ThreadPool* pool = nullptr);
 
 /// Reference O(N^2) Newtonian (or split) direct sum, for accuracy tests.
 void direct_sum_reference(Particles& particles, const mesh::ForceSplit* split,

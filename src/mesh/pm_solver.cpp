@@ -75,31 +75,64 @@ std::vector<double> PMSolver::deposit(comm::Communicator& comm,
     return static_cast<std::size_t>(m);
   };
 
+  // Per-chunk deposit batches, merged in fixed chunk order. The chunk
+  // decomposition depends only on the particle count, and both serial and
+  // pooled paths walk the same chunks, so the send streams and the
+  // chunk-folded mass sum are bitwise identical for every thread count.
   const int p = comm.size();
-  std::vector<std::vector<CellContribution>> sends(static_cast<std::size_t>(p));
-  double local_mass = 0.0;
-  for (std::size_t i = 0; i < particles.size(); ++i) {
-    if (!particles.is_owned(i)) continue;  // ghosts deposited by their owner
-    local_mass += particles.mass[i];
-    const CicAxis axis_x = cic_axis(particles.x[i], cell);
-    const CicAxis axis_y = cic_axis(particles.y[i], cell);
-    const CicAxis axis_z = cic_axis(particles.z[i], cell);
-    const double rho = particles.mass[i] / cell_volume;
-    for (int dz = 0; dz < 2; ++dz) {
-      const std::size_t cz = wrap_cell(axis_z.cell + dz);
-      const double wz = dz ? axis_z.w_hi : 1.0 - axis_z.w_hi;
-      const int owner = zpart.owner(cz);
-      for (int dy = 0; dy < 2; ++dy) {
-        const std::size_t cy = wrap_cell(axis_y.cell + dy);
-        const double wy = dy ? axis_y.w_hi : 1.0 - axis_y.w_hi;
-        for (int dx = 0; dx < 2; ++dx) {
-          const std::size_t cx = wrap_cell(axis_x.cell + dx);
-          const double wx = dx ? axis_x.w_hi : 1.0 - axis_x.w_hi;
-          sends[static_cast<std::size_t>(owner)].push_back(
-              CellContribution{(static_cast<std::uint64_t>(cz) * ng + cy) * ng + cx,
-                               rho * wz * wy * wx});
+  const std::size_t nloc = particles.size();
+  constexpr std::size_t kDepositGrain = 2048;
+  const std::size_t nchunks =
+      nloc == 0 ? 0 : (nloc + kDepositGrain - 1) / kDepositGrain;
+  struct ChunkDeposit {
+    std::vector<std::vector<CellContribution>> sends;
+    double mass = 0.0;
+  };
+  std::vector<ChunkDeposit> chunk_out(nchunks);
+  auto deposit_range = [&](std::size_t lo, std::size_t hi, std::size_t c) {
+    ChunkDeposit& out = chunk_out[c];
+    out.sends.resize(static_cast<std::size_t>(p));
+    for (std::size_t i = lo; i < hi; ++i) {
+      if (!particles.is_owned(i)) continue;  // ghosts deposited by their owner
+      out.mass += particles.mass[i];
+      const CicAxis axis_x = cic_axis(particles.x[i], cell);
+      const CicAxis axis_y = cic_axis(particles.y[i], cell);
+      const CicAxis axis_z = cic_axis(particles.z[i], cell);
+      const double rho = particles.mass[i] / cell_volume;
+      for (int dz = 0; dz < 2; ++dz) {
+        const std::size_t cz = wrap_cell(axis_z.cell + dz);
+        const double wz = dz ? axis_z.w_hi : 1.0 - axis_z.w_hi;
+        const int owner = zpart.owner(cz);
+        for (int dy = 0; dy < 2; ++dy) {
+          const std::size_t cy = wrap_cell(axis_y.cell + dy);
+          const double wy = dy ? axis_y.w_hi : 1.0 - axis_y.w_hi;
+          for (int dx = 0; dx < 2; ++dx) {
+            const std::size_t cx = wrap_cell(axis_x.cell + dx);
+            const double wx = dx ? axis_x.w_hi : 1.0 - axis_x.w_hi;
+            out.sends[static_cast<std::size_t>(owner)].push_back(
+                CellContribution{
+                    (static_cast<std::uint64_t>(cz) * ng + cy) * ng + cx,
+                    rho * wz * wy * wx});
+          }
         }
       }
+    }
+  };
+  if (pool_ && pool_->num_threads() > 1) {
+    pool_->parallel_for(0, nloc, kDepositGrain, deposit_range);
+  } else {
+    for (std::size_t c = 0; c < nchunks; ++c) {
+      deposit_range(c * kDepositGrain,
+                    std::min((c + 1) * kDepositGrain, nloc), c);
+    }
+  }
+  std::vector<std::vector<CellContribution>> sends(static_cast<std::size_t>(p));
+  double local_mass = 0.0;
+  for (auto& out : chunk_out) {
+    local_mass += out.mass;
+    for (std::size_t d = 0; d < out.sends.size(); ++d) {
+      sends[d].insert(sends[d].end(), out.sends[d].begin(),
+                      out.sends[d].end());
     }
   }
 
@@ -270,8 +303,9 @@ void PMSolver::apply(comm::Communicator& comm, Particles& particles,
     if (m < 0) m += static_cast<long>(ng);
     return static_cast<std::size_t>(m);
   };
+  // Per-particle gather with disjoint writes; thread-count independent.
   const std::size_t n = particles.size();
-  for (std::size_t i = 0; i < n; ++i) {
+  auto interpolate_one = [&](std::size_t i) {
     const CicAxis axis_x = cic_axis(particles.x[i], cell);
     const CicAxis axis_y = cic_axis(particles.y[i], cell);
     const CicAxis axis_z = cic_axis(particles.z[i], cell);
@@ -299,6 +333,16 @@ void PMSolver::apply(comm::Communicator& comm, Particles& particles,
     particles.ax[i] = static_cast<float>(f[0]);
     particles.ay[i] = static_cast<float>(f[1]);
     particles.az[i] = static_cast<float>(f[2]);
+  };
+  if (pool_ && pool_->num_threads() > 1) {
+    pool_->parallel_for(0, n, 1024,
+                        [&](std::size_t lo, std::size_t hi, std::size_t) {
+                          for (std::size_t i = lo; i < hi; ++i) {
+                            interpolate_one(i);
+                          }
+                        });
+  } else {
+    for (std::size_t i = 0; i < n; ++i) interpolate_one(i);
   }
 }
 

@@ -29,6 +29,7 @@
 #include "core/particles.h"
 #include "fft/distributed_fft.h"
 #include "mesh/force_split.h"
+#include "util/thread_pool.h"
 
 namespace crkhacc::mesh {
 
@@ -46,6 +47,12 @@ class PMSolver {
 
   const ForceSplit& split() const { return split_; }
   const PMConfig& config() const { return config_; }
+
+  /// Optional intra-node workers for the deposit and interpolation loops.
+  /// Deposit batches are merged in fixed chunk order, so the density mesh
+  /// and mean density are bitwise identical for every thread count
+  /// (including no pool at all). The pool must outlive the solver's use.
+  void set_thread_pool(util::ThreadPool* pool) { pool_ = pool; }
 
   /// Full long-range solve: overwrites (ax, ay, az) for every local
   /// particle with the filtered mesh acceleration (comoving, includes G).
@@ -80,6 +87,7 @@ class PMSolver {
   ForceSplit split_;
   fft::DistributedFFT fft_;
   double mean_density_ = 0.0;
+  util::ThreadPool* pool_ = nullptr;
 };
 
 /// CIC weights for one coordinate: returns base cell and fraction.

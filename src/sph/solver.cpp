@@ -20,21 +20,43 @@ double SphSolver::interaction_radius(const Particles& particles,
 void SphSolver::compute_forces(
     Particles& particles, const tree::ChainingMesh& gas_mesh, double a,
     const std::uint8_t* active, gpu::FlopRegistry& flops,
-    const std::vector<std::pair<std::uint32_t, std::uint32_t>>* pairs_in) {
+    const std::vector<std::pair<std::uint32_t, std::uint32_t>>* pairs_in,
+    util::ThreadPool* pool) {
   if (config_.kernel == KernelShape::kWendlandC4) {
     compute_forces_impl<WendlandC4>(particles, gas_mesh, a, active, flops,
-                                    pairs_in);
+                                    pairs_in, pool);
   } else {
     compute_forces_impl<CubicSpline>(particles, gas_mesh, a, active, flops,
-                                     pairs_in);
+                                     pairs_in, pool);
   }
 }
+
+namespace {
+
+/// Run body(s) over slots [0, count) of the mesh permutation: on the pool
+/// when available, serially otherwise. The permutation maps slots to
+/// unique particle indices, so per-slot writes are disjoint and the
+/// result is independent of the thread count.
+template <typename Body>
+void for_each_slot(std::size_t count, util::ThreadPool* pool, Body&& body) {
+  if (pool && pool->num_threads() > 1) {
+    pool->parallel_for(0, count, 1024,
+                       [&](std::size_t lo, std::size_t hi, std::size_t) {
+                         for (std::size_t s = lo; s < hi; ++s) body(s);
+                       });
+  } else {
+    for (std::size_t s = 0; s < count; ++s) body(s);
+  }
+}
+
+}  // namespace
 
 template <typename Shape>
 void SphSolver::compute_forces_impl(
     Particles& particles, const tree::ChainingMesh& gas_mesh, double a,
     const std::uint8_t* active, gpu::FlopRegistry& flops,
-    const std::vector<std::pair<std::uint32_t, std::uint32_t>>* pairs_in) {
+    const std::vector<std::pair<std::uint32_t, std::uint32_t>>* pairs_in,
+    util::ThreadPool* pool) {
   const std::size_t n = particles.size();
   scratch_.resize(n);
   last_stats_.clear();
@@ -53,18 +75,20 @@ void SphSolver::compute_forces_impl(
   // Pass 1: density + neighbor counts. Stores are accumulating, so zero
   // the active targets first, then add the self-contribution once.
   {
-    for (std::uint32_t i : perm) {
-      if (active && !active[i]) continue;
+    for_each_slot(perm.size(), pool, [&](std::size_t s) {
+      const std::uint32_t i = perm[s];
+      if (active && !active[i]) return;
       particles.rho[i] = 0.0f;
-    }
+    });
     DensityKernelT<Shape> kernel(particles, scratch_, active);
     const auto stats = gpu::launch_pair_kernel(
-        kernel, gas_mesh, pairs, config_.warp_size, config_.mode);
-    for (std::uint32_t i : perm) {
-      if (active && !active[i]) continue;
+        kernel, gas_mesh, pairs, config_.warp_size, config_.mode, pool);
+    for_each_slot(perm.size(), pool, [&](std::size_t s) {
+      const std::uint32_t i = perm[s];
+      if (active && !active[i]) return;
       particles.rho[i] +=
           particles.mass[i] * Shape::w(0.0f, particles.hsml[i]);
-    }
+    });
     last_stats_[DensityKernelT<Shape>::kName] = stats;
     flops.add(DensityKernelT<Shape>::kName, stats.flops, stats.seconds);
   }
@@ -73,12 +97,13 @@ void SphSolver::compute_forces_impl(
   // they serve as neighbors below).
   {
     Stopwatch watch;
-    for (std::uint32_t i : perm) {
+    for_each_slot(perm.size(), pool, [&](std::size_t s) {
+      const std::uint32_t i = perm[s];
       const float rho = std::max(particles.rho[i], 1e-20f);
       scratch_.volume[i] = particles.mass[i] / rho;
       scratch_.press[i] = pressure(rho, particles.u[i]);
       scratch_.cs[i] = sound_speed(particles.u[i]);
-    }
+    });
     // ~10 flops per particle (division, products, sqrt).
     flops.add("sph_eos", 10.0 * static_cast<double>(perm.size()),
               watch.seconds());
@@ -89,21 +114,23 @@ void SphSolver::compute_forces_impl(
   if (config_.use_crk) {
     CrkMomentKernelT<Shape> kernel(particles, scratch_, active);
     const auto stats = gpu::launch_pair_kernel(
-        kernel, gas_mesh, pairs, config_.warp_size, config_.mode);
+        kernel, gas_mesh, pairs, config_.warp_size, config_.mode, pool);
     last_stats_[CrkMomentKernelT<Shape>::kName] = stats;
     flops.add(CrkMomentKernelT<Shape>::kName, stats.flops, stats.seconds);
 
     Stopwatch watch;
-    for (std::uint32_t i : perm) {
-      if (active && !active[i]) continue;
+    for_each_slot(perm.size(), pool, [&](std::size_t s) {
+      const std::uint32_t i = perm[s];
+      if (active && !active[i]) return;
       scratch_.moments[i].m0 +=
           scratch_.volume[i] * Shape::w(0.0f, particles.hsml[i]);
-    }
-    for (std::uint32_t i : perm) {
+    });
+    for_each_slot(perm.size(), pool, [&](std::size_t s) {
+      const std::uint32_t i = perm[s];
       const auto coeff = solve_crk(scratch_.moments[i]);
       scratch_.crk_a[i] = coeff.a;
       scratch_.crk_b[i] = coeff.b;
-    }
+    });
     flops.add("crk_coeff_solve",
               kSolveFlops * static_cast<double>(perm.size()), watch.seconds());
   }
@@ -114,7 +141,7 @@ void SphSolver::compute_forces_impl(
                                         config_.viscosity,
                                         static_cast<float>(1.0 / a));
     const auto stats = gpu::launch_pair_kernel(
-        kernel, gas_mesh, pairs, config_.warp_size, config_.mode);
+        kernel, gas_mesh, pairs, config_.warp_size, config_.mode, pool);
     last_stats_[MomentumEnergyKernelT<Shape>::kName] = stats;
     flops.add(MomentumEnergyKernelT<Shape>::kName, stats.flops,
               stats.seconds);

@@ -19,6 +19,7 @@
 #include "gpu/warp.h"
 #include "sph/pair_kernels.h"
 #include "tree/chaining_mesh.h"
+#include "util/thread_pool.h"
 
 namespace crkhacc::sph {
 
@@ -54,13 +55,16 @@ class SphSolver {
   /// scale factor (1 for non-cosmological tests). Launch statistics are
   /// recorded per kernel into `flops`. If `pairs` is non-null it is used
   /// as the (active-filtered) leaf pair list; otherwise one is built at
-  /// interaction_radius().
+  /// interaction_radius(). With a pool, the pairwise sweeps and
+  /// per-particle EOS / coefficient loops run on the worker threads
+  /// (bitwise identical to the serial path for any thread count).
   void compute_forces(Particles& particles, const tree::ChainingMesh& gas_mesh,
                       double a, const std::uint8_t* active,
                       gpu::FlopRegistry& flops,
                       const std::vector<std::pair<std::uint32_t,
                                                   std::uint32_t>>* pairs =
-                          nullptr);
+                          nullptr,
+                      util::ThreadPool* pool = nullptr);
 
   /// Widest kernel support among the mesh's gas: 2 * max h.
   static double interaction_radius(const Particles& particles,
@@ -88,7 +92,8 @@ class SphSolver {
   void compute_forces_impl(
       Particles& particles, const tree::ChainingMesh& gas_mesh, double a,
       const std::uint8_t* active, gpu::FlopRegistry& flops,
-      const std::vector<std::pair<std::uint32_t, std::uint32_t>>* pairs_in);
+      const std::vector<std::pair<std::uint32_t, std::uint32_t>>* pairs_in,
+      util::ThreadPool* pool);
 
   SphConfig config_;
   SphScratch scratch_;

@@ -34,29 +34,41 @@ std::size_t ChainingMesh::bin_of_position(float x, float y, float z) const {
   return (static_cast<std::size_t>(c[2]) * dims_[1] + c[1]) * dims_[0] + c[0];
 }
 
-void ChainingMesh::build(const Particles& particles) {
+void ChainingMesh::build(const Particles& particles, util::ThreadPool* pool) {
   std::vector<std::uint32_t> all(particles.size());
   for (std::size_t i = 0; i < all.size(); ++i) {
     all[i] = static_cast<std::uint32_t>(i);
   }
-  build(particles, all);
+  build(particles, all, pool);
 }
 
 void ChainingMesh::build(const Particles& particles,
-                         std::span<const std::uint32_t> subset) {
+                         std::span<const std::uint32_t> subset,
+                         util::ThreadPool* pool) {
   const std::size_t n = subset.size();
   const std::size_t nbins = static_cast<std::size_t>(dims_[0]) * dims_[1] * dims_[2];
 
-  // Counting sort of the subset into bins.
+  // Counting sort of the subset into bins. Bin indices are pure per-slot
+  // functions of position, so the fill parallelizes over disjoint slots;
+  // the count/scatter passes stay serial to preserve stable bin order.
   std::vector<std::uint32_t> bin_count(nbins, 0);
   std::vector<std::uint32_t> bin_index(n);
-  for (std::size_t s = 0; s < n; ++s) {
-    const std::uint32_t i = subset[s];
-    const std::size_t b = bin_of_position(particles.x[i], particles.y[i],
-                                          particles.z[i]);
-    bin_index[s] = static_cast<std::uint32_t>(b);
-    ++bin_count[b];
+  auto index_range = [&](std::size_t lo, std::size_t hi) {
+    for (std::size_t s = lo; s < hi; ++s) {
+      const std::uint32_t i = subset[s];
+      bin_index[s] = static_cast<std::uint32_t>(
+          bin_of_position(particles.x[i], particles.y[i], particles.z[i]));
+    }
+  };
+  if (pool && pool->num_threads() > 1) {
+    pool->parallel_for(0, n, 2048,
+                       [&](std::size_t lo, std::size_t hi, std::size_t) {
+                         index_range(lo, hi);
+                       });
+  } else {
+    index_range(0, n);
   }
+  for (std::size_t s = 0; s < n; ++s) ++bin_count[bin_index[s]];
   std::vector<std::uint32_t> bin_begin(nbins + 1, 0);
   for (std::size_t b = 0; b < nbins; ++b) {
     bin_begin[b + 1] = bin_begin[b] + bin_count[b];
@@ -69,27 +81,44 @@ void ChainingMesh::build(const Particles& particles,
     }
   }
 
-  // Per-bin k-d subdivision into coarse leaves.
+  // Per-bin k-d subdivision into coarse leaves. Bins own disjoint perm_
+  // ranges, so subdivisions run concurrently into per-bin leaf lists and
+  // are stitched in bin order — identical output for any thread count.
+  std::vector<std::vector<Leaf>> bin_leaves(nbins);
+  auto split_bins = [&](std::size_t lo, std::size_t hi) {
+    for (std::size_t b = lo; b < hi; ++b) {
+      if (bin_count[b] > 0) {
+        split_leaf(particles, bin_begin[b], bin_begin[b + 1], bin_leaves[b]);
+      }
+    }
+  };
+  if (pool && pool->num_threads() > 1) {
+    pool->parallel_for(0, nbins, 1,
+                       [&](std::size_t lo, std::size_t hi, std::size_t) {
+                         split_bins(lo, hi);
+                       });
+  } else {
+    split_bins(0, nbins);
+  }
+
   leaves_.clear();
   leaf_bin_.clear();
   bin_leaf_begin_.assign(nbins + 1, 0);
   for (std::size_t b = 0; b < nbins; ++b) {
     bin_leaf_begin_[b] = static_cast<std::uint32_t>(leaves_.size());
-    if (bin_count[b] > 0) {
-      split_leaf(particles, bin_begin[b], bin_begin[b + 1]);
-    }
-    for (std::size_t l = bin_leaf_begin_[b]; l < leaves_.size(); ++l) {
+    leaves_.insert(leaves_.end(), bin_leaves[b].begin(), bin_leaves[b].end());
+    for (std::size_t l = 0; l < bin_leaves[b].size(); ++l) {
       leaf_bin_.push_back(static_cast<std::uint32_t>(b));
     }
   }
   bin_leaf_begin_[nbins] = static_cast<std::uint32_t>(leaves_.size());
-  refit_bounds(particles);
+  refit_bounds(particles, pool);
 }
 
 void ChainingMesh::split_leaf(const Particles& particles, std::uint32_t begin,
-                              std::uint32_t end) {
+                              std::uint32_t end, std::vector<Leaf>& out) {
   if (end - begin <= config_.leaf_size) {
-    leaves_.push_back(Leaf{begin, end, {}, {}});
+    out.push_back(Leaf{begin, end, {}, {}});
     return;
   }
   // Widest axis of the range's AABB.
@@ -119,8 +148,8 @@ void ChainingMesh::split_leaf(const Particles& particles, std::uint32_t begin,
                    [coord](std::uint32_t a, std::uint32_t b) {
                      return coord[a] < coord[b];
                    });
-  split_leaf(particles, begin, mid);
-  split_leaf(particles, mid, end);
+  split_leaf(particles, begin, mid, out);
+  split_leaf(particles, mid, end, out);
 }
 
 void ChainingMesh::fit_leaf(const Particles& particles, Leaf& leaf) const {
@@ -138,8 +167,18 @@ void ChainingMesh::fit_leaf(const Particles& particles, Leaf& leaf) const {
   }
 }
 
-void ChainingMesh::refit_bounds(const Particles& particles) {
-  for (auto& leaf : leaves_) fit_leaf(particles, leaf);
+void ChainingMesh::refit_bounds(const Particles& particles,
+                                util::ThreadPool* pool) {
+  if (pool && pool->num_threads() > 1) {
+    pool->parallel_for(0, leaves_.size(), 16,
+                       [&](std::size_t lo, std::size_t hi, std::size_t) {
+                         for (std::size_t l = lo; l < hi; ++l) {
+                           fit_leaf(particles, leaves_[l]);
+                         }
+                       });
+  } else {
+    for (auto& leaf : leaves_) fit_leaf(particles, leaf);
+  }
 }
 
 double ChainingMesh::aabb_distance_sq(const Leaf& a, const Leaf& b) {

@@ -10,6 +10,12 @@
 // sub-cycling, leaf bounding boxes are re-fit (they grow), avoiding
 // repartitioning at the cost of extra neighbor overlap. refit_bounds() is
 // a linear pass and is far cheaper than the force kernels it feeds.
+//
+// Builds accept an optional util::ThreadPool: binning and the per-bin k-d
+// subdivisions are independent across bins, so bins are built into
+// per-bin leaf lists concurrently and stitched in bin order on the
+// calling thread — the resulting permutation/leaf arrays are identical
+// for every thread count (bins never share permutation ranges).
 #pragma once
 
 #include <algorithm>
@@ -20,6 +26,7 @@
 
 #include "comm/decomposition.h"
 #include "core/particles.h"
+#include "util/thread_pool.h"
 
 namespace crkhacc::tree {
 
@@ -44,18 +51,20 @@ class ChainingMesh {
   ChainingMesh(const comm::Box3& domain, const ChainingMeshConfig& config);
 
   /// Full build: bin particles, build per-bin k-d leaves, fit AABBs.
-  /// Called once per PM step.
-  void build(const Particles& particles);
+  /// Called once per PM step. With a pool, per-bin work runs on the
+  /// worker threads (result independent of the thread count).
+  void build(const Particles& particles, util::ThreadPool* pool = nullptr);
 
   /// Build over a subset of particle indices (e.g. gas only, matching
   /// the species-separated trees of the hydro solver). The permutation
   /// array then holds indices drawn from `subset`.
-  void build(const Particles& particles,
-             std::span<const std::uint32_t> subset);
+  void build(const Particles& particles, std::span<const std::uint32_t> subset,
+             util::ThreadPool* pool = nullptr);
 
   /// Re-fit all leaf AABBs to current particle positions (called per
   /// sub-cycle; leaves keep their membership).
-  void refit_bounds(const Particles& particles);
+  void refit_bounds(const Particles& particles,
+                    util::ThreadPool* pool = nullptr);
 
   std::size_t num_leaves() const { return leaves_.size(); }
   const Leaf& leaf(std::size_t l) const { return leaves_[l]; }
@@ -144,7 +153,7 @@ class ChainingMesh {
  private:
   std::size_t bin_of_position(float x, float y, float z) const;
   void split_leaf(const Particles& particles, std::uint32_t begin,
-                  std::uint32_t end);
+                  std::uint32_t end, std::vector<Leaf>& out);
   void fit_leaf(const Particles& particles, Leaf& leaf) const;
 
   comm::Box3 domain_;

@@ -35,6 +35,25 @@ void Histogram::add_all(const std::vector<double>& samples) {
   for (double s : samples) add(s);
 }
 
+void Histogram::merge(const Histogram& other) {
+  CHECK(other.counts_.size() == counts_.size());
+  CHECK(other.lo_ == lo_ && other.hi_ == hi_);
+  if (other.count_ == 0) return;
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    counts_[i] += other.counts_[i];
+  }
+  if (count_ == 0) {
+    min_ = other.min_;
+    max_ = other.max_;
+  } else {
+    min_ = std::min(min_, other.min_);
+    max_ = std::max(max_, other.max_);
+  }
+  count_ += other.count_;
+  sum_ += other.sum_;
+  sum_sq_ += other.sum_sq_;
+}
+
 double Histogram::mean() const { return count_ ? sum_ / static_cast<double>(count_) : 0.0; }
 
 double Histogram::stddev() const {

@@ -2,6 +2,10 @@
 //
 // Used to report per-rank device-utilization distributions (Fig. 6) and
 // workload-imbalance spreads without shipping raw samples around.
+//
+// add() mutates unsynchronized state and must not be called concurrently.
+// Threaded producers should fill one Histogram per worker and fold them
+// with merge() in a fixed order (thread-local pattern, like TimerRegistry).
 #pragma once
 
 #include <cstddef>
@@ -17,6 +21,12 @@ class Histogram {
 
   void add(double sample);
   void add_all(const std::vector<double>& samples);
+
+  /// Fold another histogram with identical binning into this one
+  /// (bin-wise count sums + exact moment/extrema updates). Combining
+  /// per-worker histograms in a fixed order gives results independent of
+  /// how samples were distributed across workers.
+  void merge(const Histogram& other);
 
   std::size_t count() const { return count_; }
   double mean() const;

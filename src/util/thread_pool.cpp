@@ -1,0 +1,214 @@
+#include "util/thread_pool.h"
+
+#include <algorithm>
+#include <ctime>
+
+#include "util/timer.h"
+
+namespace crkhacc::util {
+
+namespace {
+
+/// CPU time consumed by the calling thread. Busy accounting uses this
+/// instead of wall clock so that per-worker busy / critical-path numbers
+/// stay meaningful on oversubscribed hosts (threads time-slicing one core
+/// would otherwise all appear busy for the full region).
+double thread_cpu_seconds() {
+#if defined(CLOCK_THREAD_CPUTIME_ID)
+  timespec ts;
+  if (clock_gettime(CLOCK_THREAD_CPUTIME_ID, &ts) == 0) {
+    return static_cast<double>(ts.tv_sec) + 1e-9 * ts.tv_nsec;
+  }
+#endif
+  return 0.0;
+}
+
+}  // namespace
+
+thread_local bool ThreadPool::in_worker_ = false;
+
+ThreadPool::ThreadPool(unsigned threads) {
+  if (threads == 0) {
+    threads = std::max(1u, std::thread::hardware_concurrency());
+  }
+  threads_ = threads;
+  stats_.threads = threads_;
+  stats_.busy_seconds.assign(threads_, 0.0);
+  region_busy_.assign(threads_, 0.0);
+  ranges_.reserve(threads_);
+  for (unsigned t = 0; t < threads_; ++t) {
+    ranges_.push_back(std::make_unique<WorkRange>());
+  }
+  for (unsigned t = 1; t < threads_; ++t) {
+    workers_.emplace_back([this, t] { worker_loop(t); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(gate_mutex_);
+    shutdown_ = true;
+  }
+  gate_cv_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+void ThreadPool::reset_stats() {
+  stats_ = ThreadPoolStats{};
+  stats_.threads = threads_;
+  stats_.busy_seconds.assign(threads_, 0.0);
+}
+
+void ThreadPool::worker_loop(unsigned id) {
+  in_worker_ = true;
+  std::uint64_t seen_epoch = 0;
+  for (;;) {
+    {
+      std::unique_lock<std::mutex> lock(gate_mutex_);
+      gate_cv_.wait(lock,
+                    [&] { return shutdown_ || epoch_ != seen_epoch; });
+      if (shutdown_) return;
+      seen_epoch = epoch_;
+    }
+    claim_and_run(id);
+    {
+      std::lock_guard<std::mutex> lock(gate_mutex_);
+      --workers_active_;
+    }
+    done_cv_.notify_one();
+  }
+}
+
+void ThreadPool::claim_and_run(unsigned id) {
+  double executing = 0.0;
+  WorkRange& own = *ranges_[id];
+  for (;;) {
+    std::size_t chunk = 0;
+    bool have = false;
+    {
+      std::lock_guard<std::mutex> lock(own.m);
+      if (own.next < own.end) {
+        chunk = own.next++;
+        have = true;
+      }
+    }
+    if (!have) {
+      // Steal half of a victim's remaining range from the back, so the
+      // victim keeps walking forward undisturbed. The stolen sub-range is
+      // detached under the victim's lock alone and installed into our own
+      // range afterwards (never two range locks at once — no ordering
+      // cycles between concurrent thieves).
+      for (unsigned probe = 1; probe < threads_ && !have; ++probe) {
+        WorkRange& victim = *ranges_[(id + probe) % threads_];
+        std::size_t lo = 0, take = 0;
+        {
+          std::lock_guard<std::mutex> steal_lock(victim.m);
+          const std::size_t remaining =
+              victim.end > victim.next ? victim.end - victim.next : 0;
+          if (remaining == 0) continue;
+          take = (remaining + 1) / 2;
+          lo = victim.end - take;
+          victim.end = lo;
+        }
+        {
+          std::lock_guard<std::mutex> own_lock(own.m);
+          own.next = lo + 1;
+          own.end = lo + take;
+        }
+        chunk = lo;
+        have = true;
+        region_steals_.fetch_add(1, std::memory_order_relaxed);
+      }
+    }
+    if (!have) break;  // every range drained
+    if (!cancelled_.load(std::memory_order_relaxed)) {
+      const double cpu_start = thread_cpu_seconds();
+      try {
+        (*body_)(chunk, id);
+      } catch (...) {
+        {
+          std::lock_guard<std::mutex> lock(error_mutex_);
+          if (!first_error_) first_error_ = std::current_exception();
+        }
+        cancelled_.store(true, std::memory_order_relaxed);
+      }
+      executing += thread_cpu_seconds() - cpu_start;
+    }
+  }
+  region_busy_[id] += executing;
+}
+
+void ThreadPool::run_region(
+    std::size_t nchunks,
+    const std::function<void(std::size_t, unsigned)>& body) {
+  if (nchunks == 0) return;
+
+  // Inline execution: single-threaded pools and nested calls from inside
+  // a worker run the identical chunk decomposition serially. Results are
+  // bitwise identical by construction; only the scheduling differs.
+  if (threads_ == 1 || in_worker_) {
+    Stopwatch watch;
+    const double cpu_start = thread_cpu_seconds();
+    for (std::size_t c = 0; c < nchunks; ++c) body(c, 0);
+    if (!in_worker_) {
+      ++stats_.parallel_regions;
+      stats_.chunks_executed += nchunks;
+      stats_.wall_seconds += watch.seconds();
+      stats_.busy_seconds[0] += thread_cpu_seconds() - cpu_start;
+    }
+    return;
+  }
+
+  Stopwatch watch;
+  body_ = &body;
+  cancelled_.store(false, std::memory_order_relaxed);
+  first_error_ = nullptr;
+  region_steals_.store(0, std::memory_order_relaxed);
+  std::fill(region_busy_.begin(), region_busy_.end(), 0.0);
+
+  // Static initial partition of chunk indices into contiguous per-worker
+  // ranges (stealing rebalances at runtime).
+  const std::size_t per =
+      (nchunks + threads_ - 1) / static_cast<std::size_t>(threads_);
+  for (unsigned t = 0; t < threads_; ++t) {
+    WorkRange& r = *ranges_[t];
+    std::lock_guard<std::mutex> lock(r.m);
+    r.next = std::min(static_cast<std::size_t>(t) * per, nchunks);
+    r.end = std::min(r.next + per, nchunks);
+  }
+
+  {
+    std::lock_guard<std::mutex> lock(gate_mutex_);
+    ++epoch_;
+    workers_active_ = threads_ - 1;
+  }
+  gate_cv_.notify_all();
+
+  // The calling thread participates as worker 0.
+  const bool was_in_worker = in_worker_;
+  in_worker_ = true;
+  claim_and_run(0);
+  in_worker_ = was_in_worker;
+
+  {
+    std::unique_lock<std::mutex> lock(gate_mutex_);
+    done_cv_.wait(lock, [&] { return workers_active_ == 0; });
+  }
+  body_ = nullptr;
+
+  ++stats_.parallel_regions;
+  stats_.chunks_executed += nchunks;
+  stats_.steals += region_steals_.load(std::memory_order_relaxed);
+  stats_.wall_seconds += watch.seconds();
+  for (unsigned t = 0; t < threads_; ++t) {
+    stats_.busy_seconds[t] += region_busy_[t];
+  }
+
+  if (first_error_) {
+    std::exception_ptr err = first_error_;
+    first_error_ = nullptr;
+    std::rethrow_exception(err);
+  }
+}
+
+}  // namespace crkhacc::util

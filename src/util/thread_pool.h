@@ -1,0 +1,172 @@
+// Deterministic node-level parallelism: a work-stealing thread pool.
+//
+// The paper's claim (Section IV) is that once the overloaded decomposition
+// is in place, all short-range work — tree builds, leaf–leaf gravity and
+// CRKSPH kernels, PM deposit/interpolate — is node-local and
+// embarrassingly parallel. This pool supplies the intra-node workers that
+// exploit that property WITHOUT giving up bit-reproducibility:
+//
+//  * Work is split into FIXED chunks whose decomposition depends only on
+//    the problem size and grain, never on the thread count. Chunks are
+//    claimed dynamically (contiguous per-worker ranges; idle workers steal
+//    half a victim's remaining range from the back), so clustering-driven
+//    imbalance is absorbed at runtime.
+//  * Any result that is sensitive to floating-point evaluation order must
+//    be produced per chunk and combined on the calling thread in chunk
+//    order (parallel_for with per-chunk buffers, or reduce(), which
+//    combines chunk results in a fixed binary tree). A run with N threads
+//    is then bitwise identical to a run with 1 thread — the scheduler
+//    only decides WHO computes a chunk, never WHAT is computed or in what
+//    order results are merged.
+//
+// Nested parallel_for/reduce calls from inside a worker execute inline on
+// that worker (same chunk decomposition, serial claim order), so helpers
+// that accept a pool can be composed freely without deadlock. Exceptions
+// thrown by chunk bodies cancel the remaining chunks and are rethrown on
+// the calling thread.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <exception>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace crkhacc::util {
+
+/// Scheduler accounting, surfaced in RunResult / bench output.
+struct ThreadPoolStats {
+  unsigned threads = 1;
+  std::uint64_t parallel_regions = 0;  ///< parallel_for / reduce calls
+  std::uint64_t chunks_executed = 0;
+  std::uint64_t steals = 0;            ///< half-range steals performed
+  double wall_seconds = 0.0;           ///< summed region wall time
+  std::vector<double> busy_seconds;    ///< per worker (0 = calling thread)
+
+  /// Mean fraction of region wall time the workers spent executing chunks
+  /// (1.0 = perfectly balanced, no idle lanes).
+  double utilization() const {
+    if (wall_seconds <= 0.0 || busy_seconds.empty()) return 0.0;
+    double busy = 0.0;
+    for (double s : busy_seconds) busy += s;
+    return busy / (wall_seconds * static_cast<double>(busy_seconds.size()));
+  }
+
+  /// Longest per-worker busy time — the decomposition's critical path.
+  double critical_path_seconds() const {
+    double longest = 0.0;
+    for (double s : busy_seconds) longest = std::max(longest, s);
+    return longest;
+  }
+};
+
+class ThreadPool {
+ public:
+  /// `threads` = 0 selects std::thread::hardware_concurrency(). The pool
+  /// spawns threads-1 workers; the calling thread always participates as
+  /// worker 0, so threads = 1 runs everything inline with zero overhead.
+  explicit ThreadPool(unsigned threads = 1);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  unsigned num_threads() const { return threads_; }
+
+  /// Execute fn(chunk_begin, chunk_end, chunk_index) over [begin, end)
+  /// split into ceil((end-begin)/grain) chunks of at most `grain`
+  /// elements. The chunk decomposition is a pure function of (begin, end,
+  /// grain): chunk c covers [begin + c*grain, min(begin + (c+1)*grain,
+  /// end)). Chunks run concurrently; bodies must only write
+  /// chunk-disjoint state (or chunk-private buffers the caller merges in
+  /// chunk order afterwards).
+  template <typename Fn>
+  void parallel_for(std::size_t begin, std::size_t end, std::size_t grain,
+                    Fn&& fn) {
+    const std::size_t n = end > begin ? end - begin : 0;
+    if (n == 0) return;
+    if (grain == 0) grain = 1;
+    const std::size_t nchunks = (n + grain - 1) / grain;
+    run_region(nchunks, [&](std::size_t c, unsigned /*worker*/) {
+      const std::size_t lo = begin + c * grain;
+      const std::size_t hi = std::min(lo + grain, end);
+      fn(lo, hi, c);
+    });
+  }
+
+  /// Deterministic reduction: map(chunk_begin, chunk_end) -> T per chunk,
+  /// then combine(acc, chunk_result) over a FIXED binary tree of chunk
+  /// indices (pairwise, bottom-up). The combine order depends only on the
+  /// chunk count, never on the thread count or completion order, so
+  /// floating-point reductions are bitwise reproducible.
+  template <typename T, typename Map, typename Combine>
+  T reduce(std::size_t begin, std::size_t end, std::size_t grain, T identity,
+           Map&& map, Combine&& combine) {
+    const std::size_t n = end > begin ? end - begin : 0;
+    if (n == 0) return identity;
+    if (grain == 0) grain = 1;
+    const std::size_t nchunks = (n + grain - 1) / grain;
+    std::vector<T> partial(nchunks, identity);
+    run_region(nchunks, [&](std::size_t c, unsigned /*worker*/) {
+      const std::size_t lo = begin + c * grain;
+      const std::size_t hi = std::min(lo + grain, end);
+      partial[c] = map(lo, hi);
+    });
+    // Fixed pairwise tree: level by level, combine partial[i] with
+    // partial[i + stride]. Identical for every thread count.
+    for (std::size_t stride = 1; stride < nchunks; stride *= 2) {
+      for (std::size_t i = 0; i + stride < nchunks; i += 2 * stride) {
+        partial[i] = combine(partial[i], partial[i + stride]);
+      }
+    }
+    return partial[0];
+  }
+
+  const ThreadPoolStats& stats() const { return stats_; }
+  void reset_stats();
+
+ private:
+  /// Per-worker contiguous range of unclaimed chunk indices. The owner
+  /// pops from the front, thieves take half from the back; both under the
+  /// range's lock (chunks are coarse, contention is negligible).
+  struct WorkRange {
+    std::mutex m;
+    std::size_t next = 0;
+    std::size_t end = 0;
+  };
+
+  void run_region(std::size_t nchunks,
+                  const std::function<void(std::size_t, unsigned)>& body);
+  void worker_loop(unsigned id);
+  void claim_and_run(unsigned id);
+
+  unsigned threads_ = 1;
+  std::vector<std::thread> workers_;
+  std::vector<std::unique_ptr<WorkRange>> ranges_;
+
+  // Region state (valid while a region is active).
+  const std::function<void(std::size_t, unsigned)>* body_ = nullptr;
+  std::atomic<bool> cancelled_{false};
+  std::exception_ptr first_error_;
+  std::mutex error_mutex_;
+  std::vector<double> region_busy_;
+  std::atomic<std::uint64_t> region_steals_{0};
+
+  // Worker parking / region handoff.
+  std::mutex gate_mutex_;
+  std::condition_variable gate_cv_;
+  std::condition_variable done_cv_;
+  std::uint64_t epoch_ = 0;
+  unsigned workers_active_ = 0;
+  bool shutdown_ = false;
+
+  ThreadPoolStats stats_;
+  static thread_local bool in_worker_;
+};
+
+}  // namespace crkhacc::util

@@ -32,7 +32,13 @@ class Stopwatch {
 /// Named accumulating timers, keyed by component name.
 ///
 /// Not thread-safe by design: each simulated rank owns its own registry,
-/// mirroring per-rank MPI_Wtime timing in the paper.
+/// mirroring per-rank MPI_Wtime timing in the paper. With the intra-node
+/// ThreadPool this stays sound because all ScopedTimer/add() calls happen
+/// on the rank's calling thread, *around* parallel regions — worker
+/// threads never touch a registry. Per-worker timing lives in
+/// ThreadPoolStats instead (merged by the pool itself); if a worker ever
+/// needs named timers, give it a thread-local registry and merge() on the
+/// calling thread.
 class TimerRegistry {
  public:
   /// Add `seconds` to the named timer, creating it if absent.

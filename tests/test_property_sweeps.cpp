@@ -134,5 +134,62 @@ INSTANTIATE_TEST_SUITE_P(
                   : "_warpsplit");
     });
 
+// --- threaded sweep ----------------------------------------------------------
+//
+// The threading invariant must hold for every (problem size, thread
+// count) combination: the pool only re-schedules fixed chunks, so the
+// full short-range evaluation is bitwise identical to serial execution.
+
+// (particle_count, threads, seed)
+using ThreadedParams = std::tuple<std::size_t, unsigned, std::uint64_t>;
+
+class ThreadedSweepTest : public ::testing::TestWithParam<ThreadedParams> {};
+
+TEST_P(ThreadedSweepTest, ShortRangePipelineBitwiseEqualToSerial) {
+  const auto [n, threads, seed] = GetParam();
+  const double box = 6.0;
+  const auto base = random_gas(n, box, seed);
+
+  tree::ChainingMesh serial_mesh(cube(box), {2.0, 24});
+  serial_mesh.build(base);
+
+  util::ThreadPool pool(threads);
+  tree::ChainingMesh threaded_mesh(cube(box), {2.0, 24});
+  threaded_mesh.build(base, &pool);
+  ASSERT_EQ(threaded_mesh.permutation(), serial_mesh.permutation());
+
+  auto evaluate = [&](const tree::ChainingMesh& mesh, util::ThreadPool* p_pool) {
+    Particles p = base;
+    gpu::FlopRegistry flops;
+    gravity::compute_short_range(p, mesh, nullptr, gravity::GravityConfig{},
+                                 1.0, nullptr, flops, nullptr, p_pool);
+    sph::SphSolver solver(sph::SphConfig{});
+    solver.compute_forces(p, mesh, 1.0, nullptr, flops, nullptr, p_pool);
+    return p;
+  };
+  const Particles serial = evaluate(serial_mesh, nullptr);
+  const Particles threaded = evaluate(threaded_mesh, &pool);
+  for (std::size_t i = 0; i < serial.size(); ++i) {
+    ASSERT_EQ(threaded.ax[i], serial.ax[i]) << "particle " << i;
+    ASSERT_EQ(threaded.ay[i], serial.ay[i]) << "particle " << i;
+    ASSERT_EQ(threaded.az[i], serial.az[i]) << "particle " << i;
+    ASSERT_EQ(threaded.rho[i], serial.rho[i]) << "particle " << i;
+    ASSERT_EQ(threaded.du[i], serial.du[i]) << "particle " << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Threading, ThreadedSweepTest,
+    ::testing::Combine(::testing::Values(std::size_t{37}, std::size_t{200},
+                                         std::size_t{611}),
+                       ::testing::Values(2u, 4u, 8u),
+                       ::testing::Values(std::uint64_t{101},
+                                         std::uint64_t{202})),
+    [](const ::testing::TestParamInfo<ThreadedParams>& info) {
+      return "n" + std::to_string(std::get<0>(info.param)) + "_t" +
+             std::to_string(std::get<1>(info.param)) + "_seed" +
+             std::to_string(std::get<2>(info.param));
+    });
+
 }  // namespace
 }  // namespace crkhacc

@@ -2,6 +2,7 @@
 // and the solver's conservation properties.
 #include <gtest/gtest.h>
 
+#include <array>
 #include <cmath>
 #include <numbers>
 
@@ -231,12 +232,12 @@ struct SolverSetup {
     mesh.build(particles, gas);
   }
 
-  void evaluate(double a = 1.0) {
+  void evaluate(double a = 1.0, util::ThreadPool* pool = nullptr) {
     std::fill(particles.ax.begin(), particles.ax.end(), 0.0f);
     std::fill(particles.ay.begin(), particles.ay.end(), 0.0f);
     std::fill(particles.az.begin(), particles.az.end(), 0.0f);
     std::fill(particles.du.begin(), particles.du.end(), 0.0f);
-    solver.compute_forces(particles, mesh, a, nullptr, flops);
+    solver.compute_forces(particles, mesh, a, nullptr, flops, nullptr, pool);
   }
 };
 
@@ -312,6 +313,76 @@ TEST(SphSolver, ConservesMomentumAndEnergyInBlastConfiguration) {
   EXPECT_LT(std::abs(fz), 1e-3 * force_scale);
   // Work-sharing: thermal rate balances kinetic rate.
   EXPECT_NEAR(dth, -dke, 1e-3 * std::abs(dke));
+}
+
+TEST(SphSolver, ThreadedMultiStepConservationMatchesSerial) {
+  // Conservation regression for the threaded sweeps: integrate the blast
+  // configuration for several explicit steps with 1 and 4 worker threads.
+  // Drift must stay within the serial tolerances — and because the
+  // threaded path is bitwise deterministic, the two trajectories must in
+  // fact agree exactly.
+  auto integrate = [](unsigned threads) {
+    const std::size_t n = 8;
+    const double box = 8.0;
+    auto p = gas_lattice(n, box, 0.2f, 3);
+    for (std::size_t i = 0; i < p.size(); ++i) {
+      const float dx = p.x[i] - 4.0f, dy = p.y[i] - 4.0f, dz = p.z[i] - 4.0f;
+      if (dx * dx + dy * dy + dz * dz < 2.25f) p.u[i] = 5000.0f;
+    }
+    SolverSetup setup(std::move(p), SphConfig{}, box);
+    util::ThreadPool pool(threads);
+    const float dt = 5e-5f;
+    for (int s = 0; s < 5; ++s) {
+      setup.evaluate(1.0, &pool);
+      auto& q = setup.particles;
+      for (std::size_t i = 0; i < q.size(); ++i) {
+        q.vx[i] += dt * q.ax[i];
+        q.vy[i] += dt * q.ay[i];
+        q.vz[i] += dt * q.az[i];
+        q.u[i] = std::max(q.u[i] + dt * q.du[i], 0.0f);
+        q.x[i] += dt * q.vx[i];
+        q.y[i] += dt * q.vy[i];
+        q.z[i] += dt * q.vz[i];
+      }
+      setup.mesh.refit_bounds(setup.particles, &pool);
+    }
+    return setup.particles;
+  };
+
+  auto totals = [](const Particles& q) {
+    double mass = 0.0, px = 0.0, py = 0.0, pz = 0.0, e = 0.0;
+    for (std::size_t i = 0; i < q.size(); ++i) {
+      const double m = q.mass[i];
+      mass += m;
+      px += m * q.vx[i];
+      py += m * q.vy[i];
+      pz += m * q.vz[i];
+      e += m * (q.u[i] + 0.5 * (q.vx[i] * q.vx[i] + q.vy[i] * q.vy[i] +
+                                q.vz[i] * q.vz[i]));
+    }
+    return std::array<double, 5>{mass, px, py, pz, e};
+  };
+
+  const auto serial = integrate(1);
+  const auto threaded = integrate(4);
+  const auto ts = totals(serial);
+  const auto tt = totals(threaded);
+
+  const double n_total = static_cast<double>(serial.size());
+  const double e0 = n_total * 5000.0;  // initial-energy scale
+  for (int c = 0; c < 5; ++c) {
+    EXPECT_EQ(tt[c], ts[c]) << "component " << c;
+  }
+  EXPECT_NEAR(tt[0], n_total, 1e-9);             // mass exactly conserved
+  EXPECT_LT(std::abs(tt[1]), 1e-3 * e0);         // momentum drift
+  EXPECT_LT(std::abs(tt[2]), 1e-3 * e0);
+  EXPECT_LT(std::abs(tt[3]), 1e-3 * e0);
+  // Every particle's state is bitwise identical between thread counts.
+  for (std::size_t i = 0; i < serial.size(); ++i) {
+    ASSERT_EQ(threaded.x[i], serial.x[i]);
+    ASSERT_EQ(threaded.vx[i], serial.vx[i]);
+    ASSERT_EQ(threaded.u[i], serial.u[i]);
+  }
 }
 
 TEST(SphSolver, ViscosityHeatsApproachingGas) {
