@@ -1,0 +1,136 @@
+// Overhead of the silent-data-corruption guardrails.
+//
+// The SDC layer wraps every PM step in (a) a paged, CRC-summed
+// in-memory snapshot of rank-local particle state and (b) a post-step
+// invariant audit (non-finite scan, bounds scan, conserved-quantity
+// drift gates, chaining-mesh occupancy census, collective verdict).
+// Both run on the critical path, so the layer is only deployable if the
+// tax per step is small against the solver work it protects.
+//
+// This bench runs the identical multi-step problem with guardrails off
+// and on (no fault injector armed, so no rollbacks — this is the
+// steady-state cost, not the recovery cost), reports absolute and
+// relative per-step overhead from the per-step stats the simulation
+// already keeps, and gates the run: overhead must stay under 10% at the
+// default page size. A second sweep varies the snapshot page size to
+// show the CRC paging knob's (minor) effect.
+#include <algorithm>
+#include <cstdio>
+#include <vector>
+
+#include "common.h"
+#include "comm/world.h"
+#include "core/simulation.h"
+
+using namespace crkhacc;
+
+namespace {
+
+struct CasePoint {
+  double wall_seconds = 0.0;      ///< full campaign wall time
+  double snapshot_seconds = 0.0;  ///< summed capture time
+  double audit_seconds = 0.0;     ///< summed audit time
+  std::size_t snapshot_bytes = 0;
+  std::size_t snapshot_pages = 0;
+  std::uint64_t audits = 0;
+  int steps = 0;
+};
+
+CasePoint run_case(const core::SimConfig& config) {
+  CasePoint point;
+  comm::World world(1);
+  world.run([&](comm::Communicator& comm) {
+    Stopwatch total;
+    core::Simulation sim(comm, config);
+    sim.initialize();
+    const auto result = sim.run();
+    point.wall_seconds = total.seconds();
+    point.steps = static_cast<int>(result.steps_done);
+    point.audits = result.sdc_audits;
+    for (const auto& report : result.reports) {
+      point.snapshot_seconds += report.sdc.snapshot_seconds;
+      point.audit_seconds += report.sdc.audit_seconds;
+      point.snapshot_bytes = std::max(point.snapshot_bytes,
+                                      report.sdc.snapshot_bytes);
+      point.snapshot_pages = std::max(point.snapshot_pages,
+                                      report.sdc.snapshot_pages);
+    }
+  });
+  return point;
+}
+
+}  // namespace
+
+int main() {
+  auto base = bench::scaled_config(1, 12, /*hydro=*/true);
+  base.num_pm_steps = 3;
+
+  bench::print_header(
+      "SDC guardrail overhead — snapshot + audit per PM step (1 rank, hydro)");
+
+  auto off = base;
+  off.sdc.enabled = false;
+  const CasePoint baseline = run_case(off);
+
+  auto on = base;
+  on.sdc.enabled = true;
+  const CasePoint guarded = run_case(on);
+
+  const double per_step_base =
+      baseline.steps > 0 ? baseline.wall_seconds / baseline.steps : 0.0;
+  const double per_step_tax =
+      guarded.steps > 0
+          ? (guarded.snapshot_seconds + guarded.audit_seconds) / guarded.steps
+          : 0.0;
+  // Gate on the layer's own metered cost, not the wall-time delta: on a
+  // shared machine the run-to-run wall noise of the solver dwarfs a
+  // sub-percent guardrail tax.
+  const double overhead_pct =
+      per_step_base > 0.0 ? 100.0 * per_step_tax / per_step_base : 0.0;
+
+  std::printf("%-22s %-12s %-12s %-12s %-10s\n", "case", "wall[s]",
+              "snapshot[s]", "audit[s]", "steps");
+  bench::print_rule();
+  std::printf("%-22s %-12.3f %-12.3f %-12.3f %-10d\n", "guardrails off",
+              baseline.wall_seconds, 0.0, 0.0, baseline.steps);
+  std::printf("%-22s %-12.3f %-12.3f %-12.3f %-10d\n", "guardrails on",
+              guarded.wall_seconds, guarded.snapshot_seconds,
+              guarded.audit_seconds, guarded.steps);
+  std::printf("\nsnapshot footprint: %.2f MiB in %zu pages (double-buffered: "
+              "2x resident)\n",
+              static_cast<double>(guarded.snapshot_bytes) / (1024.0 * 1024.0),
+              guarded.snapshot_pages);
+  std::printf("per-step solver time (off) : %.4f s\n", per_step_base);
+  std::printf("per-step guardrail tax     : %.4f s (snapshot+audit, metered)\n",
+              per_step_tax);
+  std::printf("relative overhead          : %.2f%%  (gate: < 10%%)\n",
+              overhead_pct);
+  const bool pass = overhead_pct < 10.0 && guarded.steps == baseline.steps &&
+                    guarded.audits == static_cast<std::uint64_t>(guarded.steps);
+  std::printf("gate: %s\n\n", pass ? "PASS" : "FAIL");
+
+  // Page-size sweep: smaller pages mean finer CRC granularity (better
+  // corruption localization in logs) at more per-page overhead.
+  std::printf("page-size sweep (snapshot capture cost):\n");
+  std::printf("%-14s %-12s %-12s %-10s\n", "page[KiB]", "snapshot[s]",
+              "audit[s]", "pages");
+  bench::print_rule();
+  std::vector<std::size_t> page_sizes = {4096, 16384, 65536, 262144};
+  for (const std::size_t page : page_sizes) {
+    auto swept = on;
+    swept.sdc.page_bytes = page;
+    const CasePoint point = run_case(swept);
+    std::printf("%-14zu %-12.4f %-12.4f %-10zu\n", page / 1024,
+                point.snapshot_seconds, point.audit_seconds,
+                point.snapshot_pages);
+  }
+
+  std::printf("\nJSON: {\"bench\": \"sdc_overhead\", "
+              "\"per_step_base_seconds\": %.6f, "
+              "\"per_step_tax_seconds\": %.6f, "
+              "\"overhead_pct\": %.4f, "
+              "\"snapshot_bytes\": %zu, \"gate_pass\": %s}\n",
+              per_step_base, per_step_tax, overhead_pct,
+              guarded.snapshot_bytes, pass ? "true" : "false");
+  return pass ? 0 : 1;
+}

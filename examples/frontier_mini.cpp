@@ -8,8 +8,9 @@
 // accounting: timer taxonomy, data written, effective I/O bandwidth, and
 // interruption count.
 //
-//   ./examples/frontier_mini [--threads=N] [num_ranks] [workdir]
-//                            [storage_fault_seed]
+//   ./examples/frontier_mini [--threads=N] [--sdc=on|off]
+//                            [--sdc-flip-rate=R] [--sdc-flip-seed=S]
+//                            [num_ranks] [workdir] [storage_fault_seed]
 //
 // --threads=N runs each rank's short-range pipeline on an N-thread
 // work-stealing pool (0 = hardware concurrency). The answer is bitwise
@@ -19,6 +20,14 @@
 // corruption (torn writes, bit flips) and transient I/O errors; the
 // campaign must still complete with every checkpoint provably intact
 // (write-verify + CRC completion markers + retries).
+//
+// --sdc=on (the default) arms the in-memory guardrails: a paged CRC
+// snapshot of particle state at each PM-step boundary plus a post-step
+// invariant audit, with rollback-replay on a failed audit. With
+// --sdc-flip-rate=R > 0, a seeded injector additionally flips bits in
+// live particle arrays between kernels (a memory/logic-fault drill);
+// detections, rollbacks, replays, and escalations land in the report.
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -34,10 +43,19 @@ using namespace crkhacc;
 
 int main(int argc, char** argv) {
   int threads = 1;
+  bool sdc_on = true;
+  double sdc_flip_rate = 0.0;
+  std::uint64_t sdc_flip_seed = 13;
   std::vector<const char*> positional;
   for (int i = 1; i < argc; ++i) {
     if (std::strncmp(argv[i], "--threads=", 10) == 0) {
       threads = std::atoi(argv[i] + 10);
+    } else if (std::strncmp(argv[i], "--sdc=", 6) == 0) {
+      sdc_on = std::strcmp(argv[i] + 6, "off") != 0;
+    } else if (std::strncmp(argv[i], "--sdc-flip-rate=", 16) == 0) {
+      sdc_flip_rate = std::atof(argv[i] + 16);
+    } else if (std::strncmp(argv[i], "--sdc-flip-seed=", 16) == 0) {
+      sdc_flip_seed = static_cast<std::uint64_t>(std::atoll(argv[i] + 16));
     } else {
       positional.push_back(argv[i]);
     }
@@ -73,11 +91,22 @@ int main(int argc, char** argv) {
   config.subgrid.agn.seed_n_h = 5e-5;
   config.subgrid.agn.seed_exclusion = 2.0;
   config.threads = threads;
+  config.sdc.enabled = sdc_on;
 
   std::printf("frontier-mini: %d ranks, %zu^3 particle pairs, %d PM steps, "
               "%d pool threads/rank\n",
               ranks, config.np, config.num_pm_steps, config.threads);
-  std::printf("workdir: %s\n\n", workdir.c_str());
+  std::printf("workdir: %s\n", workdir.c_str());
+  std::printf("sdc guardrails: %s%s\n\n", sdc_on ? "on" : "off",
+              !sdc_on && sdc_flip_rate > 0.0
+                  ? " (flip injector ignored: guardrails off)"
+                  : "");
+  if (sdc_on && sdc_flip_rate > 0.0) {
+    std::printf("memory fault injection armed: flip rate %.3f per drill "
+                "point, seed %llu\n\n",
+                sdc_flip_rate,
+                static_cast<unsigned long long>(sdc_flip_seed));
+  }
 
   // Storage models: per-node NVMe (private, fast) + shared PFS (slow).
   io::ThrottledStore pfs(
@@ -106,6 +135,16 @@ int main(int argc, char** argv) {
                                pfs, io::MultiTierConfig{comm.rank(), 3});
     core::Simulation sim(comm, config);
     sim.initialize();
+
+    // Per-rank seeded injector: deterministic for a given (seed, rank),
+    // so a flaky report reproduces exactly.
+    std::unique_ptr<core::MemFaultInjector> mem_faults;
+    if (sdc_on && sdc_flip_rate > 0.0) {
+      mem_faults = std::make_unique<core::MemFaultInjector>(
+          sdc_flip_rate,
+          sdc_flip_seed ^ (static_cast<std::uint64_t>(comm.rank()) << 32));
+      sim.set_memory_fault_injector(mem_faults.get());
+    }
 
     // MTTI ~ a third of the campaign: expect a few interruptions
     // (the paper cites MTTIs of hours against ~20-minute steps).
@@ -148,6 +187,32 @@ int main(int argc, char** argv) {
                   static_cast<unsigned long long>(result.io.bleed_failures),
                   result.io.degraded_to_direct ? " (degraded to direct PFS)"
                                                : "");
+      if (config.sdc.enabled) {
+        std::printf("sdc guardrails: %llu audits, %llu detections, %llu "
+                    "rollbacks, %llu replays, %llu escalations, %llu bit "
+                    "flips injected\n",
+                    static_cast<unsigned long long>(result.sdc_audits),
+                    static_cast<unsigned long long>(result.sdc_detections),
+                    static_cast<unsigned long long>(result.sdc_rollbacks),
+                    static_cast<unsigned long long>(result.sdc_replays),
+                    static_cast<unsigned long long>(result.sdc_escalations),
+                    static_cast<unsigned long long>(result.sdc_injected_flips));
+        double snapshot_s = 0.0;
+        double audit_s = 0.0;
+        std::size_t snapshot_bytes = 0;
+        for (const auto& report : result.reports) {
+          snapshot_s += report.sdc.snapshot_seconds;
+          audit_s += report.sdc.audit_seconds;
+          snapshot_bytes = std::max(snapshot_bytes,
+                                    report.sdc.snapshot_bytes);
+        }
+        std::printf("sdc cost: snapshot %.3f s + audit %.3f s over the "
+                    "campaign, %.2f MB resident snapshot\n",
+                    snapshot_s, audit_s,
+                    static_cast<double>(snapshot_bytes) / 1e6);
+      } else {
+        std::printf("sdc guardrails: off\n");
+      }
       std::printf("checkpoint data written: %.1f MB total, sim blocked "
                   "%.3f s (max rank)\n",
                   static_cast<double>(total_bytes) / 1e6, max_blocked);

@@ -125,6 +125,13 @@ class Communicator {
   double allreduce_scalar(double value, ReduceOp op);
   std::int64_t allreduce_scalar(std::int64_t value, ReduceOp op);
 
+  /// Collective logical-AND: true iff every rank passed true. Used for
+  /// commit/rollback and recovery verdicts where all ranks must agree.
+  bool all_agree(bool local_ok) {
+    return allreduce_scalar(static_cast<std::int64_t>(local_ok ? 1 : 0),
+                            ReduceOp::kMin) == 1;
+  }
+
   /// Broadcast `bytes` from `root` to every rank (resized on receivers).
   void bcast_bytes(std::vector<std::uint8_t>& bytes, int root);
 
@@ -173,14 +180,20 @@ class Communicator {
     std::vector<std::vector<std::uint8_t>> raw(sends.size());
     for (std::size_t d = 0; d < sends.size(); ++d) {
       raw[d].resize(sends[d].size() * sizeof(T));
-      std::memcpy(raw[d].data(), sends[d].data(), raw[d].size());
+      // data() of an empty vector may be null; memcpy forbids null even
+      // for zero sizes.
+      if (!raw[d].empty()) {
+        std::memcpy(raw[d].data(), sends[d].data(), raw[d].size());
+      }
     }
     auto got = alltoallv_bytes(raw);
     std::vector<std::vector<T>> out(got.size());
     for (std::size_t s = 0; s < got.size(); ++s) {
       CHECK(got[s].size() % sizeof(T) == 0);
       out[s].resize(got[s].size() / sizeof(T));
-      std::memcpy(out[s].data(), got[s].data(), got[s].size());
+      if (!got[s].empty()) {
+        std::memcpy(out[s].data(), got[s].data(), got[s].size());
+      }
     }
     return out;
   }

@@ -3,6 +3,7 @@
 
 #include <cstdint>
 
+#include "core/sdc.h"
 #include "cosmology/background.h"
 #include "gravity/short_range.h"
 #include "integrator/timestep.h"
@@ -56,6 +57,10 @@ struct SimConfig {
   sph::SphConfig sph;
   gravity::GravityConfig gravity;
   subgrid::SubgridConfig subgrid;
+
+  /// Silent-data-corruption guardrails: per-step snapshot + audit +
+  /// rollback-replay (sdc_* parameter-file keys).
+  SdcConfig sdc;
 };
 
 }  // namespace crkhacc::core

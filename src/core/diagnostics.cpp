@@ -53,6 +53,7 @@ ConservationSnapshot measure_conservation(comm::Communicator& comm,
   snapshot.kinetic_energy = sums[kKinetic];
   snapshot.thermal_energy = sums[kThermal];
   snapshot.metal_mass = sums[kMetal];
+  snapshot.abs_momentum = sums[kAbsMomentum];
   snapshot.count = static_cast<std::int64_t>(sums[kCount]);
   const double p_mag = std::sqrt(sums[kPx] * sums[kPx] +
                                  sums[kPy] * sums[kPy] +

@@ -26,6 +26,7 @@ struct ConservationSnapshot {
   double kinetic_energy = 0.0;   ///< sum 1/2 m v^2
   double thermal_energy = 0.0;   ///< sum m u
   double metal_mass = 0.0;       ///< sum m Z (gas)
+  double abs_momentum = 0.0;     ///< sum m |v| — scale for momentum gates
   std::int64_t count = 0;
 
   /// |sum m v| / sum m |v| — dimensionless momentum asymmetry; stays

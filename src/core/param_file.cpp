@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cctype>
 #include <fstream>
+#include <mutex>
+#include <set>
 #include <sstream>
 
 #include "util/log.h"
@@ -180,10 +182,42 @@ std::vector<std::string> ParamFile::apply(SimConfig& config) const {
       }
     } else if (key == "threads") {
       if (auto v = get_int(key)) config.threads = static_cast<int>(*v);
+    } else if (key == "sdc") {
+      if (auto v = get_bool(key)) config.sdc.enabled = *v;
+    } else if (key == "sdc_page_bytes") {
+      if (auto v = get_int(key)) {
+        config.sdc.page_bytes = static_cast<std::size_t>(*v);
+      }
+    } else if (key == "sdc_max_replays") {
+      if (auto v = get_int(key)) config.sdc.max_replays = static_cast<int>(*v);
+    } else if (key == "sdc_mass_drift_tol") {
+      if (auto v = get_double(key)) config.sdc.mass_drift_tol = *v;
+    } else if (key == "sdc_energy_growth") {
+      if (auto v = get_double(key)) config.sdc.energy_growth_factor = *v;
+    } else if (key == "sdc_momentum_drift_tol") {
+      if (auto v = get_double(key)) config.sdc.momentum_drift_tol = *v;
+    } else if (key == "sdc_max_velocity") {
+      if (auto v = get_double(key)) config.sdc.max_velocity = *v;
+    } else if (key == "sdc_max_u") {
+      if (auto v = get_double(key)) config.sdc.max_internal_energy = *v;
+    } else if (key == "sdc_occupancy_factor") {
+      if (auto v = get_double(key)) config.sdc.occupancy_factor = *v;
     } else {
       ok = false;
     }
-    if (!ok) unknown.push_back(key);
+    if (!ok) {
+      // A typo'd knob silently running with its default is exactly the
+      // failure mode the sdc_* gates exist to avoid — say so, loudly,
+      // but only once per key per process (apply() runs on every rank).
+      static std::mutex warned_mutex;
+      static std::set<std::string> warned;
+      std::lock_guard<std::mutex> lock(warned_mutex);
+      if (warned.insert(key).second) {
+        HACC_LOG_WARN("param file: unknown key '%s' ignored (defaults used)",
+                      key.c_str());
+      }
+      unknown.push_back(key);
+    }
   }
   return unknown;
 }

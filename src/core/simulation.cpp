@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 #include <limits>
+#include <utility>
 
 #include "analysis/fof.h"
 #include "cosmology/ics.h"
@@ -52,7 +53,9 @@ Simulation::Simulation(comm::Communicator& comm, const SimConfig& config)
       pm_(comm, decomp_, pm_config_of(config_)),
       sph_(config_.sph),
       subgrid_(config_.subgrid),
-      kdk_(bg_) {
+      kdk_(bg_),
+      auditor_(config_.sdc),
+      snapshot_(config_.sdc.page_bytes) {
   // Chaining-mesh bins must cover the short-range cutoff and the widest
   // SPH support; ghosts must cover one bin width so every owned
   // particle's neighborhood is complete.
@@ -167,7 +170,8 @@ int Simulation::assign_timestep_bins(double dt_pm) {
       }
     }
   }
-  int depth = integrator::assign_bins(particles_, limit, dt_pm, config_.bins);
+  int depth = integrator::assign_bins(particles_, limit, dt_pm, config_.bins,
+                                      &last_anomalies_);
   if (config_.flat_stepping) {
     for (std::size_t i = 0; i < n; ++i) {
       particles_.bin[i] = static_cast<std::uint8_t>(depth);
@@ -202,7 +206,11 @@ Simulation::filter_active_pairs(
   return filtered;
 }
 
-StepReport Simulation::step(io::MultiTierWriter* writer) {
+StepReport Simulation::step_body(SdcStepStats* stats) {
+  // Baseline for this attempt's solver-side non-finite census: the
+  // counter never resets, so the audit reads the per-attempt delta (a
+  // clean replay must not inherit the corrupt attempt's count).
+  sph_nonfinite_baseline_ = sph_.nonfinite_smoothing_targets();
   StepReport report;
   report.step = step_;
   const double a0 = a_at_step(step_);
@@ -242,6 +250,9 @@ StepReport Simulation::step(io::MultiTierWriter* writer) {
     // Full-step long-range kick; carries the (once-per-interval) drag.
     kdk_.kick(particles_, a0, a1, nullptr, /*with_drag=*/true);
   }
+
+  // SDC drill point: between the long-range and short-range kernels.
+  sdc_inject(stats);
 
   // --- 4. timestep bin assignment ----------------------------------------
   const double dt_pm = kdk_.dt_of(a0, a1);
@@ -343,24 +354,143 @@ StepReport Simulation::step(io::MultiTierWriter* writer) {
     }
   }
 
+  // SDC drill point: after the sub-cycle, right before the audit.
+  sdc_inject(stats);
+
   a_ = a1;
   ++step_;
 
   // --- 6. in situ analysis ------------------------------------------------
   // (cadence handled by run(); step() leaves analysis to the caller)
 
+  report.seconds = step_watch.seconds();
+  return report;
+}
+
+void Simulation::write_step_checkpoint(io::MultiTierWriter* writer,
+                                       StepReport& report) {
   // --- 7. multi-tier checkpoint -------------------------------------------
-  if (writer) {
-    ScopedTimer t(timers_, timers::kIO);
-    io::SnapshotMeta meta;
-    meta.step = step_;
-    meta.scale_factor = a_;
-    meta.rank = comm_.rank();
-    meta.num_ranks = comm_.size();
-    report.io_blocked_seconds = writer->write_checkpoint(meta, particles_);
+  // Runs after the SDC audit committed the step, so only audited state
+  // is ever persisted (a corrupt array must not poison the at-rest tier
+  // the escalation path will restore from).
+  if (!writer) return;
+  ScopedTimer t(timers_, timers::kIO);
+  io::SnapshotMeta meta;
+  meta.step = step_;
+  meta.scale_factor = a_;
+  meta.rank = comm_.rank();
+  meta.num_ranks = comm_.size();
+  report.io_blocked_seconds = writer->write_checkpoint(meta, particles_);
+}
+
+void Simulation::sdc_capture(SdcStepStats& stats) {
+  Stopwatch watch;
+  const auto regions = snapshot_regions(std::as_const(particles_));
+  snapshot_.capture(regions);
+  snap_step_ = step_;
+  snap_a_ = a_;
+  snap_count_ = particles_.size();
+  stats.snapshot_seconds += watch.seconds();
+  stats.snapshot_bytes = snapshot_.bytes();
+  stats.snapshot_pages = snapshot_.pages();
+  // Pre-step conserved sums: the reference every audit of this step's
+  // attempts gates against (collective).
+  snap_reference_ = measure_conservation(comm_, particles_);
+}
+
+bool Simulation::sdc_rollback() {
+  particles_.resize(snap_count_);
+  auto regions = snapshot_regions(particles_);
+  const bool restored = snapshot_.restore(regions);
+  // The restore verdict is collective: if any rank's snapshot buffer
+  // failed its CRC, every rank abandons the replay together.
+  if (!comm_.all_agree(restored)) return false;
+  step_ = snap_step_;
+  a_ = snap_a_;
+  return true;
+}
+
+void Simulation::sdc_inject(SdcStepStats* stats) {
+  // The opportunity counter is monotonic — never rewound on replay, and
+  // advanced even with no injector armed — so drill-point numbering is
+  // a property of the step stream alone, and a one-shot scripted flip
+  // cannot recur and poison its own replay.
+  const std::uint64_t opportunity = sdc_opportunity_++;
+  if (sdc_fault_ == nullptr || particles_.empty()) return;
+  const auto flip = sdc_fault_->draw(opportunity);
+  if (!flip) return;
+  const std::string what = apply_flip(particles_, *flip);
+  if (stats != nullptr) ++stats->injected_flips;
+  HACC_LOG_WARN("rank %d: SDC drill flipped %s", comm_.rank(), what.c_str());
+}
+
+std::uint32_t Simulation::sdc_audit(SdcStepStats& stats) {
+  Stopwatch watch;
+  ++stats.audits;
+  AuditContext ctx;
+  ctx.box = config_.box;
+  // Ghost images live up to one overload width outside the box; double
+  // it so legitimate intra-step drift never trips the bounds gate.
+  ctx.position_margin = 2.0 * overload_;
+  ctx.domain = decomp_.local_box(comm_.rank());
+  ctx.domain_slack = overload_;
+  ctx.cm_bin_width = cm_bin_width_;
+  ctx.reference = snap_reference_;
+  ctx.timestep = last_anomalies_;
+  ctx.solver_nonfinite =
+      sph_.nonfinite_smoothing_targets() - sph_nonfinite_baseline_;
+  const std::uint32_t verdict = auditor_.audit(comm_, particles_, ctx);
+  stats.failed_checks |= verdict;
+  stats.audit_seconds += watch.seconds();
+  if (verdict != 0) {
+    HACC_LOG_WARN("rank %d: step %llu audit failed (%s): %s", comm_.rank(),
+                  static_cast<unsigned long long>(snap_step_),
+                  sdc_check_names(verdict).c_str(),
+                  auditor_.last_failure().empty()
+                      ? "flagged on another rank"
+                      : auditor_.last_failure().c_str());
+  }
+  return verdict;
+}
+
+StepReport Simulation::step(io::MultiTierWriter* writer) {
+  if (!config_.sdc.enabled) {
+    StepReport report = step_body(nullptr);
+    write_step_checkpoint(writer, report);
+    return report;
   }
 
-  report.seconds = step_watch.seconds();
+  SdcStepStats stats;
+  sdc_capture(stats);
+  StepReport report;
+  for (int attempt = 0;; ++attempt) {
+    report = step_body(&stats);
+    if (sdc_audit(stats) == 0) break;
+    ++stats.detections;
+    // The verdict mask and attempt count are identical on every rank,
+    // so replay-vs-escalate is a collective decision by construction.
+    if (attempt >= config_.sdc.max_replays) {
+      stats.escalated = true;
+      HACC_LOG_WARN("rank %d: step %llu replay budget (%d) exhausted",
+                    comm_.rank(),
+                    static_cast<unsigned long long>(snap_step_),
+                    config_.sdc.max_replays);
+      break;
+    }
+    if (!sdc_rollback()) {
+      // The in-memory snapshot itself failed its CRC: nothing intact to
+      // replay from — straight to checkpoint restore.
+      stats.failed_checks |= kSdcCheckSnapshot;
+      stats.escalated = true;
+      break;
+    }
+    ++stats.rollbacks;
+    ++stats.replays;
+  }
+  report.sdc = stats;
+  // A step that never passed its audit is not checkpointed; run() falls
+  // back to the newest committed checkpoint instead.
+  if (!stats.escalated) write_step_checkpoint(writer, report);
   return report;
 }
 
@@ -469,13 +599,11 @@ void Simulation::recover(io::ThrottledStore& pfs, RunResult& result) {
     ++result.recovery_attempts;
     Particles restored;
     io::SnapshotMeta meta;
-    std::int64_t ok =
+    const bool ok =
         io::restore_checkpoint(pfs, step, comm_.rank(), meta, restored) &&
-                meta.step == step
-            ? 1
-            : 0;
+        meta.step == step;
     // A checkpoint is only usable if EVERY rank validated its file.
-    if (comm_.allreduce_scalar(ok, comm::ReduceOp::kMin) == 1) {
+    if (comm_.all_agree(ok)) {
       particles_ = std::move(restored);
       step_ = meta.step;
       a_ = meta.scale_factor;
@@ -513,6 +641,23 @@ RunResult Simulation::run(io::MultiTierWriter* writer, io::ThrottledStore* pfs,
     }
 
     const auto report = step(writer);
+    result.sdc_audits += report.sdc.audits;
+    result.sdc_detections += report.sdc.detections;
+    result.sdc_rollbacks += report.sdc.rollbacks;
+    result.sdc_replays += report.sdc.replays;
+    result.sdc_injected_flips += report.sdc.injected_flips;
+    if (report.sdc.escalated) {
+      // Replay budget exhausted (or the snapshot itself was corrupt):
+      // treat it like a machine interruption and fall back to the
+      // newest committed checkpoint.
+      ++result.sdc_escalations;
+      CHECK_MSG(writer && pfs, "SDC escalation without checkpointing");
+      writer->drain();
+      comm_.barrier();
+      recover(*pfs, result);
+      comm_.barrier();
+      continue;
+    }
     result.reports.push_back(report);
     ++result.steps_done;
     if (config_.analysis_every > 0 &&

@@ -25,8 +25,10 @@
 #include "comm/decomposition.h"
 #include "comm/world.h"
 #include "core/config.h"
+#include "core/diagnostics.h"
 #include "core/exchange.h"
 #include "core/particles.h"
+#include "core/sdc.h"
 #include "cosmology/background.h"
 #include "cosmology/power.h"
 #include "gpu/device.h"
@@ -37,6 +39,7 @@
 #include "sph/solver.h"
 #include "subgrid/model.h"
 #include "tree/chaining_mesh.h"
+#include "util/snapshot.h"
 #include "util/thread_pool.h"
 #include "util/timer.h"
 
@@ -53,6 +56,8 @@ struct StepReport {
   subgrid::SubgridStats subgrid;
   double seconds = 0.0;              ///< wall time of this step
   double io_blocked_seconds = 0.0;   ///< sync I/O time (local-tier writes)
+  /// SDC guardrail accounting (zeroed when config.sdc.enabled is false).
+  SdcStepStats sdc;
 };
 
 /// In situ analysis outputs for one analysis step.
@@ -91,6 +96,14 @@ struct RunResult {
   /// Writer-side fault accounting (retries, verify failures, degraded
   /// mode), captured at the end of the run.
   io::IoStats io;
+  // SDC guardrail totals across the run (see core/sdc.h).
+  std::uint64_t sdc_audits = 0;
+  std::uint64_t sdc_detections = 0;
+  std::uint64_t sdc_rollbacks = 0;
+  std::uint64_t sdc_replays = 0;
+  /// Replay budgets exhausted -> checkpoint restore via recover().
+  std::uint64_t sdc_escalations = 0;
+  std::uint64_t sdc_injected_flips = 0;
   std::vector<StepReport> reports;
   std::vector<AnalysisResult> analyses;
   /// Intra-node scheduler accounting (per-thread busy time, steal counts)
@@ -112,7 +125,22 @@ class Simulation {
   /// Execute one PM step. Optional writer checkpoints the step; optional
   /// fault injector may "interrupt the machine" (reported in the result
   /// of run(); step() itself returns normally).
+  ///
+  /// With config.sdc.enabled, the step runs under the guardrail loop:
+  /// snapshot at the boundary, audit after the step (collective), roll
+  /// back + replay on a failed audit, and — after the replay budget —
+  /// return with report.sdc.escalated set and the checkpoint withheld
+  /// (only audited state is ever checkpointed); run() then escalates to
+  /// recover().
   StepReport step(io::MultiTierWriter* writer = nullptr);
+
+  /// Arm (or disarm, with nullptr) the memory-fault drill. Not owned;
+  /// must outlive the run. Flips are drawn per injection point from a
+  /// monotonically increasing opportunity counter, so a schedule never
+  /// repeats inside a rollback replay.
+  void set_memory_fault_injector(const MemFaultInjector* injector) {
+    sdc_fault_ = injector;
+  }
 
   /// Full campaign with checkpoint/restart-driven fault tolerance: on an
   /// injected fault the run restarts from the newest complete checkpoint
@@ -154,6 +182,15 @@ class Simulation {
  private:
   void prime_solver_state();
   int assign_timestep_bins(double dt_pm);
+  /// The actual PM step (phases 1-5), checkpoint excluded so the
+  /// guardrail loop can audit before anything is persisted. `stats`
+  /// (may be null) counts injected drill flips.
+  StepReport step_body(SdcStepStats* stats);
+  void write_step_checkpoint(io::MultiTierWriter* writer, StepReport& report);
+  void sdc_capture(SdcStepStats& stats);
+  bool sdc_rollback();
+  void sdc_inject(SdcStepStats* stats);
+  std::uint32_t sdc_audit(SdcStepStats& stats);
   std::vector<std::pair<std::uint32_t, std::uint32_t>> filter_active_pairs(
       const tree::ChainingMesh& mesh,
       const std::vector<std::pair<std::uint32_t, std::uint32_t>>& pairs,
@@ -178,6 +215,20 @@ class Simulation {
   std::uint64_t step_ = 0;
   double overload_ = 0.0;
   double cm_bin_width_ = 0.0;
+
+  // --- SDC guardrail state (see core/sdc.h) -------------------------------
+  SdcAuditor auditor_;
+  util::PagedSnapshot snapshot_;
+  const MemFaultInjector* sdc_fault_ = nullptr;
+  std::uint64_t sdc_opportunity_ = 0;
+  /// Scalars captured alongside the particle snapshot.
+  std::uint64_t snap_step_ = 0;
+  double snap_a_ = 0.0;
+  std::size_t snap_count_ = 0;
+  ConservationSnapshot snap_reference_;
+  /// Census of the latest bin-assignment / SPH pass, for the auditor.
+  integrator::TimestepAnomalyStats last_anomalies_;
+  std::uint64_t sph_nonfinite_baseline_ = 0;
 
   TimerRegistry timers_;
   gpu::FlopRegistry flops_;

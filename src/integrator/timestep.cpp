@@ -27,14 +27,28 @@ double accel_timestep(const TimeBinConfig& config, double a, double ax,
 }
 
 int assign_bins(Particles& particles, const std::vector<double>& dt_limit,
-                double dt_pm, const TimeBinConfig& config) {
+                double dt_pm, const TimeBinConfig& config,
+                TimestepAnomalyStats* anomalies) {
   CHECK(dt_limit.size() == particles.size());
+  TimestepAnomalyStats stats;
+  stats.min_limit = std::numeric_limits<double>::infinity();
+  const double dt_floor = std::ldexp(dt_pm, -config.max_depth);
   int depth = 0;
   for (std::size_t i = 0; i < particles.size(); ++i) {
-    const std::uint8_t b = bin_for(dt_limit[i], dt_pm, config.max_depth);
+    const double dt = dt_limit[i];
+    if (std::isnan(dt)) {
+      ++stats.nonfinite;
+    } else if (!(dt > 0.0)) {
+      ++stats.nonpositive;
+    } else {
+      if (dt < stats.min_limit) stats.min_limit = dt;
+      if (dt < dt_floor) ++stats.clamped;
+    }
+    const std::uint8_t b = bin_for(dt, dt_pm, config.max_depth);
     particles.bin[i] = b;
     depth = std::max(depth, static_cast<int>(b));
   }
+  if (anomalies != nullptr) *anomalies = stats;
   return depth;
 }
 

@@ -32,11 +32,27 @@ std::uint8_t bin_for(double dt_particle, double dt_pm, int max_depth);
 double accel_timestep(const TimeBinConfig& config, double a, double ax,
                       double ay, double az);
 
+/// Timestep-anomaly census from one assign_bins pass. A NaN or
+/// non-positive limit is the timestep-side signature of corrupted
+/// particle state (a CFL or acceleration criterion computed from a
+/// flipped bit); `clamped` counts particles demanding a bin deeper than
+/// max_depth — a legitimate occurrence in dense regions, reported for
+/// monitoring but not a corruption verdict on its own. The SDC auditor
+/// (core/sdc.h) gates on `nonfinite` and `nonpositive`.
+struct TimestepAnomalyStats {
+  std::uint64_t nonfinite = 0;    ///< NaN limits (inf is legal: bin 0)
+  std::uint64_t nonpositive = 0;  ///< limits <= 0
+  std::uint64_t clamped = 0;      ///< wanted deeper than max_depth
+  double min_limit = 0.0;         ///< smallest finite positive limit seen
+};
+
 /// Assign particles.bin from per-particle limits and return the depth
 /// (deepest occupied bin). `dt_limit` holds each particle's local
-/// timestep bound in cosmic-time units (entries may be +inf).
+/// timestep bound in cosmic-time units (entries may be +inf). If
+/// `anomalies` is non-null it is overwritten with this pass's census.
 int assign_bins(Particles& particles, const std::vector<double>& dt_limit,
-                double dt_pm, const TimeBinConfig& config);
+                double dt_pm, const TimeBinConfig& config,
+                TimestepAnomalyStats* anomalies = nullptr);
 
 /// True if bin b is active at fine substep s of 2^depth.
 inline bool bin_active(std::uint8_t b, std::uint64_t s, int depth) {

@@ -157,6 +157,13 @@ void SphSolver::update_smoothing_lengths(Particles& particles,
     const float rho = std::max(particles.rho[i], 1e-20f);
     const float target =
         config_.eta * std::cbrt(particles.mass[i] / rho);
+    if (!std::isfinite(target)) {
+      // A NaN mass or density (corrupted state) would otherwise poison
+      // hsml and from there every neighbor search. Keep the old h and
+      // let the SDC auditor read the census.
+      ++nonfinite_targets_;
+      continue;
+    }
     const float lo = particles.hsml[i] / config_.h_change_limit;
     const float hi = particles.hsml[i] * config_.h_change_limit;
     particles.hsml[i] = std::min(std::clamp(target, lo, hi), config_.h_max);

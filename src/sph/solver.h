@@ -87,6 +87,13 @@ class SphSolver {
     return last_stats_;
   }
 
+  /// Running count of smoothing-length targets rejected for being
+  /// non-finite — a corrupted-mass/density signature surfaced to the
+  /// SDC auditor (core/sdc.h). Never resets; the auditor diffs it.
+  std::uint64_t nonfinite_smoothing_targets() const {
+    return nonfinite_targets_;
+  }
+
  private:
   template <typename Shape>
   void compute_forces_impl(
@@ -98,6 +105,9 @@ class SphSolver {
   SphConfig config_;
   SphScratch scratch_;
   std::map<std::string, gpu::LaunchStats> last_stats_;
+  // mutable: update_smoothing_lengths is const (it mutates only the
+  // particle set passed in); the census is observability, not state.
+  mutable std::uint64_t nonfinite_targets_ = 0;
 };
 
 }  // namespace crkhacc::sph

@@ -70,9 +70,13 @@ double CoolingTable::lambda_primordial(double t) const {
 }
 
 double CoolingTable::lambda(double temperature_K, double metallicity) const {
-  if (temperature_K <= 0.0) return 0.0;
+  if (!(temperature_K > 0.0)) return 0.0;  // negated: also rejects NaN
   const double log_t = std::log10(temperature_K);
-  const double pos = (log_t - kLogTMin) / (kLogTMax - kLogTMin) * (kBins - 1);
+  // Clamp in double space: a corrupt internal energy can push pos past
+  // INT_MAX, where the int cast below is undefined.
+  const double pos =
+      std::clamp((log_t - kLogTMin) / (kLogTMax - kLogTMin) * (kBins - 1),
+                 0.0, static_cast<double>(kBins - 1));
   if (pos <= 0.0) return 0.0;
   const int lo = std::min(static_cast<int>(pos), kBins - 2);
   const double frac = std::min(pos - lo, 1.0);

@@ -27,9 +27,15 @@ std::size_t ChainingMesh::bin_of_position(float x, float y, float z) const {
   int c[3];
   for (int d = 0; d < 3; ++d) {
     // Particles may drift slightly outside the overloaded box between the
-    // build and refresh; clamp them into the edge bins.
-    const int raw = static_cast<int>((p[d] - domain_.lo[d]) / width_[d]);
-    c[d] = std::clamp(raw, 0, dims_[d] - 1);
+    // build and refresh; clamp them into the edge bins. The clamp happens
+    // in floating point BEFORE the int cast: a NaN or wildly out-of-range
+    // coordinate (e.g. a flipped exponent bit the SDC audit hasn't caught
+    // yet) must land in a valid edge bin, not invoke float->int UB.
+    double cell = (p[d] - domain_.lo[d]) / width_[d];
+    if (!(cell > 0.0)) cell = 0.0;  // negatives and NaN both land here
+    const double top = static_cast<double>(dims_[d] - 1);
+    if (cell > top) cell = top;
+    c[d] = static_cast<int>(cell);
   }
   return (static_cast<std::size_t>(c[2]) * dims_[1] + c[1]) * dims_[0] + c[0];
 }
@@ -231,6 +237,72 @@ ChainingMesh::interaction_pairs(double radius) const {
     }
   }
   return pairs;
+}
+
+OccupancyStats bin_occupancy(const comm::Box3& domain, double bin_width,
+                             const Particles& particles, double slack,
+                             double period) {
+  CHECK(bin_width > 0.0);
+  CHECK(slack >= 0.0);
+  int dims[3];
+  double width[3];
+  for (int d = 0; d < 3; ++d) {
+    const double extent = domain.hi[d] - domain.lo[d];
+    CHECK(extent > 0.0);
+    dims[d] = std::max(1, static_cast<int>(extent / bin_width));
+    width[d] = extent / dims[d];
+  }
+  OccupancyStats stats;
+  stats.bins = static_cast<std::uint64_t>(dims[0]) * dims[1] * dims[2];
+  std::vector<std::uint64_t> count(stats.bins, 0);
+  for (std::size_t i = 0; i < particles.size(); ++i) {
+    if (!particles.is_owned(i)) continue;
+    const double raw[3] = {static_cast<double>(particles.x[i]),
+                           static_cast<double>(particles.y[i]),
+                           static_cast<double>(particles.z[i])};
+    int c[3];
+    bool inside = true;
+    for (int d = 0; d < 3; ++d) {
+      // Negated comparisons so NaN coordinates count as escaped. A
+      // particle that drifted across the periodic box edge since the
+      // last exchange wraps to the far side of the global box — still
+      // legitimately owned here — so each ±period image is tried before
+      // declaring escape.
+      const double lo = domain.lo[d] - slack;
+      const double hi = domain.hi[d] + slack;
+      double v = raw[d];
+      if (!(v >= lo && v <= hi) && period > 0.0) {
+        if (raw[d] + period >= lo && raw[d] + period <= hi) {
+          v = raw[d] + period;
+        } else if (raw[d] - period >= lo && raw[d] - period <= hi) {
+          v = raw[d] - period;
+        }
+      }
+      if (!(v >= lo && v <= hi)) {
+        inside = false;
+        break;
+      }
+      double cell = (v - domain.lo[d]) / width[d];
+      if (!(cell > 0.0)) cell = 0.0;
+      const double top = static_cast<double>(dims[d] - 1);
+      if (cell > top) cell = top;
+      c[d] = static_cast<int>(cell);
+    }
+    if (!inside) {
+      ++stats.out_of_domain;
+      continue;
+    }
+    const std::size_t bin =
+        (static_cast<std::size_t>(c[2]) * dims[1] + c[1]) * dims[0] + c[0];
+    ++count[bin];
+    ++stats.counted;
+  }
+  for (const std::uint64_t n : count) {
+    stats.max_bin = std::max(stats.max_bin, n);
+  }
+  stats.mean_bin =
+      static_cast<double>(stats.counted) / static_cast<double>(stats.bins);
+  return stats;
 }
 
 }  // namespace crkhacc::tree

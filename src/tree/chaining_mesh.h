@@ -150,6 +150,11 @@ class ChainingMesh {
     }
   }
 
+  /// Test hook: expose the hardened position->bin mapping.
+  std::size_t bin_of_position_for_test(float x, float y, float z) const {
+    return bin_of_position(x, y, z);
+  }
+
  private:
   std::size_t bin_of_position(float x, float y, float z) const;
   void split_leaf(const Particles& particles, std::uint32_t begin,
@@ -168,5 +173,28 @@ class ChainingMesh {
   /// bin index of each leaf.
   std::vector<std::uint32_t> leaf_bin_;
 };
+
+/// Occupancy census over the chaining-mesh grid of `domain` — an SDC
+/// sanity check (core/sdc.h): a flipped position bit either leaves the
+/// domain entirely (out_of_domain) or, en masse, piles particles into
+/// one bin (max_bin >> mean_bin). Owned particles only; a particle
+/// whose position is non-finite or farther than `slack` outside the
+/// domain counts as out_of_domain.
+struct OccupancyStats {
+  std::uint64_t counted = 0;        ///< owned particles inside the domain
+  std::uint64_t out_of_domain = 0;  ///< owned, non-finite or escaped
+  std::uint64_t max_bin = 0;        ///< fullest bin
+  double mean_bin = 0.0;            ///< counted / bins
+  std::uint64_t bins = 0;
+};
+
+/// Census of owned particles over a uniform grid covering `domain`.
+/// `period` > 0 is the global box size: a coordinate outside the slack
+/// band is re-tried at ±period (a particle that drifted across the
+/// periodic edge since the last exchange is still legitimately owned)
+/// before being counted as out_of_domain.
+OccupancyStats bin_occupancy(const comm::Box3& domain, double bin_width,
+                             const Particles& particles, double slack,
+                             double period = 0.0);
 
 }  // namespace crkhacc::tree

@@ -3,10 +3,21 @@
 // CHECK(cond) is always on (release included): invariants that guard
 // memory safety or data integrity. HACC_ASSERT(cond) compiles out in
 // NDEBUG builds: hot-path sanity checks.
+//
+// CHECK_FINITE / CHECK_BOUNDS are the recoverable family: they throw
+// InvariantError (with the offending value and a caller-supplied
+// context string in the message) instead of aborting. Data-dependent
+// invariants — a corrupted particle field, a drifted conserved sum —
+// are survivable via rollback-replay (core/sdc.h), so the audit pass
+// uses these and catches the exception; aborting is reserved for
+// program bugs.
 #pragma once
 
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
+#include <stdexcept>
+#include <string>
 
 namespace crkhacc {
 
@@ -15,6 +26,37 @@ namespace crkhacc {
   std::abort();
 }
 
+/// A recoverable data invariant violation (see CHECK_FINITE / CHECK_BOUNDS).
+class InvariantError : public std::runtime_error {
+ public:
+  explicit InvariantError(const std::string& what) : std::runtime_error(what) {}
+};
+
+namespace detail {
+
+[[noreturn]] inline void throw_not_finite(const char* expr, double value,
+                                          const char* context,
+                                          const char* file, int line) {
+  char buf[512];
+  std::snprintf(buf, sizeof(buf),
+                "CHECK_FINITE failed: %s = %.9g (%s) at %s:%d", expr, value,
+                context, file, line);
+  throw InvariantError(buf);
+}
+
+[[noreturn]] inline void throw_out_of_bounds(const char* expr, double value,
+                                             double lo, double hi,
+                                             const char* context,
+                                             const char* file, int line) {
+  char buf[512];
+  std::snprintf(buf, sizeof(buf),
+                "CHECK_BOUNDS failed: %s = %.9g outside [%.9g, %.9g] (%s) "
+                "at %s:%d",
+                expr, value, lo, hi, context, file, line);
+  throw InvariantError(buf);
+}
+
+}  // namespace detail
 }  // namespace crkhacc
 
 #define CHECK(cond)                                        \
@@ -29,6 +71,32 @@ namespace crkhacc {
                    msg, __FILE__, __LINE__);                             \
       std::abort();                                                      \
     }                                                                    \
+  } while (0)
+
+// Throws ::crkhacc::InvariantError if `value` is NaN or infinite.
+// `context` names what was being checked (field, particle index, ...).
+#define CHECK_FINITE(value, context)                                        \
+  do {                                                                      \
+    const double check_finite_v_ = static_cast<double>(value);              \
+    if (!std::isfinite(check_finite_v_)) {                                  \
+      ::crkhacc::detail::throw_not_finite(#value, check_finite_v_,          \
+                                          (context), __FILE__, __LINE__);   \
+    }                                                                       \
+  } while (0)
+
+// Throws ::crkhacc::InvariantError unless lo <= value <= hi. NaN fails
+// the comparison and therefore throws too.
+#define CHECK_BOUNDS(value, lo, hi, context)                                  \
+  do {                                                                        \
+    const double check_bounds_v_ = static_cast<double>(value);                \
+    const double check_bounds_lo_ = static_cast<double>(lo);                  \
+    const double check_bounds_hi_ = static_cast<double>(hi);                  \
+    if (!(check_bounds_v_ >= check_bounds_lo_ &&                              \
+          check_bounds_v_ <= check_bounds_hi_)) {                             \
+      ::crkhacc::detail::throw_out_of_bounds(                                 \
+          #value, check_bounds_v_, check_bounds_lo_, check_bounds_hi_,        \
+          (context), __FILE__, __LINE__);                                     \
+    }                                                                         \
   } while (0)
 
 #ifdef NDEBUG

@@ -1,0 +1,27 @@
+#include "util/audit.h"
+
+#include <cmath>
+
+namespace crkhacc::util {
+
+std::size_t find_nonfinite(std::span<const float> values) {
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    if (!std::isfinite(values[i])) return i;
+  }
+  return kAuditNone;
+}
+
+std::size_t find_outside(std::span<const float> values, float lo, float hi) {
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    // Negated so NaN (which fails every comparison) lands in "outside".
+    if (!(values[i] >= lo && values[i] <= hi)) return i;
+  }
+  return kAuditNone;
+}
+
+double relative_drift(double before, double after, double floor) {
+  const double scale = std::fmax(std::fabs(before), floor);
+  return std::fabs(after - before) / scale;
+}
+
+}  // namespace crkhacc::util

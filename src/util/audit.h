@@ -1,0 +1,30 @@
+// Scan primitives for the SDC audit pass.
+//
+// Free functions over raw float spans so the auditor (core/sdc.h) and
+// tests can scan any SoA field without knowing about Particles. All
+// scans are branch-light single passes; the auditor runs them over
+// every guarded field each PM step, so they sit on the guardrail hot
+// path (see bench/sdc_overhead).
+#pragma once
+
+#include <cstddef>
+#include <span>
+
+namespace crkhacc::util {
+
+/// Sentinel index meaning "no offending element found".
+inline constexpr std::size_t kAuditNone = static_cast<std::size_t>(-1);
+
+/// Index of the first NaN/Inf element, or kAuditNone if all finite.
+std::size_t find_nonfinite(std::span<const float> values);
+
+/// Index of the first element outside [lo, hi]. Non-finite values count
+/// as outside (the comparison is written so NaN fails it).
+std::size_t find_outside(std::span<const float> values, float lo, float hi);
+
+/// |after - before| / max(|before|, floor) — drift of a conserved sum
+/// relative to its pre-step value, with a floor so near-zero references
+/// (e.g. net momentum of a symmetric IC) don't divide to infinity.
+double relative_drift(double before, double after, double floor);
+
+}  // namespace crkhacc::util

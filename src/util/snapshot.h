@@ -1,0 +1,85 @@
+// Paged, CRC32-verified, double-buffered in-memory snapshots.
+//
+// The SDC guardrail layer (core/sdc.h) snapshots rank-local particle
+// state at every PM-step boundary so a failed post-step audit can roll
+// the step back and replay it. This is the storage primitive: a set of
+// byte regions copied into one contiguous buffer, checksummed per page
+// (CRC32, util/crc32) so corruption of the *snapshot itself* — the same
+// silent bit flips the snapshot exists to defend against — is detected
+// before a restore can spread it back into live state.
+//
+// Captures are double-buffered: a new capture fills the inactive buffer
+// and only then becomes the active one, so the previous snapshot stays
+// intact until its replacement is complete. Buffers are reused across
+// captures (no steady-state allocation once sizes stabilize).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace crkhacc::util {
+
+class PagedSnapshot {
+ public:
+  /// A source byte region to capture (one SoA field, typically).
+  struct Region {
+    const void* data = nullptr;
+    std::size_t bytes = 0;
+  };
+  /// A destination byte region for restore; sizes must match the capture.
+  struct MutableRegion {
+    void* data = nullptr;
+    std::size_t bytes = 0;
+  };
+
+  static constexpr std::size_t kDefaultPageBytes = 64 * 1024;
+
+  explicit PagedSnapshot(std::size_t page_bytes = kDefaultPageBytes);
+
+  /// Copy `regions` into the inactive buffer, stamp per-page CRCs, and
+  /// make it the active capture. The previously active capture remains
+  /// valid until this returns.
+  void capture(std::span<const Region> regions);
+
+  /// True once capture() has completed at least once.
+  bool valid() const { return active_ >= 0; }
+
+  /// Recompute every page CRC of the active capture and compare against
+  /// the values stamped at capture time. False = the snapshot buffer
+  /// itself was corrupted.
+  bool verify() const;
+
+  /// Verify, then copy the active capture back out into `regions`.
+  /// Region count and sizes must match the capture exactly (CHECK —
+  /// a mismatch is a caller bug, not data corruption). Returns false
+  /// without writing anything if verification fails.
+  bool restore(std::span<const MutableRegion> regions) const;
+
+  std::size_t page_bytes() const { return page_bytes_; }
+  /// Payload bytes / page count / region count of the active capture.
+  std::size_t bytes() const;
+  std::size_t pages() const;
+  std::size_t num_regions() const;
+  std::size_t region_bytes(std::size_t r) const;
+
+  /// Test hook: direct mutable access to the active capture's payload,
+  /// for injecting snapshot-buffer corruption in tests.
+  std::uint8_t* mutable_payload_for_test();
+
+ private:
+  struct Buffer {
+    std::vector<std::uint8_t> data;
+    std::vector<std::uint32_t> page_crc;
+    std::vector<std::size_t> region_bytes;
+  };
+
+  bool verify_buffer(const Buffer& buffer) const;
+
+  std::size_t page_bytes_;
+  Buffer buffers_[2];
+  int active_ = -1;  ///< index of the valid capture; -1 = none yet
+};
+
+}  // namespace crkhacc::util

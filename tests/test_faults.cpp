@@ -4,6 +4,7 @@
 // fallback to older checkpoints in the simulation driver, and the
 // drain/shutdown race.
 #include <gtest/gtest.h>
+#include <unistd.h>
 
 #include <filesystem>
 #include <fstream>
@@ -27,8 +28,11 @@ namespace fs = std::filesystem;
 class TempDir {
  public:
   TempDir() {
+    // PID-qualified: ctest -j runs each case in its own process, so a
+    // per-process counter alone collides across concurrent cases.
     path_ = fs::temp_directory_path() /
-            ("crkhacc_fault_test_" + std::to_string(counter_++));
+            ("crkhacc_fault_test_" + std::to_string(::getpid()) + "_" +
+             std::to_string(counter_++));
     fs::create_directories(path_);
   }
   ~TempDir() {
@@ -454,8 +458,10 @@ SimConfig tiny_config() {
 class TempDir {
  public:
   TempDir() {
+    // PID-qualified for the same reason as the storage-layer TempDir.
     path_ = fs::temp_directory_path() /
-            ("crkhacc_fault_sim_test_" + std::to_string(counter_++));
+            ("crkhacc_fault_sim_test_" + std::to_string(::getpid()) + "_" +
+             std::to_string(counter_++));
     fs::create_directories(path_);
   }
   ~TempDir() {

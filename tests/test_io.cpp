@@ -1,6 +1,7 @@
 // Tests for the I/O stack: snapshot format, throttled storage tiers,
 // the multi-tier writer, checkpoint discovery/restart, fault injection.
 #include <gtest/gtest.h>
+#include <unistd.h>
 
 #include <filesystem>
 #include <memory>
@@ -46,8 +47,11 @@ Particles sample_particles(std::size_t n, std::uint64_t seed,
 class TempDir {
  public:
   TempDir() {
+    // PID-qualified: ctest -j runs each case in its own process, so a
+    // per-process counter alone collides across concurrent cases.
     path_ = fs::temp_directory_path() /
-            ("crkhacc_io_test_" + std::to_string(counter_++));
+            ("crkhacc_io_test_" + std::to_string(::getpid()) + "_" +
+             std::to_string(counter_++));
     fs::create_directories(path_);
   }
   ~TempDir() {

@@ -2,6 +2,7 @@
 // conservation and sanity invariants, restart equivalence, fault
 // tolerance, and rank-count invariance.
 #include <gtest/gtest.h>
+#include <unistd.h>
 
 #include <algorithm>
 #include <cmath>
@@ -37,8 +38,11 @@ SimConfig tiny_config(bool hydro) {
 class TempDir {
  public:
   TempDir() {
+    // PID-qualified: ctest -j runs each case in its own process, so a
+    // per-process counter alone collides across concurrent cases.
     path_ = fs::temp_directory_path() /
-            ("crkhacc_sim_test_" + std::to_string(counter_++));
+            ("crkhacc_sim_test_" + std::to_string(::getpid()) + "_" +
+             std::to_string(counter_++));
     fs::create_directories(path_);
   }
   ~TempDir() {

@@ -55,6 +55,19 @@ TEST(CoolingTable, ShapeOfLambda) {
   EXPECT_GT(table.lambda(1e9, 0.0), table.lambda(1e7, 0.0));
 }
 
+TEST(CoolingTable, CorruptTemperaturesAreSafe) {
+  // SDC-flipped internal energies reach the table as enormous or NaN
+  // temperatures; the lookup must saturate, not index out of bounds.
+  const CoolingTable table(CoolingConfig{});
+  const double extreme = table.lambda(8e20, 0.0);
+  EXPECT_TRUE(std::isfinite(extreme));
+  EXPECT_GT(extreme, 0.0);  // saturates at the top table bin
+  EXPECT_EQ(table.lambda(std::numeric_limits<double>::quiet_NaN(), 0.0), 0.0);
+  EXPECT_TRUE(std::isfinite(
+      table.lambda(std::numeric_limits<double>::infinity(), 0.0)));
+  EXPECT_EQ(table.lambda(-1e30, 0.0), 0.0);
+}
+
 TEST(CoolingTable, MetalsEnhanceCooling) {
   const CoolingTable table(CoolingConfig{});
   EXPECT_GT(table.lambda(2.5e5, 0.02), 2.0 * table.lambda(2.5e5, 0.0));
