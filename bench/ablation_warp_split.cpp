@@ -103,9 +103,9 @@ void BM_Density(benchmark::State& state) {
   gpu::LaunchStats total;
   std::uint64_t iterations = 0;
   for (auto _ : state) {
-    total += gpu::launch_pair_kernel(kernel, f.mesh, f.pairs,
-                                     static_cast<std::uint32_t>(state.range(0)),
-                                     Mode);
+    const gpu::LaunchConfig config{
+        .warp_size = static_cast<std::uint32_t>(state.range(0)), .mode = Mode};
+    total += gpu::launch_pair_kernel(kernel, f.mesh, f.pairs, config);
     ++iterations;
   }
   report(state, total, iterations);
@@ -118,9 +118,9 @@ void BM_CrkMoments(benchmark::State& state) {
   gpu::LaunchStats total;
   std::uint64_t iterations = 0;
   for (auto _ : state) {
-    total += gpu::launch_pair_kernel(kernel, f.mesh, f.pairs,
-                                     static_cast<std::uint32_t>(state.range(0)),
-                                     Mode);
+    const gpu::LaunchConfig config{
+        .warp_size = static_cast<std::uint32_t>(state.range(0)), .mode = Mode};
+    total += gpu::launch_pair_kernel(kernel, f.mesh, f.pairs, config);
     ++iterations;
   }
   report(state, total, iterations);
@@ -134,9 +134,9 @@ void BM_MomentumEnergy(benchmark::State& state) {
   gpu::LaunchStats total;
   std::uint64_t iterations = 0;
   for (auto _ : state) {
-    total += gpu::launch_pair_kernel(kernel, f.mesh, f.pairs,
-                                     static_cast<std::uint32_t>(state.range(0)),
-                                     Mode);
+    const gpu::LaunchConfig config{
+        .warp_size = static_cast<std::uint32_t>(state.range(0)), .mode = Mode};
+    total += gpu::launch_pair_kernel(kernel, f.mesh, f.pairs, config);
     ++iterations;
   }
   report(state, total, iterations);
@@ -151,9 +151,9 @@ void BM_Gravity(benchmark::State& state) {
   gpu::LaunchStats total;
   std::uint64_t iterations = 0;
   for (auto _ : state) {
-    total += gpu::launch_pair_kernel(kernel, f.mesh, f.pairs,
-                                     static_cast<std::uint32_t>(state.range(0)),
-                                     Mode);
+    const gpu::LaunchConfig config{
+        .warp_size = static_cast<std::uint32_t>(state.range(0)), .mode = Mode};
+    total += gpu::launch_pair_kernel(kernel, f.mesh, f.pairs, config);
     ++iterations;
   }
   report(state, total, iterations);

@@ -68,8 +68,9 @@ int main() {
   bench::print_rule();
   for (const auto& device : gpu::known_devices()) {
     auto config = bench::scaled_config(1, 12, /*hydro=*/true);
-    config.sph.warp_size = static_cast<std::uint32_t>(device.warp_size);
-    config.gravity.warp_size = static_cast<std::uint32_t>(device.warp_size);
+    config.sph.launch.warp_size = static_cast<std::uint32_t>(device.warp_size);
+    config.gravity.launch.warp_size =
+        static_cast<std::uint32_t>(device.warp_size);
     double sustained = 0.0;
     comm::World world(1);
     world.run([&](comm::Communicator& comm) {

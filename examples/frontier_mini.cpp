@@ -9,12 +9,18 @@
 // interruption count.
 //
 //   ./examples/frontier_mini [--threads=N] [--sdc=on|off]
+//                            [--launch-schedule=leaf_owner|deferred_store]
 //                            [--sdc-flip-rate=R] [--sdc-flip-seed=S]
 //                            [num_ranks] [workdir] [storage_fault_seed]
 //
 // --threads=N runs each rank's short-range pipeline on an N-thread
 // work-stealing pool (0 = hardware concurrency). The answer is bitwise
 // identical for every N; the report adds the pool's scheduler accounting.
+//
+// --launch-schedule selects how pair-kernel launches compose with the
+// pool: leaf_owner (default) accumulates in place per owner leaf;
+// deferred_store is the buffered-replay alternative. Both are bitwise
+// identical to serial — the knob exists for A/B drills.
 //
 // With a storage_fault_seed, the PFS additionally injects silent
 // corruption (torn writes, bit flips) and transient I/O errors; the
@@ -38,11 +44,13 @@
 
 #include "comm/world.h"
 #include "core/simulation.h"
+#include "gpu/launch.h"
 
 using namespace crkhacc;
 
 int main(int argc, char** argv) {
   int threads = 1;
+  gpu::LaunchSchedule schedule = gpu::LaunchSchedule::kLeafOwner;
   bool sdc_on = true;
   double sdc_flip_rate = 0.0;
   std::uint64_t sdc_flip_seed = 13;
@@ -50,6 +58,17 @@ int main(int argc, char** argv) {
   for (int i = 1; i < argc; ++i) {
     if (std::strncmp(argv[i], "--threads=", 10) == 0) {
       threads = std::atoi(argv[i] + 10);
+    } else if (std::strncmp(argv[i], "--launch-schedule=", 18) == 0) {
+      const char* value = argv[i] + 18;
+      if (std::strcmp(value, "deferred_store") == 0) {
+        schedule = gpu::LaunchSchedule::kDeferredStore;
+      } else if (std::strcmp(value, "leaf_owner") != 0) {
+        std::fprintf(stderr,
+                     "unknown --launch-schedule '%s' (leaf_owner | "
+                     "deferred_store)\n",
+                     value);
+        return 2;
+      }
     } else if (std::strncmp(argv[i], "--sdc=", 6) == 0) {
       sdc_on = std::strcmp(argv[i] + 6, "off") != 0;
     } else if (std::strncmp(argv[i], "--sdc-flip-rate=", 16) == 0) {
@@ -91,11 +110,15 @@ int main(int argc, char** argv) {
   config.subgrid.agn.seed_n_h = 5e-5;
   config.subgrid.agn.seed_exclusion = 2.0;
   config.threads = threads;
+  config.sph.launch.schedule = schedule;
+  config.gravity.launch.schedule = schedule;
   config.sdc.enabled = sdc_on;
 
   std::printf("frontier-mini: %d ranks, %zu^3 particle pairs, %d PM steps, "
-              "%d pool threads/rank\n",
-              ranks, config.np, config.num_pm_steps, config.threads);
+              "%d pool threads/rank, %s launch schedule\n",
+              ranks, config.np, config.num_pm_steps, config.threads,
+              schedule == gpu::LaunchSchedule::kLeafOwner ? "leaf_owner"
+                                                          : "deferred_store");
   std::printf("workdir: %s\n", workdir.c_str());
   std::printf("sdc guardrails: %s%s\n\n", sdc_on ? "on" : "off",
               !sdc_on && sdc_flip_rate > 0.0

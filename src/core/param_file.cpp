@@ -120,6 +120,9 @@ std::vector<std::string> ParamFile::apply(SimConfig& config) const {
   for (const auto& [key, value] : values_) {
     (void)value;
     bool ok = true;
+    // Recognized key whose value was rejected (specific error already
+    // logged) — reported to the caller without the unknown-key warning.
+    bool rejected = false;
     if (key == "np") {
       if (auto v = get_int(key)) config.np = static_cast<std::size_t>(*v);
     } else if (key == "box") {
@@ -176,9 +179,48 @@ std::vector<std::string> ParamFile::apply(SimConfig& config) const {
         ok = false;
       }
     } else if (key == "warp_size") {
-      if (auto v = get_int(key)) {
-        config.sph.warp_size = static_cast<std::uint32_t>(*v);
-        config.gravity.warp_size = static_cast<std::uint32_t>(*v);
+      const auto v = get_int(key);
+      if (v && *v >= 2) {
+        config.sph.launch.warp_size = static_cast<std::uint32_t>(*v);
+        config.gravity.launch.warp_size = static_cast<std::uint32_t>(*v);
+      } else {
+        // A half-warp of warp_size / 2 == 0 lanes would hang the
+        // warp-split tile loop; refuse it here rather than at launch.
+        HACC_LOG_ERROR(
+            "param file: warp_size = '%s' rejected: warp_size must be an "
+            "integer >= 2 (the warp-split half-warp is warp_size / 2)",
+            get_string(key).value_or("").c_str());
+        rejected = true;
+      }
+    } else if (key == "launch_mode") {
+      const auto v = lower(get_string(key).value_or(""));
+      if (v == "warp_split" || v == "warpsplit") {
+        config.sph.launch.mode = gpu::LaunchMode::kWarpSplit;
+        config.gravity.launch.mode = gpu::LaunchMode::kWarpSplit;
+      } else if (v == "naive") {
+        config.sph.launch.mode = gpu::LaunchMode::kNaive;
+        config.gravity.launch.mode = gpu::LaunchMode::kNaive;
+      } else {
+        HACC_LOG_ERROR(
+            "param file: launch_mode = '%s' rejected: expected "
+            "'warp_split' or 'naive'",
+            v.c_str());
+        rejected = true;
+      }
+    } else if (key == "launch_schedule") {
+      const auto v = lower(get_string(key).value_or(""));
+      if (v == "leaf_owner" || v == "owner") {
+        config.sph.launch.schedule = gpu::LaunchSchedule::kLeafOwner;
+        config.gravity.launch.schedule = gpu::LaunchSchedule::kLeafOwner;
+      } else if (v == "deferred_store" || v == "replay") {
+        config.sph.launch.schedule = gpu::LaunchSchedule::kDeferredStore;
+        config.gravity.launch.schedule = gpu::LaunchSchedule::kDeferredStore;
+      } else {
+        HACC_LOG_ERROR(
+            "param file: launch_schedule = '%s' rejected: expected "
+            "'leaf_owner' or 'deferred_store'",
+            v.c_str());
+        rejected = true;
       }
     } else if (key == "threads") {
       if (auto v = get_int(key)) config.threads = static_cast<int>(*v);
@@ -216,6 +258,8 @@ std::vector<std::string> ParamFile::apply(SimConfig& config) const {
         HACC_LOG_WARN("param file: unknown key '%s' ignored (defaults used)",
                       key.c_str());
       }
+      unknown.push_back(key);
+    } else if (rejected) {
       unknown.push_back(key);
     }
   }

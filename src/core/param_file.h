@@ -35,7 +35,9 @@ class ParamFile {
   std::vector<std::string> keys() const;
 
   /// Apply recognized keys onto `config`; returns the list of keys that
-  /// were NOT recognized (empty = clean).
+  /// were not recognized OR whose values were rejected (empty = clean).
+  /// Rejected values (e.g. warp_size < 2, an unknown launch_schedule)
+  /// leave the config's previous value in place and log an error.
   std::vector<std::string> apply(SimConfig& config) const;
 
  private:

@@ -1,0 +1,54 @@
+#include "gpu/launch.h"
+
+#include "tree/chaining_mesh.h"
+#include "util/assertions.h"
+
+namespace crkhacc::gpu {
+
+LaunchPlan::LaunchPlan(const tree::ChainingMesh& cm,
+                       std::span<const Pair> pairs)
+    : pairs_(pairs.begin(), pairs.end()) {
+  const std::size_t nleaves = cm.num_leaves();
+
+  // Pass 1: entries per leaf. A self pair is one both-sides entry on its
+  // owner; a cross pair is one entry on each owner.
+  std::vector<std::uint32_t> count(nleaves, 0);
+  for (const auto& [la, lb] : pairs_) {
+    CHECK_MSG(la <= lb && lb < nleaves,
+              "interaction pair is not (i <= j) within the mesh");
+    ++count[la];
+    if (lb != la) ++count[lb];
+  }
+
+  // CSR offsets over ALL leaves (zero-count leaves collapse to empty
+  // ranges and are dropped from owners_ below).
+  std::vector<std::uint32_t> offset(nleaves + 1, 0);
+  for (std::size_t l = 0; l < nleaves; ++l) {
+    offset[l + 1] = offset[l] + count[l];
+  }
+  entries_.resize(offset[nleaves]);
+
+  // Pass 2: scatter in pair order. Cursors advance monotonically, so each
+  // owner's entries end up ordered by the pair index they came from —
+  // the invariant the bitwise-determinism argument rests on.
+  std::vector<std::uint32_t> cursor(offset.begin(), offset.end() - 1);
+  for (const auto& [la, lb] : pairs_) {
+    if (la == lb) {
+      entries_[cursor[la]++] = Entry{lb, Side::kBoth};
+    } else {
+      entries_[cursor[la]++] = Entry{lb, Side::kISide};
+      entries_[cursor[lb]++] = Entry{la, Side::kJSide};
+    }
+  }
+
+  owners_.reserve(nleaves);
+  entry_begin_.reserve(nleaves + 1);
+  for (std::size_t l = 0; l < nleaves; ++l) {
+    if (count[l] == 0) continue;
+    owners_.push_back(static_cast<std::uint32_t>(l));
+    entry_begin_.push_back(offset[l]);
+  }
+  entry_begin_.push_back(offset[nleaves]);
+}
+
+}  // namespace crkhacc::gpu

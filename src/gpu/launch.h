@@ -1,0 +1,170 @@
+// Pair-kernel launch configuration, statistics, and leaf-owner plans.
+//
+// This header is the policy half of the launch API: what to run (mode),
+// how to schedule it across pool workers (schedule), and the precomputed
+// owner-leaf work lists (LaunchPlan) that make the leaf-owner schedule
+// deterministic. The execution half — the warp-split and naive drivers
+// plus launch_pair_kernel itself — lives in gpu/warp.h.
+//
+// Scheduling (see DESIGN.md, "Node-level threading model"):
+//
+//  * kLeafOwner (default) — one task per OWNER leaf. The plan lists, for
+//    every leaf, the ordered (partner, side) tiles that accumulate onto
+//    it: a self pair contributes one both-sides tile walk, a cross pair
+//    (A, B) contributes an i-side walk to owner A and a j-side walk to
+//    owner B. Each particle is written by exactly one owner task, and the
+//    entries of an owner are ordered by pair-list index, so the store
+//    sequence seen by any particle equals the serial sequence — parallel
+//    results are bitwise identical to serial with NO store buffering and
+//    no serial replay tax.
+//
+//  * kDeferredStore — PR 2's chunked pair scheduler: stores are captured
+//    into per-chunk buffers and replayed in chunk order on the calling
+//    thread. Kept as the comparison baseline (bench/launch_schedule) and
+//    as a fallback; transient memory is O(interactions) per launch vs.
+//    zero for kLeafOwner.
+//
+// A LaunchPlan depends only on (mesh, pair list) — not on the kernel, the
+// thread count, or the launch mode — so one plan is shared by the
+// density / CRK-moment / momentum-energy passes of a hydro force
+// evaluation, and by any future subgrid pass over the same pair list.
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <utility>
+#include <vector>
+
+namespace crkhacc::tree {
+class ChainingMesh;
+}
+
+namespace crkhacc::gpu {
+
+enum class LaunchMode { kNaive, kWarpSplit };
+
+/// How launch_pair_kernel distributes pair work over pool workers.
+enum class LaunchSchedule { kLeafOwner, kDeferredStore };
+
+/// Launch policy for launch_pair_kernel. Replaces the old positional
+/// (warp_size, mode) arguments; designated initializers keep call sites
+/// readable: LaunchConfig{.warp_size = 32, .mode = LaunchMode::kNaive}.
+struct LaunchConfig {
+  std::uint32_t warp_size = 64;
+  LaunchMode mode = LaunchMode::kWarpSplit;
+  LaunchSchedule schedule = LaunchSchedule::kLeafOwner;
+
+  /// nullptr if the config is usable, else a human-readable reason.
+  /// warp_size < 2 is rejected for BOTH modes: the warp-split half-warp
+  /// w = warp_size / 2 would be zero and the tile loops could never
+  /// advance (ci += w), hanging the launch.
+  const char* invalid_reason() const {
+    if (warp_size < 2) {
+      return "warp_size must be >= 2 (half-warp w = warp_size / 2 would be "
+             "0 and the warp-split tile loop could not advance)";
+    }
+    return nullptr;
+  }
+};
+
+/// Merge policy for combining per-task LaunchStats into a launch total.
+///  * kAccumulate — sum everything (seconds included): combining stats of
+///    launches that ran back to back.
+///  * kExclusive — sum the work counters but keep the target's timing
+///    (seconds, flops): folding per-worker stats of ONE launch into its
+///    total, whose wall clock is measured once around the whole launch.
+enum class MergeTiming { kAccumulate, kExclusive };
+
+struct LaunchStats {
+  std::uint64_t interactions = 0;   ///< ordered pair evaluations
+  std::uint64_t global_loads = 0;   ///< State loads from particle arrays
+  std::uint64_t partial_evals = 0;  ///< separable-term computations
+  std::uint64_t stores = 0;         ///< accumulator write-backs
+  double flops = 0.0;
+  double seconds = 0.0;
+  std::size_t register_bytes_per_thread = 0;
+  /// High-watermark of deferred-store buffer bytes held at once by this
+  /// launch (0 on the leaf-owner schedule and on serial launches — they
+  /// buffer nothing). Max-merged, like register_bytes_per_thread.
+  std::uint64_t store_buffer_bytes = 0;
+
+  LaunchStats& operator+=(const LaunchStats& o) {
+    interactions += o.interactions;
+    global_loads += o.global_loads;
+    partial_evals += o.partial_evals;
+    stores += o.stores;
+    flops += o.flops;
+    seconds += o.seconds;
+    register_bytes_per_thread =
+        std::max(register_bytes_per_thread, o.register_bytes_per_thread);
+    store_buffer_bytes = std::max(store_buffer_bytes, o.store_buffer_bytes);
+    return *this;
+  }
+
+  /// All merging routes through operator+= so bench totals and unit-test
+  /// totals cannot drift; the policy only decides what happens to the
+  /// timing-derived fields afterwards.
+  LaunchStats& merge(const LaunchStats& o, MergeTiming timing) {
+    const double outer_seconds = seconds;
+    const double outer_flops = flops;
+    *this += o;
+    if (timing == MergeTiming::kExclusive) {
+      seconds = outer_seconds;
+      flops = outer_flops;
+    }
+    return *this;
+  }
+};
+
+/// Deterministic owner-leaf work lists for one (mesh, pair list).
+///
+/// CSR layout: owners_ holds the leaves that appear in at least one pair
+/// (ascending); the entries of owners_[t] are
+/// entries_[entry_begin_[t] .. entry_begin_[t+1]), ordered by the index q
+/// of the pair they came from. That per-owner order is what makes the
+/// leaf-owner schedule bitwise reproducible: a particle of leaf L is
+/// stored to only by L's task, in the same tile order as the serial
+/// pair-by-pair walk.
+class LaunchPlan {
+ public:
+  using Pair = std::pair<std::uint32_t, std::uint32_t>;
+
+  /// Which half of a pair's evaluation an owner performs.
+  enum class Side : std::uint8_t {
+    kBoth,   ///< self pair (L, L): the full both-sides tile walk
+    kISide,  ///< cross pair (owner, partner): accumulate onto owner = i
+    kJSide,  ///< cross pair (partner, owner): accumulate onto owner = j
+  };
+
+  struct Entry {
+    std::uint32_t partner = 0;
+    Side side = Side::kBoth;
+  };
+
+  LaunchPlan() = default;
+
+  /// Pairs must satisfy first <= second with both < cm.num_leaves() (as
+  /// produced by ChainingMesh::interaction_pairs). The pair list is
+  /// copied so the plan also serves serial launches (which run in
+  /// canonical pair order) and the deferred-store schedule.
+  LaunchPlan(const tree::ChainingMesh& cm, std::span<const Pair> pairs);
+
+  std::size_t num_owners() const { return owners_.size(); }
+  std::uint32_t owner(std::size_t t) const { return owners_[t]; }
+  std::span<const Entry> entries(std::size_t t) const {
+    return {entries_.data() + entry_begin_[t],
+            entry_begin_[t + 1] - entry_begin_[t]};
+  }
+  std::size_t num_entries() const { return entries_.size(); }
+  std::span<const Pair> pairs() const { return pairs_; }
+
+ private:
+  std::vector<std::uint32_t> owners_;
+  std::vector<std::uint32_t> entry_begin_;  ///< owners_.size() + 1 offsets
+  std::vector<Entry> entries_;
+  std::vector<Pair> pairs_;
+};
+
+}  // namespace crkhacc::gpu

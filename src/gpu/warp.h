@@ -1,4 +1,5 @@
-// Leaf-pair kernel launch drivers: naive and warp-split.
+// Leaf-pair kernel launch drivers: naive and warp-split, scheduled
+// serially, by owner leaf, or by deferred-store chunk replay.
 //
 // The short-range solver's compute is leaf-to-leaf interaction kernels
 // (Section IV-B2): all particles i of one leaf interact with all particles
@@ -17,7 +18,9 @@
 //    leaf j, each lane computes its separable partial ONCE, and W rotation
 //    steps pair every lane with every partner, exchanging partials by
 //    lane-indexed reads (the shuffle). Accumulation is lane-local with one
-//    store per particle at the end (the per-leaf atomic).
+//    store per particle per tile (the per-leaf atomic). The i-side lane
+//    file is loaded once per tile ROW and reused across the partner tiles
+//    of that row, halving global loads relative to a per-tile reload.
 //
 // LaunchStats counts global loads, partial evaluations, interactions and
 // stores, so the memory-traffic/register reduction of warp splitting is a
@@ -42,15 +45,36 @@
 //   };
 //
 // Deterministic parallel launch: launch_pair_kernel optionally takes a
-// util::ThreadPool. The pair list is split into fixed chunks (independent
-// of the thread count); worker threads evaluate chunks concurrently with
-// stores CAPTURED into per-chunk buffers, and the calling thread replays
-// every captured store in chunk order afterwards. Because the replay
-// order equals the serial store order, a parallel launch is bitwise
-// identical to the serial one for any thread count. This relies on a
-// contract every kernel here satisfies: load() must not read any field
-// that store() writes within the same launch (the pass structure already
-// guarantees it — positions/masses in, accelerations/densities out).
+// util::ThreadPool and a LaunchConfig selecting one of two schedules
+// (gpu/launch.h), both bitwise identical to the serial launch for any
+// thread count:
+//
+//  * LaunchSchedule::kLeafOwner (default) — parallel_for over OWNER
+//    leaves of a LaunchPlan. Each owner task walks its (partner, side)
+//    entries in pair order, accumulating DIRECTLY into its own particles:
+//    a cross pair (A, B) is evaluated one-sided twice — the i-side tiles
+//    by A's task, the j-side tiles by B's task. No store buffering, no
+//    serial replay. Bitwise identity holds because (1) every particle is
+//    written only by its owner's task, (2) an owner's entries are ordered
+//    by pair index and its tile walk visits the owner's chunks in the
+//    same order as the serial driver, so each particle sees the exact
+//    serial store sequence, and (3) the per-accumulator arithmetic of a
+//    one-sided tile is unchanged from the both-sides tile (same rotation
+//    order, same operand values — load/partial are pure).
+//
+//  * LaunchSchedule::kDeferredStore — the pair list is split into fixed
+//    8-pair chunks (independent of thread count); workers capture stores
+//    into per-chunk buffers and the calling thread replays them in chunk
+//    order. O(interactions) transient memory and a serial replay tax;
+//    kept as the measured baseline (bench/launch_schedule).
+//
+// Kernel contract under parallel launches: load()/partial() must not read
+// any field that store() writes within the same launch (the pass
+// structure already guarantees it — positions/masses in, accelerations/
+// densities out). Under kLeafOwner, store() additionally runs CONCURRENTLY
+// on worker threads for DISTINCT particles, so store(i, ...) may only
+// touch per-particle state of i (true of every kernel in the tree: they
+// += into per-particle output arrays).
 #pragma once
 
 #include <algorithm>
@@ -60,38 +84,16 @@
 #include <utility>
 #include <vector>
 
+#include "gpu/launch.h"
 #include "tree/chaining_mesh.h"
+#include "util/assertions.h"
 #include "util/thread_pool.h"
 #include "util/timer.h"
 
 namespace crkhacc::gpu {
 
-enum class LaunchMode { kNaive, kWarpSplit };
-
 /// Largest supported half-warp (AMD's 64-lane warp split in two).
 inline constexpr std::uint32_t kMaxHalfWarp = 32;
-
-struct LaunchStats {
-  std::uint64_t interactions = 0;   ///< ordered pair evaluations
-  std::uint64_t global_loads = 0;   ///< State loads from particle arrays
-  std::uint64_t partial_evals = 0;  ///< separable-term computations
-  std::uint64_t stores = 0;         ///< accumulator write-backs
-  double flops = 0.0;
-  double seconds = 0.0;
-  std::size_t register_bytes_per_thread = 0;
-
-  LaunchStats& operator+=(const LaunchStats& o) {
-    interactions += o.interactions;
-    global_loads += o.global_loads;
-    partial_evals += o.partial_evals;
-    stores += o.stores;
-    flops += o.flops;
-    seconds += o.seconds;
-    register_bytes_per_thread =
-        std::max(register_bytes_per_thread, o.register_bytes_per_thread);
-    return *this;
-  }
-};
 
 namespace detail {
 
@@ -125,57 +127,112 @@ void naive_side(Kernel& kernel, const tree::ChainingMesh& cm,
   }
 }
 
-/// One warp-split tile: chunks I (from leaf L) and J (from leaf M), each
-/// at most W lanes. If `same_chunk`, only the self-from-partner direction
-/// accumulates (every ordered pair appears exactly once across the
-/// rotation); otherwise both halves accumulate simultaneously.
+/// Which accumulator half of a tile is live. kBoth is the symmetric
+/// evaluation of the serial driver; kI / kJ are the one-sided halves the
+/// leaf-owner schedule splits a cross pair into.
+enum class TileSide : std::uint8_t { kBoth, kI, kJ };
+
+/// Lane-register file of one half-warp chunk: up to W particle states and
+/// their separable partials, loaded once and reused across every tile of
+/// a row (load()/partial() are pure and particle inputs do not change
+/// within a launch, so hoisting the loads cannot change any result).
 template <typename Kernel>
-void warp_tile(Kernel& kernel, const std::uint32_t* idx_i, std::uint32_t ni,
-               const std::uint32_t* idx_j, std::uint32_t nj, std::uint32_t w,
-               bool same_chunk, LaunchStats& stats) {
-  using State = typename Kernel::State;
-  using Partial = typename Kernel::Partial;
+struct LaneFile {
+  std::array<typename Kernel::State, kMaxHalfWarp> s;
+  std::array<typename Kernel::Partial, kMaxHalfWarp> p;
+  const std::uint32_t* idx = nullptr;
+  std::uint32_t n = 0;
+
+  void fill(const Kernel& kernel, const std::uint32_t* indices,
+            std::uint32_t count, LaunchStats& stats) {
+    idx = indices;
+    n = count;
+    for (std::uint32_t l = 0; l < count; ++l) {
+      s[l] = kernel.load(indices[l]);
+      p[l] = kernel.partial(s[l]);
+    }
+    stats.global_loads += count;
+    stats.partial_evals += count;
+  }
+};
+
+/// One warp-split tile over pre-loaded lane files. If `same_chunk`, only
+/// the self-from-partner direction accumulates (every ordered pair
+/// appears exactly once across the rotation). The rotation order and the
+/// per-accumulator operand sequence are identical for every TileSide, so
+/// a one-sided evaluation reproduces its half of the both-sides tile
+/// bitwise: under the rotation m = (l + t) mod W, accumulator acc_i[l]
+/// sees partners m = l, l+1, ..., W-1, 0, ..., l-1 (forward wrap) and
+/// acc_j[m] sees i-lanes l = m, m-1, ..., 0, W-1, ..., m+1 (backward
+/// wrap). The one-sided specializations below walk exactly those
+/// sequences directly — same operands, same order, no dead rotation
+/// scaffolding for the idle half.
+template <TileSide Side, typename Kernel>
+void warp_tile(Kernel& kernel, const LaneFile<Kernel>& fi,
+               const LaneFile<Kernel>& fj, std::uint32_t w, bool same_chunk,
+               LaunchStats& stats) {
   using Accum = typename Kernel::Accum;
-
-  // Lane-register files: fixed-size stacks, one slot per lane.
-  std::array<State, kMaxHalfWarp> si, sj;
-  std::array<Partial, kMaxHalfWarp> pi, pj;
-  for (std::uint32_t l = 0; l < ni; ++l) {
-    si[l] = kernel.load(idx_i[l]);
-    pi[l] = kernel.partial(si[l]);
-  }
-  for (std::uint32_t m = 0; m < nj; ++m) {
-    sj[m] = kernel.load(idx_j[m]);
-    pj[m] = kernel.partial(sj[m]);
-  }
-  stats.global_loads += ni + nj;
-  stats.partial_evals += ni + nj;
-
-  std::array<Accum, kMaxHalfWarp> acc_i{};
-  std::array<Accum, kMaxHalfWarp> acc_j{};
-  // Rotation: at step t, i-lane l is partnered with j-lane (l + t) mod W.
-  for (std::uint32_t t = 0; t < w; ++t) {
-    for (std::uint32_t l = 0; l < w; ++l) {
-      const std::uint32_t m = (l + t) % w;
-      if (l >= ni || m >= nj) continue;  // idle lanes on ragged chunks
-      if (same_chunk && l == m) continue;  // self-interaction diagonal
-      // The "shuffle": the partner's state/partial is read by lane index.
-      kernel.interact(si[l], pi[l], sj[m], pj[m], acc_i[l]);
-      ++stats.interactions;
-      if (!same_chunk) {
-        kernel.interact(sj[m], pj[m], si[l], pi[l], acc_j[m]);
+  if constexpr (Side == TileSide::kBoth) {
+    std::array<Accum, kMaxHalfWarp> acc_i{};
+    std::array<Accum, kMaxHalfWarp> acc_j{};
+    const bool do_j = !same_chunk;
+    // Rotation: at step t, i-lane l is partnered with j-lane (l + t) mod W.
+    for (std::uint32_t t = 0; t < w; ++t) {
+      for (std::uint32_t l = 0; l < w; ++l) {
+        const std::uint32_t m = (l + t) % w;
+        if (l >= fi.n || m >= fj.n) continue;  // idle lanes on ragged chunks
+        if (same_chunk && l == m) continue;    // self-interaction diagonal
+        // The "shuffle": the partner's state/partial is read by lane index.
+        kernel.interact(fi.s[l], fi.p[l], fj.s[m], fj.p[m], acc_i[l]);
         ++stats.interactions;
+        if (do_j) {
+          kernel.interact(fj.s[m], fj.p[m], fi.s[l], fi.p[l], acc_j[m]);
+          ++stats.interactions;
+        }
       }
     }
-  }
-  for (std::uint32_t l = 0; l < ni; ++l) kernel.store(idx_i[l], acc_i[l]);
-  stats.stores += ni;
-  if (!same_chunk) {
-    for (std::uint32_t m = 0; m < nj; ++m) kernel.store(idx_j[m], acc_j[m]);
-    stats.stores += nj;
+    for (std::uint32_t l = 0; l < fi.n; ++l) kernel.store(fi.idx[l], acc_i[l]);
+    stats.stores += fi.n;
+    if (do_j) {
+      for (std::uint32_t m = 0; m < fj.n; ++m)
+        kernel.store(fj.idx[m], acc_j[m]);
+      stats.stores += fj.n;
+    }
+  } else if constexpr (Side == TileSide::kI) {
+    // Forward-wrap partner scan per live accumulator (see above).
+    for (std::uint32_t l = 0; l < fi.n; ++l) {
+      Accum acc{};
+      for (std::uint32_t m = l; m < fj.n; ++m) {
+        kernel.interact(fi.s[l], fi.p[l], fj.s[m], fj.p[m], acc);
+      }
+      const std::uint32_t wrap = std::min(l, fj.n);
+      for (std::uint32_t m = 0; m < wrap; ++m) {
+        kernel.interact(fi.s[l], fi.p[l], fj.s[m], fj.p[m], acc);
+      }
+      kernel.store(fi.idx[l], acc);
+      stats.interactions += fj.n;
+    }
+    stats.stores += fi.n;
+  } else {
+    // Backward-wrap i-lane scan per live j-side accumulator (see above).
+    for (std::uint32_t m = 0; m < fj.n; ++m) {
+      Accum acc{};
+      for (std::uint32_t l = std::min(m + 1, fi.n); l-- > 0;) {
+        kernel.interact(fj.s[m], fj.p[m], fi.s[l], fi.p[l], acc);
+      }
+      for (std::uint32_t l = fi.n; l-- > m + 1;) {
+        kernel.interact(fj.s[m], fj.p[m], fi.s[l], fi.p[l], acc);
+      }
+      kernel.store(fj.idx[m], acc);
+      stats.interactions += fi.n;
+    }
+    stats.stores += fj.n;
   }
 }
 
+/// Both-sides warp-split evaluation of pair (leaf_a, leaf_b) — the serial
+/// driver. The i-side lane file is filled once per row and reused for
+/// every partner chunk of that row.
 template <typename Kernel>
 void warp_split_pair(Kernel& kernel, const tree::ChainingMesh& cm,
                      std::uint32_t leaf_a, std::uint32_t leaf_b,
@@ -186,13 +243,52 @@ void warp_split_pair(Kernel& kernel, const tree::ChainingMesh& cm,
   const std::uint32_t w = std::min(warp_size / 2, kMaxHalfWarp);
   const bool same_leaf = leaf_a == leaf_b;
 
+  LaneFile<Kernel> fi, fj;
   for (std::uint32_t ci = a.begin; ci < a.end; ci += w) {
-    const std::uint32_t ni = std::min(w, a.end - ci);
+    fi.fill(kernel, perm + ci, std::min(w, a.end - ci), stats);
     const std::uint32_t cj_begin = same_leaf ? ci : b.begin;
     for (std::uint32_t cj = cj_begin; cj < b.end; cj += w) {
-      const std::uint32_t nj = std::min(w, b.end - cj);
-      warp_tile(kernel, perm + ci, ni, perm + cj, nj, w,
-                same_leaf && ci == cj, stats);
+      fj.fill(kernel, perm + cj, std::min(w, b.end - cj), stats);
+      warp_tile<TileSide::kBoth>(kernel, fi, fj, w, same_leaf && ci == cj,
+                                 stats);
+    }
+  }
+}
+
+/// One-sided warp-split evaluation of cross pair (leaf_a, leaf_b): only
+/// the `side` accumulators run. The OWNER's chunk loop is outermost with
+/// its lane file hoisted; for kJ that transposes the serial (ci, cj)
+/// visit order, which is safe because the reordered tiles store to
+/// DIFFERENT owner chunks (disjoint particles) while each owner chunk
+/// still sees its partner tiles in the serial ci order.
+template <typename Kernel>
+void warp_split_pair_sided(Kernel& kernel, const tree::ChainingMesh& cm,
+                           std::uint32_t leaf_a, std::uint32_t leaf_b,
+                           std::uint32_t warp_size, TileSide side,
+                           LaunchStats& stats) {
+  const tree::Leaf& a = cm.leaf(leaf_a);
+  const tree::Leaf& b = cm.leaf(leaf_b);
+  const std::uint32_t* perm = cm.permutation().data();
+  const std::uint32_t w = std::min(warp_size / 2, kMaxHalfWarp);
+
+  LaneFile<Kernel> fi, fj;
+  if (side == TileSide::kI) {
+    for (std::uint32_t ci = a.begin; ci < a.end; ci += w) {
+      fi.fill(kernel, perm + ci, std::min(w, a.end - ci), stats);
+      for (std::uint32_t cj = b.begin; cj < b.end; cj += w) {
+        fj.fill(kernel, perm + cj, std::min(w, b.end - cj), stats);
+        warp_tile<TileSide::kI>(kernel, fi, fj, w, /*same_chunk=*/false,
+                                stats);
+      }
+    }
+  } else {
+    for (std::uint32_t cj = b.begin; cj < b.end; cj += w) {
+      fj.fill(kernel, perm + cj, std::min(w, b.end - cj), stats);
+      for (std::uint32_t ci = a.begin; ci < a.end; ci += w) {
+        fi.fill(kernel, perm + ci, std::min(w, a.end - ci), stats);
+        warp_tile<TileSide::kJ>(kernel, fi, fj, w, /*same_chunk=*/false,
+                                stats);
+      }
     }
   }
 }
@@ -217,6 +313,37 @@ void run_pair_range(
     for (std::size_t q = first; q < last; ++q) {
       const auto [la, lb] = pairs[q];
       warp_split_pair(kernel, cm, la, lb, warp_size, stats);
+    }
+  }
+}
+
+/// Evaluate every entry of plan owner `t`: the tiles that accumulate onto
+/// that owner's particles, in pair order.
+template <typename Kernel>
+void run_owner_entries(Kernel& kernel, const tree::ChainingMesh& cm,
+                       const LaunchPlan& plan, std::size_t t,
+                       std::uint32_t warp_size, LaunchMode mode,
+                       LaunchStats& stats) {
+  const std::uint32_t owner = plan.owner(t);
+  for (const LaunchPlan::Entry& e : plan.entries(t)) {
+    if (mode == LaunchMode::kNaive) {
+      // naive_side is already one-sided: accumulate partner onto owner.
+      naive_side(kernel, cm, cm.leaf(owner), cm.leaf(e.partner),
+                 e.side == LaunchPlan::Side::kBoth, stats);
+    } else {
+      switch (e.side) {
+        case LaunchPlan::Side::kBoth:
+          warp_split_pair(kernel, cm, owner, owner, warp_size, stats);
+          break;
+        case LaunchPlan::Side::kISide:
+          warp_split_pair_sided(kernel, cm, owner, e.partner, warp_size,
+                                TileSide::kI, stats);
+          break;
+        case LaunchPlan::Side::kJSide:
+          warp_split_pair_sided(kernel, cm, e.partner, owner, warp_size,
+                                TileSide::kJ, stats);
+          break;
+      }
     }
   }
 }
@@ -253,28 +380,25 @@ class DeferredStoreKernel {
   std::vector<std::pair<std::uint32_t, Accum>>& stores_;
 };
 
-/// Pairs per parallel chunk. Fixed (never derived from the thread count)
-/// so the chunk decomposition — and therefore the store-replay order —
-/// is identical for every pool size.
+/// Pairs per deferred-store chunk. Fixed (never derived from the thread
+/// count) so the chunk decomposition — and therefore the store-replay
+/// order — is identical for every pool size.
 inline constexpr std::size_t kPairsPerChunk = 8;
 
-}  // namespace detail
-
-/// Execute `kernel` over the given leaf pairs. Pairs must satisfy
-/// first <= second (as produced by ChainingMesh::interaction_pairs);
-/// both orientations are accumulated. With a pool of more than one
-/// thread, chunks of the pair list are evaluated concurrently with
-/// deferred stores replayed in chunk order — bitwise identical to the
-/// serial launch (see the header comment for the kernel contract).
+/// Shared implementation behind the public overloads. `plan` may be null
+/// unless the launch takes the parallel leaf-owner path.
 template <typename Kernel>
-LaunchStats launch_pair_kernel(
+LaunchStats launch_impl(
     Kernel& kernel, const tree::ChainingMesh& cm,
     std::span<const std::pair<std::uint32_t, std::uint32_t>> pairs,
-    std::uint32_t warp_size, LaunchMode mode,
-    util::ThreadPool* pool = nullptr) {
+    const LaunchPlan* plan, const LaunchConfig& config,
+    util::ThreadPool* pool) {
+  const char* invalid = config.invalid_reason();
+  CHECK_MSG(invalid == nullptr, (invalid ? invalid : ""));
+
   LaunchStats stats;
   Stopwatch watch;
-  if (mode == LaunchMode::kNaive) {
+  if (config.mode == LaunchMode::kNaive) {
     stats.register_bytes_per_thread =
         2 * sizeof(typename Kernel::State) +
         2 * sizeof(typename Kernel::Partial) + sizeof(typename Kernel::Accum);
@@ -284,8 +408,26 @@ LaunchStats launch_pair_kernel(
                                       sizeof(typename Kernel::Accum);
   }
   if (!pool || pool->num_threads() <= 1) {
-    detail::run_pair_range(kernel, cm, pairs, 0, pairs.size(), warp_size, mode,
-                           stats);
+    detail::run_pair_range(kernel, cm, pairs, 0, pairs.size(),
+                           config.warp_size, config.mode, stats);
+  } else if (config.schedule == LaunchSchedule::kLeafOwner) {
+    CHECK_MSG(plan != nullptr,
+              "parallel leaf-owner launch requires a LaunchPlan");
+    // One task per owner leaf; each accumulates in place into disjoint
+    // particles, so there is nothing to replay and nothing to buffer.
+    std::vector<LaunchStats> owner_stats(plan->num_owners());
+    pool->parallel_for(0, plan->num_owners(), 1,
+                       [&](std::size_t lo, std::size_t hi, std::size_t c) {
+                         for (std::size_t t = lo; t < hi; ++t) {
+                           detail::run_owner_entries(kernel, cm, *plan, t,
+                                                     config.warp_size,
+                                                     config.mode,
+                                                     owner_stats[c]);
+                         }
+                       });
+    for (const LaunchStats& s : owner_stats) {
+      stats.merge(s, MergeTiming::kExclusive);
+    }
   } else {
     using Accum = typename Kernel::Accum;
     struct ChunkResult {
@@ -300,17 +442,22 @@ LaunchStats launch_pair_kernel(
         [&](std::size_t lo, std::size_t hi, std::size_t c) {
           detail::DeferredStoreKernel<Kernel> deferred(kernel,
                                                        chunks[c].stores);
-          detail::run_pair_range(deferred, cm, pairs, lo, hi, warp_size, mode,
+          detail::run_pair_range(deferred, cm, pairs, lo, hi,
+                                 config.warp_size, config.mode,
                                  chunks[c].stats);
         });
     // Ordered replay: chunk order x in-chunk order == serial pair order.
+    std::uint64_t buffered_bytes = 0;
     for (auto& chunk : chunks) {
       for (const auto& [i, acc] : chunk.stores) kernel.store(i, acc);
-      stats.interactions += chunk.stats.interactions;
-      stats.global_loads += chunk.stats.global_loads;
-      stats.partial_evals += chunk.stats.partial_evals;
-      stats.stores += chunk.stats.stores;
+      buffered_bytes += chunk.stores.capacity() *
+                        sizeof(std::pair<std::uint32_t, Accum>);
+      stats.merge(chunk.stats, MergeTiming::kExclusive);
     }
+    // All chunk buffers are alive simultaneously between the region end
+    // and the replay — the O(interactions) transient the leaf-owner
+    // schedule eliminates.
+    stats.store_buffer_bytes = buffered_bytes;
   }
   stats.seconds = watch.seconds();
   stats.flops = static_cast<double>(stats.interactions) *
@@ -318,6 +465,54 @@ LaunchStats launch_pair_kernel(
                 static_cast<double>(stats.partial_evals) *
                     Kernel::kFlopsPerPartial;
   return stats;
+}
+
+}  // namespace detail
+
+/// Execute `kernel` over the owner plan's pair work. Serial (no pool, or
+/// one thread) launches run the canonical pair-by-pair order; parallel
+/// launches follow config.schedule (see the header comment). Bitwise
+/// identical to serial for any thread count under BOTH schedules.
+template <typename Kernel>
+LaunchStats launch_pair_kernel(Kernel& kernel, const tree::ChainingMesh& cm,
+                               const LaunchPlan& plan,
+                               const LaunchConfig& config,
+                               util::ThreadPool* pool = nullptr) {
+  return detail::launch_impl(kernel, cm, plan.pairs(), &plan, config, pool);
+}
+
+/// Convenience overload building the plan on demand. Pairs must satisfy
+/// first <= second (as produced by ChainingMesh::interaction_pairs); both
+/// orientations are accumulated. Callers launching several kernels over
+/// one pair list should build the LaunchPlan once and use the overload
+/// above.
+template <typename Kernel>
+LaunchStats launch_pair_kernel(
+    Kernel& kernel, const tree::ChainingMesh& cm,
+    std::span<const std::pair<std::uint32_t, std::uint32_t>> pairs,
+    const LaunchConfig& config, util::ThreadPool* pool = nullptr) {
+  if (pool && pool->num_threads() > 1 &&
+      config.schedule == LaunchSchedule::kLeafOwner) {
+    const LaunchPlan plan(cm, pairs);
+    return detail::launch_impl(kernel, cm, plan.pairs(), &plan, config, pool);
+  }
+  return detail::launch_impl(kernel, cm, pairs, nullptr, config, pool);
+}
+
+/// Transitional shim for the pre-LaunchConfig positional signature;
+/// removed after one PR. Parallel launches take the leaf-owner schedule
+/// (bitwise identical to the deferred-store replay they replaced).
+template <typename Kernel>
+[[deprecated(
+    "use launch_pair_kernel(kernel, cm, pairs, LaunchConfig{...}, pool)")]]
+LaunchStats launch_pair_kernel(
+    Kernel& kernel, const tree::ChainingMesh& cm,
+    std::span<const std::pair<std::uint32_t, std::uint32_t>> pairs,
+    std::uint32_t warp_size, LaunchMode mode,
+    util::ThreadPool* pool = nullptr) {
+  return launch_pair_kernel(
+      kernel, cm, pairs, LaunchConfig{.warp_size = warp_size, .mode = mode},
+      pool);
 }
 
 }  // namespace crkhacc::gpu

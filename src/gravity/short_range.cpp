@@ -21,9 +21,8 @@ gpu::LaunchStats compute_short_range(
     own_pairs = mesh.interaction_pairs(cutoff);
     pairs = &own_pairs;
   }
-  const auto stats = gpu::launch_pair_kernel(kernel, mesh, *pairs,
-                                             config.warp_size, config.mode,
-                                             pool);
+  const auto stats =
+      gpu::launch_pair_kernel(kernel, mesh, *pairs, config.launch, pool);
   flops.add(ShortRangeKernel::kName, stats.flops, stats.seconds);
   return stats;
 }

@@ -94,16 +94,17 @@ class ShortRangeKernel {
 
 struct GravityConfig {
   float softening = 0.05f;  ///< Plummer softening (code length)
-  std::uint32_t warp_size = 64;
-  gpu::LaunchMode mode = gpu::LaunchMode::kWarpSplit;
+  /// Pair-kernel launch policy (warp size, mode, pool schedule).
+  gpu::LaunchConfig launch;
 };
 
 /// Evaluate the short-range gravity of all particles in `mesh` (built
 /// over every species). Accumulates into ax/ay/az; `a` is the scale
 /// factor (1 = non-cosmological => pure Newtonian requires split=null).
 /// If `pairs` is non-null, uses the caller's (active-filtered) leaf pair
-/// list instead of building one. With a pool, pair chunks evaluate
-/// concurrently with deferred stores (bitwise identical to serial).
+/// list instead of building one. With a pool, the launch follows
+/// config.launch.schedule — owner-leaf accumulation by default — and is
+/// bitwise identical to serial for any thread count.
 gpu::LaunchStats compute_short_range(
     Particles& particles, const tree::ChainingMesh& mesh,
     const mesh::ForceSplit* split, const GravityConfig& config, double a,

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <type_traits>
 
 #include "sph/eos.h"
 #include "util/timer.h"
@@ -70,6 +71,21 @@ void SphSolver::compute_forces_impl(
   }
   const auto& pairs = *pairs_in;
 
+  // One launch plan serves all pairwise passes of this evaluation
+  // (density, CRK moments, momentum/energy): it depends only on the mesh
+  // and the pair list, both fixed here.
+  const gpu::LaunchPlan plan(gas_mesh, pairs);
+
+  // Single launch helper so the per-pass blocks cannot drift: every pass
+  // records its stats and FlopRegistry entry the same way.
+  const auto run_pass = [&](auto& kernel) {
+    using Kernel = std::decay_t<decltype(kernel)>;
+    const auto stats =
+        gpu::launch_pair_kernel(kernel, gas_mesh, plan, config_.launch, pool);
+    last_stats_[Kernel::kName] = stats;
+    flops.add(Kernel::kName, stats.flops, stats.seconds);
+  };
+
   const auto& perm = gas_mesh.permutation();
 
   // Pass 1: density + neighbor counts. Stores are accumulating, so zero
@@ -81,16 +97,13 @@ void SphSolver::compute_forces_impl(
       particles.rho[i] = 0.0f;
     });
     DensityKernelT<Shape> kernel(particles, scratch_, active);
-    const auto stats = gpu::launch_pair_kernel(
-        kernel, gas_mesh, pairs, config_.warp_size, config_.mode, pool);
+    run_pass(kernel);
     for_each_slot(perm.size(), pool, [&](std::size_t s) {
       const std::uint32_t i = perm[s];
       if (active && !active[i]) return;
       particles.rho[i] +=
           particles.mass[i] * Shape::w(0.0f, particles.hsml[i]);
     });
-    last_stats_[DensityKernelT<Shape>::kName] = stats;
-    flops.add(DensityKernelT<Shape>::kName, stats.flops, stats.seconds);
   }
 
   // EOS and volumes for every gas particle (ghosts and inactive included:
@@ -113,10 +126,7 @@ void SphSolver::compute_forces_impl(
   // zeroed by scratch resize; the self term only touches m0.
   if (config_.use_crk) {
     CrkMomentKernelT<Shape> kernel(particles, scratch_, active);
-    const auto stats = gpu::launch_pair_kernel(
-        kernel, gas_mesh, pairs, config_.warp_size, config_.mode, pool);
-    last_stats_[CrkMomentKernelT<Shape>::kName] = stats;
-    flops.add(CrkMomentKernelT<Shape>::kName, stats.flops, stats.seconds);
+    run_pass(kernel);
 
     Stopwatch watch;
     for_each_slot(perm.size(), pool, [&](std::size_t s) {
@@ -140,11 +150,7 @@ void SphSolver::compute_forces_impl(
     MomentumEnergyKernelT<Shape> kernel(particles, scratch_, active,
                                         config_.viscosity,
                                         static_cast<float>(1.0 / a));
-    const auto stats = gpu::launch_pair_kernel(
-        kernel, gas_mesh, pairs, config_.warp_size, config_.mode, pool);
-    last_stats_[MomentumEnergyKernelT<Shape>::kName] = stats;
-    flops.add(MomentumEnergyKernelT<Shape>::kName, stats.flops,
-              stats.seconds);
+    run_pass(kernel);
   }
 }
 

@@ -35,8 +35,9 @@ struct SphConfig {
   float h_change_limit = 1.25f;  ///< max h growth/shrink factor per step
   float h_max = 1e30f;  ///< absolute cap (half the CM bin support limit)
   ViscosityParams viscosity;
-  std::uint32_t warp_size = 64;  ///< AMD-style warps by default
-  gpu::LaunchMode mode = gpu::LaunchMode::kWarpSplit;
+  /// Pair-kernel launch policy (warp size, mode, pool schedule). The
+  /// 64-lane default matches AMD-style warps.
+  gpu::LaunchConfig launch;
   bool use_crk = true;  ///< false = plain-SPH baseline (A=1, B=0)
 };
 

@@ -246,11 +246,40 @@ not_a_real_key = 7
   EXPECT_DOUBLE_EQ(config.z_final, 0.5);
   EXPECT_FALSE(config.hydro);
   EXPECT_EQ(config.sph.kernel, sph::KernelShape::kWendlandC4);
-  EXPECT_EQ(config.sph.warp_size, 32u);
-  EXPECT_EQ(config.gravity.warp_size, 32u);
+  EXPECT_EQ(config.sph.launch.warp_size, 32u);
+  EXPECT_EQ(config.gravity.launch.warp_size, 32u);
   EXPECT_DOUBLE_EQ(config.cosmology.omega_m, 0.3);
   ASSERT_EQ(unknown.size(), 1u);
   EXPECT_EQ(unknown[0], "not_a_real_key");
+}
+
+TEST(ParamFile, AppliesLaunchKeysAndRejectsDegenerateWarpSize) {
+  const auto params = ParamFile::parse(R"(
+launch_mode = naive
+launch_schedule = deferred_store
+)");
+  ASSERT_TRUE(params.has_value());
+  SimConfig config;
+  EXPECT_TRUE(params->apply(config).empty());
+  EXPECT_EQ(config.sph.launch.mode, gpu::LaunchMode::kNaive);
+  EXPECT_EQ(config.gravity.launch.mode, gpu::LaunchMode::kNaive);
+  EXPECT_EQ(config.sph.launch.schedule, gpu::LaunchSchedule::kDeferredStore);
+  EXPECT_EQ(config.gravity.launch.schedule,
+            gpu::LaunchSchedule::kDeferredStore);
+
+  // warp_size = 1 would make the warp-split half-warp zero lanes wide
+  // and hang the tile loop; the parser must refuse it and keep the
+  // previous value.
+  const auto bad = ParamFile::parse("warp_size = 1\nlaunch_schedule = bogus\n");
+  ASSERT_TRUE(bad.has_value());
+  SimConfig keep;
+  keep.sph.launch.warp_size = 32;
+  keep.gravity.launch.warp_size = 32;
+  const auto flagged = bad->apply(keep);
+  ASSERT_EQ(flagged.size(), 2u);
+  EXPECT_EQ(keep.sph.launch.warp_size, 32u);
+  EXPECT_EQ(keep.gravity.launch.warp_size, 32u);
+  EXPECT_EQ(keep.sph.launch.schedule, gpu::LaunchSchedule::kLeafOwner);
 }
 
 TEST(Diagnostics, ConservationSnapshotReducesGlobally) {

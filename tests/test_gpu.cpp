@@ -1,18 +1,24 @@
 // Tests for the device model and the warp-split launch drivers.
 //
-// The central property: the naive and warp-split drivers produce the
-// same physics for any kernel written against the concept, while the
-// warp-split driver performs measurably fewer global loads and partial
-// evaluations — the exact claim of the paper's Algorithm 1.
+// The central properties: the naive and warp-split drivers produce the
+// same physics for any kernel written against the concept, the warp-split
+// driver performs measurably fewer global loads and partial evaluations —
+// the exact claim of the paper's Algorithm 1 — and every parallel
+// schedule (leaf-owner, deferred-store) is bitwise identical to the
+// serial launch for any thread count and any leaf/warp geometry.
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <utility>
+#include <vector>
 
 #include "core/particles.h"
 #include "gpu/device.h"
+#include "gpu/launch.h"
 #include "gpu/warp.h"
 #include "tree/chaining_mesh.h"
 #include "util/rng.h"
+#include "util/thread_pool.h"
 
 namespace crkhacc::gpu {
 namespace {
@@ -95,6 +101,49 @@ std::vector<double> reference_phi(const Particles& p) {
   return phi;
 }
 
+using PairList = std::vector<std::pair<std::uint32_t, std::uint32_t>>;
+
+/// Launch the separable kernel and return the accumulated phi array.
+std::vector<double> run_phi(const Particles& p, const tree::ChainingMesh& mesh,
+                            const PairList& pairs, const LaunchConfig& config,
+                            util::ThreadPool* pool = nullptr,
+                            LaunchStats* stats_out = nullptr) {
+  std::vector<double> phi(p.size(), 0.0);
+  SeparableKernel kernel(p, phi);
+  const auto stats = launch_pair_kernel(kernel, mesh, pairs, config, pool);
+  if (stats_out) *stats_out = stats;
+  return phi;
+}
+
+/// The edge-geometry contract: naive ≡ warp-split (to rounding) and, for
+/// each mode, serial ≡ 8-thread leaf-owner ≡ 8-thread deferred-store,
+/// bitwise.
+void expect_all_drivers_agree(const Particles& p,
+                              const tree::ChainingMesh& mesh,
+                              const PairList& pairs,
+                              std::uint32_t warp_size) {
+  util::ThreadPool pool(8);
+  std::vector<std::vector<double>> by_mode;
+  for (const LaunchMode mode : {LaunchMode::kNaive, LaunchMode::kWarpSplit}) {
+    LaunchConfig config{.warp_size = warp_size, .mode = mode};
+    const auto serial = run_phi(p, mesh, pairs, config);
+    config.schedule = LaunchSchedule::kLeafOwner;
+    EXPECT_EQ(run_phi(p, mesh, pairs, config, &pool), serial)
+        << "leaf-owner @8 threads diverged from serial, warp " << warp_size;
+    config.schedule = LaunchSchedule::kDeferredStore;
+    EXPECT_EQ(run_phi(p, mesh, pairs, config, &pool), serial)
+        << "deferred-store @8 threads diverged from serial, warp "
+        << warp_size;
+    by_mode.push_back(serial);
+  }
+  ASSERT_EQ(by_mode.size(), 2u);
+  for (std::size_t i = 0; i < p.size(); ++i) {
+    EXPECT_NEAR(by_mode[1][i], by_mode[0][i],
+                1e-9 + 1e-5 * std::abs(by_mode[0][i]))
+        << "naive vs warp-split at particle " << i;
+  }
+}
+
 class WarpDriverTest : public ::testing::TestWithParam<std::uint32_t> {};
 
 TEST_P(WarpDriverTest, WarpSplitMatchesNaiveAndReference) {
@@ -105,15 +154,15 @@ TEST_P(WarpDriverTest, WarpSplitMatchesNaiveAndReference) {
   mesh.build(p);
   const auto pairs = mesh.interaction_pairs(10.0);
 
-  std::vector<double> naive_phi(p.size(), 0.0);
-  std::vector<double> split_phi(p.size(), 0.0);
-  Particles copy = p;
-  SeparableKernel naive_kernel(copy, naive_phi);
-  SeparableKernel split_kernel(copy, split_phi);
-  const auto naive_stats = launch_pair_kernel(naive_kernel, mesh, pairs,
-                                              warp_size, LaunchMode::kNaive);
-  const auto split_stats = launch_pair_kernel(split_kernel, mesh, pairs,
-                                              warp_size, LaunchMode::kWarpSplit);
+  LaunchStats naive_stats, split_stats;
+  const auto naive_phi =
+      run_phi(p, mesh, pairs,
+              LaunchConfig{.warp_size = warp_size, .mode = LaunchMode::kNaive},
+              nullptr, &naive_stats);
+  const auto split_phi = run_phi(
+      p, mesh, pairs,
+      LaunchConfig{.warp_size = warp_size, .mode = LaunchMode::kWarpSplit},
+      nullptr, &split_stats);
 
   const auto expected = reference_phi(p);
   for (std::size_t i = 0; i < p.size(); ++i) {
@@ -132,13 +181,13 @@ TEST_P(WarpDriverTest, WarpSplitReducesMemoryTraffic) {
   mesh.build(p);
   const auto pairs = mesh.interaction_pairs(10.0);
 
-  std::vector<double> sink(p.size(), 0.0);
-  Particles copy = p;
-  SeparableKernel kernel(copy, sink);
-  const auto naive = launch_pair_kernel(kernel, mesh, pairs, warp_size,
-                                        LaunchMode::kNaive);
-  const auto split = launch_pair_kernel(kernel, mesh, pairs, warp_size,
-                                        LaunchMode::kWarpSplit);
+  LaunchStats naive, split;
+  run_phi(p, mesh, pairs,
+          LaunchConfig{.warp_size = warp_size, .mode = LaunchMode::kNaive},
+          nullptr, &naive);
+  run_phi(p, mesh, pairs,
+          LaunchConfig{.warp_size = warp_size, .mode = LaunchMode::kWarpSplit},
+          nullptr, &split);
   // The whole point of Algorithm 1: far fewer loads and partials (the
   // reduction factor approaches the half-warp width W for full tiles).
   EXPECT_LT(split.global_loads * 2, naive.global_loads);
@@ -146,6 +195,15 @@ TEST_P(WarpDriverTest, WarpSplitReducesMemoryTraffic) {
   EXPECT_LT(split.register_bytes_per_thread, naive.register_bytes_per_thread);
   // FLOP accounting reflects the shared partials.
   EXPECT_LT(split.flops, naive.flops);
+}
+
+TEST_P(WarpDriverTest, ParallelSchedulesBitwiseIdenticalToSerial) {
+  const std::uint32_t warp_size = GetParam();
+  const auto p = random_particles(300, 1.0, 99);
+  tree::ChainingMesh mesh(cube(1.0), {2.0, 24});
+  mesh.build(p);
+  const auto pairs = mesh.interaction_pairs(10.0);
+  expect_all_drivers_agree(p, mesh, pairs, warp_size);
 }
 
 INSTANTIATE_TEST_SUITE_P(WarpSizes, WarpDriverTest,
@@ -157,13 +215,13 @@ TEST(WarpDriver, RaggedLeavesHandled) {
   tree::ChainingMesh mesh(cube(1.0), {2.0, 4});
   mesh.build(p);
   const auto pairs = mesh.interaction_pairs(10.0);
-  std::vector<double> naive_phi(p.size(), 0.0), split_phi(p.size(), 0.0);
-  Particles copy = p;
-  SeparableKernel k1(copy, naive_phi), k2(copy, split_phi);
-  launch_pair_kernel(k1, mesh, pairs, 64, LaunchMode::kNaive);
-  launch_pair_kernel(k2, mesh, pairs, 64, LaunchMode::kWarpSplit);
+  const auto naive_phi = run_phi(
+      p, mesh, pairs, LaunchConfig{.mode = LaunchMode::kNaive});
+  const auto split_phi = run_phi(
+      p, mesh, pairs, LaunchConfig{.mode = LaunchMode::kWarpSplit});
   for (std::size_t i = 0; i < p.size(); ++i) {
-    EXPECT_NEAR(split_phi[i], naive_phi[i], 1e-9 + 1e-5 * std::abs(naive_phi[i]));
+    EXPECT_NEAR(split_phi[i], naive_phi[i],
+                1e-9 + 1e-5 * std::abs(naive_phi[i]));
   }
 }
 
@@ -173,12 +231,244 @@ TEST(WarpDriver, SinglePairNoSelfInteraction) {
   tree::ChainingMesh mesh(cube(1.0), {2.0, 8});
   mesh.build(p);
   const auto pairs = mesh.interaction_pairs(10.0);
-  std::vector<double> phi(1, 0.0);
-  SeparableKernel kernel(p, phi);
-  const auto stats =
-      launch_pair_kernel(kernel, mesh, pairs, 64, LaunchMode::kWarpSplit);
+  LaunchStats stats;
+  const auto phi = run_phi(p, mesh, pairs, LaunchConfig{}, nullptr, &stats);
   EXPECT_EQ(stats.interactions, 0u);
   EXPECT_DOUBLE_EQ(phi[0], 0.0);
+}
+
+// --- scheduler edge geometries ----------------------------------------------
+
+TEST(SchedulerGeometry, LeavesSmallerThanHalfWarp) {
+  // leaf_size 4 with a 64-lane warp: every tile is ragged (n < W = 32).
+  const auto p = random_particles(120, 1.0, 11);
+  tree::ChainingMesh mesh(cube(1.0), {2.0, 4});
+  mesh.build(p);
+  const auto pairs = mesh.interaction_pairs(10.0);
+  expect_all_drivers_agree(p, mesh, pairs, 64);
+}
+
+TEST(SchedulerGeometry, WarpSizeNotPowerOfTwo) {
+  const auto p = random_particles(160, 1.0, 13);
+  tree::ChainingMesh mesh(cube(1.0), {2.0, 16});
+  mesh.build(p);
+  const auto pairs = mesh.interaction_pairs(10.0);
+  for (const std::uint32_t warp_size : {3u, 6u, 10u, 24u}) {
+    expect_all_drivers_agree(p, mesh, pairs, warp_size);
+  }
+}
+
+TEST(SchedulerGeometry, EmptyPairList) {
+  const auto p = random_particles(32, 1.0, 17);
+  tree::ChainingMesh mesh(cube(1.0), {2.0, 16});
+  mesh.build(p);
+  const PairList no_pairs;
+  util::ThreadPool pool(8);
+  for (const auto schedule :
+       {LaunchSchedule::kLeafOwner, LaunchSchedule::kDeferredStore}) {
+    LaunchStats stats;
+    const auto phi = run_phi(p, mesh, no_pairs,
+                             LaunchConfig{.schedule = schedule}, &pool, &stats);
+    EXPECT_EQ(stats.interactions, 0u);
+    EXPECT_EQ(stats.stores, 0u);
+    for (const double v : phi) EXPECT_DOUBLE_EQ(v, 0.0);
+  }
+}
+
+TEST(SchedulerGeometry, SingleLeafSelfInteraction) {
+  // leaf_size >= n keeps all particles in one leaf: the plan degenerates
+  // to a single owner with one both-sides entry (no parallelism to find,
+  // but the result must still be exact).
+  const auto p = random_particles(90, 1.0, 19);
+  tree::ChainingMesh mesh(cube(1.0), {2.0, 128});
+  mesh.build(p);
+  ASSERT_EQ(mesh.num_leaves(), 1u);
+  const auto pairs = mesh.interaction_pairs(10.0);
+  ASSERT_EQ(pairs.size(), 1u);
+  expect_all_drivers_agree(p, mesh, pairs, 64);
+
+  const LaunchPlan plan(mesh, pairs);
+  EXPECT_EQ(plan.num_owners(), 1u);
+  ASSERT_EQ(plan.entries(0).size(), 1u);
+  EXPECT_EQ(plan.entries(0)[0].side, LaunchPlan::Side::kBoth);
+}
+
+// --- launch plan -------------------------------------------------------------
+
+TEST(LaunchPlan, OwnerEntriesOrderedByPairIndex) {
+  const auto p = random_particles(200, 1.0, 23);
+  tree::ChainingMesh mesh(cube(1.0), {2.0, 16});
+  mesh.build(p);
+  const auto pairs = mesh.interaction_pairs(10.0);
+  ASSERT_GT(pairs.size(), 4u);
+  const LaunchPlan plan(mesh, pairs);
+
+  // Every pair contributes one entry per owner leaf.
+  std::size_t cross = 0;
+  for (const auto& [la, lb] : pairs) cross += (la != lb) ? 1 : 0;
+  EXPECT_EQ(plan.num_entries(), pairs.size() + cross);
+  ASSERT_EQ(plan.pairs().size(), pairs.size());
+
+  // Reconstruct the expected per-owner entry sequences by walking the
+  // pair list in order — the plan must match exactly.
+  std::vector<std::vector<LaunchPlan::Entry>> expected(mesh.num_leaves());
+  for (const auto& [la, lb] : pairs) {
+    if (la == lb) {
+      expected[la].push_back({lb, LaunchPlan::Side::kBoth});
+    } else {
+      expected[la].push_back({lb, LaunchPlan::Side::kISide});
+      expected[lb].push_back({la, LaunchPlan::Side::kJSide});
+    }
+  }
+  std::uint32_t prev_owner = 0;
+  for (std::size_t t = 0; t < plan.num_owners(); ++t) {
+    const std::uint32_t owner = plan.owner(t);
+    if (t > 0) {
+      EXPECT_GT(owner, prev_owner) << "owners not ascending";
+    }
+    prev_owner = owner;
+    const auto entries = plan.entries(t);
+    ASSERT_EQ(entries.size(), expected[owner].size()) << "owner " << owner;
+    for (std::size_t e = 0; e < entries.size(); ++e) {
+      EXPECT_EQ(entries[e].partner, expected[owner][e].partner);
+      EXPECT_EQ(entries[e].side, expected[owner][e].side);
+    }
+    expected[owner].clear();
+  }
+  for (const auto& rest : expected) {
+    EXPECT_TRUE(rest.empty()) << "leaf with work missing from the plan";
+  }
+}
+
+TEST(LaunchPlan, CachedPlanMatchesOnDemandLaunch) {
+  const auto p = random_particles(180, 1.0, 29);
+  tree::ChainingMesh mesh(cube(1.0), {2.0, 16});
+  mesh.build(p);
+  const auto pairs = mesh.interaction_pairs(10.0);
+  const LaunchPlan plan(mesh, pairs);
+  util::ThreadPool pool(4);
+  const LaunchConfig config;
+
+  std::vector<double> phi_plan(p.size(), 0.0), phi_pairs(p.size(), 0.0);
+  SeparableKernel k1(p, phi_plan), k2(p, phi_pairs);
+  launch_pair_kernel(k1, mesh, plan, config, &pool);
+  launch_pair_kernel(k2, mesh, pairs, config, &pool);
+  EXPECT_EQ(phi_plan, phi_pairs);
+}
+
+// --- launch config validation ------------------------------------------------
+
+TEST(LaunchConfigValidation, RejectsDegenerateWarpSize) {
+  LaunchConfig config;
+  EXPECT_EQ(config.invalid_reason(), nullptr);
+  config.warp_size = 2;
+  EXPECT_EQ(config.invalid_reason(), nullptr);
+  config.warp_size = 1;
+  EXPECT_NE(config.invalid_reason(), nullptr);
+  config.warp_size = 0;
+  EXPECT_NE(config.invalid_reason(), nullptr);
+}
+
+TEST(LaunchConfigDeathTest, LaunchAbortsOnInvalidConfig) {
+  const auto p = random_particles(16, 1.0, 31);
+  tree::ChainingMesh mesh(cube(1.0), {2.0, 8});
+  mesh.build(p);
+  const auto pairs = mesh.interaction_pairs(10.0);
+  std::vector<double> phi(p.size(), 0.0);
+  SeparableKernel kernel(p, phi);
+  EXPECT_DEATH(
+      launch_pair_kernel(kernel, mesh, pairs, LaunchConfig{.warp_size = 1}),
+      "warp_size");
+}
+
+// --- launch stats ------------------------------------------------------------
+
+TEST(LaunchStatsTest, MergePolicies) {
+  LaunchStats a;
+  a.interactions = 10;
+  a.global_loads = 20;
+  a.partial_evals = 30;
+  a.stores = 40;
+  a.flops = 100.0;
+  a.seconds = 1.0;
+  a.register_bytes_per_thread = 64;
+  a.store_buffer_bytes = 1000;
+  LaunchStats b;
+  b.interactions = 1;
+  b.global_loads = 2;
+  b.partial_evals = 3;
+  b.stores = 4;
+  b.flops = 50.0;
+  b.seconds = 2.0;
+  b.register_bytes_per_thread = 128;
+  b.store_buffer_bytes = 500;
+
+  // kAccumulate == operator+=: back-to-back launches sum everything.
+  LaunchStats acc = a;
+  acc.merge(b, MergeTiming::kAccumulate);
+  LaunchStats plus = a;
+  plus += b;
+  EXPECT_EQ(acc.interactions, plus.interactions);
+  EXPECT_DOUBLE_EQ(acc.seconds, 3.0);
+  EXPECT_DOUBLE_EQ(acc.flops, 150.0);
+  EXPECT_EQ(acc.register_bytes_per_thread, 128u);  // max, not sum
+  EXPECT_EQ(acc.store_buffer_bytes, 1000u);        // max, not sum
+
+  // kExclusive: worker stats folded into one launch keep the launch's
+  // own wall clock and flop total.
+  LaunchStats excl = a;
+  excl.merge(b, MergeTiming::kExclusive);
+  EXPECT_EQ(excl.interactions, 11u);
+  EXPECT_EQ(excl.stores, 44u);
+  EXPECT_DOUBLE_EQ(excl.seconds, 1.0);
+  EXPECT_DOUBLE_EQ(excl.flops, 100.0);
+  EXPECT_EQ(excl.register_bytes_per_thread, 128u);
+}
+
+TEST(LaunchStatsTest, StoreBufferBytesOnlyOnDeferredSchedule) {
+  const auto p = random_particles(300, 1.0, 37);
+  tree::ChainingMesh mesh(cube(1.0), {2.0, 16});
+  mesh.build(p);
+  const auto pairs = mesh.interaction_pairs(10.0);
+  util::ThreadPool pool(8);
+
+  LaunchStats serial, owner, deferred;
+  run_phi(p, mesh, pairs, LaunchConfig{}, nullptr, &serial);
+  run_phi(p, mesh, pairs, LaunchConfig{.schedule = LaunchSchedule::kLeafOwner},
+          &pool, &owner);
+  run_phi(p, mesh, pairs,
+          LaunchConfig{.schedule = LaunchSchedule::kDeferredStore}, &pool,
+          &deferred);
+  // In-place accumulation buffers nothing; the replay schedule holds one
+  // captured Accum per store.
+  EXPECT_EQ(serial.store_buffer_bytes, 0u);
+  EXPECT_EQ(owner.store_buffer_bytes, 0u);
+  EXPECT_GT(deferred.store_buffer_bytes,
+            deferred.stores *
+                sizeof(std::pair<std::uint32_t, SeparableKernel::Accum>) / 2);
+  // All three cover the same physics.
+  EXPECT_EQ(owner.interactions, serial.interactions);
+  EXPECT_EQ(deferred.interactions, serial.interactions);
+  EXPECT_EQ(owner.stores, serial.stores);
+}
+
+// --- deprecated positional shim ---------------------------------------------
+
+TEST(LaunchShim, PositionalOverloadStillLaunches) {
+  const auto p = random_particles(64, 1.0, 41);
+  tree::ChainingMesh mesh(cube(1.0), {2.0, 16});
+  mesh.build(p);
+  const auto pairs = mesh.interaction_pairs(10.0);
+
+  const auto expected =
+      run_phi(p, mesh, pairs, LaunchConfig{.warp_size = 32});
+  std::vector<double> phi(p.size(), 0.0);
+  SeparableKernel kernel(p, phi);
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+  launch_pair_kernel(kernel, mesh, pairs, 32u, LaunchMode::kWarpSplit);
+#pragma GCC diagnostic pop
+  EXPECT_EQ(phi, expected);
 }
 
 // --- device model ------------------------------------------------------------

@@ -197,11 +197,11 @@ TEST(ShortRange, NaiveAndWarpSplitAgree) {
 
   Particles naive = p;
   GravityConfig config;
-  config.mode = gpu::LaunchMode::kNaive;
+  config.launch.mode = gpu::LaunchMode::kNaive;
   compute_short_range(naive, mesh, &split, config, 1.0, nullptr, flops);
 
   Particles warp = p;
-  config.mode = gpu::LaunchMode::kWarpSplit;
+  config.launch.mode = gpu::LaunchMode::kWarpSplit;
   compute_short_range(warp, mesh, &split, config, 1.0, nullptr, flops);
 
   for (std::size_t i = 0; i < p.size(); ++i) {

@@ -59,7 +59,7 @@ TEST_P(SolverTilingTest, GravityInvariantUnderExecutionTiling) {
     tree::ChainingMesh mesh(cube(box), {2.0, 16});
     mesh.build(reference);
     gravity::GravityConfig config;
-    config.mode = gpu::LaunchMode::kNaive;
+    config.launch.mode = gpu::LaunchMode::kNaive;
     gpu::FlopRegistry flops;
     gravity::compute_short_range(reference, mesh, nullptr, config, 1.0,
                                  nullptr, flops);
@@ -68,8 +68,8 @@ TEST_P(SolverTilingTest, GravityInvariantUnderExecutionTiling) {
   tree::ChainingMesh mesh(cube(box), {2.0, leaf_size});
   mesh.build(p);
   gravity::GravityConfig config;
-  config.warp_size = warp_size;
-  config.mode = mode;
+  config.launch.warp_size = warp_size;
+  config.launch.mode = mode;
   gpu::FlopRegistry flops;
   gravity::compute_short_range(p, mesh, nullptr, config, 1.0, nullptr, flops);
 
@@ -94,8 +94,8 @@ TEST_P(SolverTilingTest, SphConservationInvariantUnderExecutionTiling) {
   mesh.build(p, gas);
 
   sph::SphConfig config;
-  config.warp_size = warp_size;
-  config.mode = mode;
+  config.launch.warp_size = warp_size;
+  config.launch.mode = mode;
   sph::SphSolver solver(config);
   gpu::FlopRegistry flops;
   solver.compute_forces(p, mesh, 1.0, nullptr, flops);
@@ -158,23 +158,33 @@ TEST_P(ThreadedSweepTest, ShortRangePipelineBitwiseEqualToSerial) {
   threaded_mesh.build(base, &pool);
   ASSERT_EQ(threaded_mesh.permutation(), serial_mesh.permutation());
 
-  auto evaluate = [&](const tree::ChainingMesh& mesh, util::ThreadPool* p_pool) {
+  auto evaluate = [&](const tree::ChainingMesh& mesh, util::ThreadPool* p_pool,
+                      gpu::LaunchSchedule schedule) {
     Particles p = base;
     gpu::FlopRegistry flops;
-    gravity::compute_short_range(p, mesh, nullptr, gravity::GravityConfig{},
-                                 1.0, nullptr, flops, nullptr, p_pool);
-    sph::SphSolver solver(sph::SphConfig{});
+    gravity::GravityConfig gravity_config;
+    gravity_config.launch.schedule = schedule;
+    gravity::compute_short_range(p, mesh, nullptr, gravity_config, 1.0,
+                                 nullptr, flops, nullptr, p_pool);
+    sph::SphConfig sph_config;
+    sph_config.launch.schedule = schedule;
+    sph::SphSolver solver(sph_config);
     solver.compute_forces(p, mesh, 1.0, nullptr, flops, nullptr, p_pool);
     return p;
   };
-  const Particles serial = evaluate(serial_mesh, nullptr);
-  const Particles threaded = evaluate(threaded_mesh, &pool);
-  for (std::size_t i = 0; i < serial.size(); ++i) {
-    ASSERT_EQ(threaded.ax[i], serial.ax[i]) << "particle " << i;
-    ASSERT_EQ(threaded.ay[i], serial.ay[i]) << "particle " << i;
-    ASSERT_EQ(threaded.az[i], serial.az[i]) << "particle " << i;
-    ASSERT_EQ(threaded.rho[i], serial.rho[i]) << "particle " << i;
-    ASSERT_EQ(threaded.du[i], serial.du[i]) << "particle " << i;
+  const Particles serial =
+      evaluate(serial_mesh, nullptr, gpu::LaunchSchedule::kLeafOwner);
+  // Both pool schedules must reproduce the serial pipeline bitwise.
+  for (const auto schedule : {gpu::LaunchSchedule::kLeafOwner,
+                              gpu::LaunchSchedule::kDeferredStore}) {
+    const Particles threaded = evaluate(threaded_mesh, &pool, schedule);
+    for (std::size_t i = 0; i < serial.size(); ++i) {
+      ASSERT_EQ(threaded.ax[i], serial.ax[i]) << "particle " << i;
+      ASSERT_EQ(threaded.ay[i], serial.ay[i]) << "particle " << i;
+      ASSERT_EQ(threaded.az[i], serial.az[i]) << "particle " << i;
+      ASSERT_EQ(threaded.rho[i], serial.rho[i]) << "particle " << i;
+      ASSERT_EQ(threaded.du[i], serial.du[i]) << "particle " << i;
+    }
   }
 }
 
