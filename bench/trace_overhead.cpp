@@ -1,0 +1,185 @@
+// Trace-overhead gate: tracing must observe the step, never perturb it.
+//
+// The observability subsystem (util/trace.h) promises two things the
+// tests cannot time: a traced PM step costs < 2% extra wall time, and a
+// tracing-compiled-but-disabled build costs nothing measurable. This
+// bench drives the full Simulation step pipeline (hydro + gravity +
+// subgrid) with tracing off and on and gates:
+//
+//   1. determinism — particle-state checksums bitwise identical between
+//      the traced and untraced runs (spans and trace collectives must
+//      not touch physics or its comm schedule);
+//   2. overhead — interleaved per-step timing, traced vs untraced, with
+//      the minimum-over-reps total under 1.02x (full mode only: the
+//      timing gate needs a quiet machine, so --quick reports the ratio
+//      without gating it);
+//   3. disabled cost — a micro-benchmark of HACC_TRACE_SPAN with no
+//      recorder installed and with a disabled recorder installed, gated
+//      at < 100 ns/span (measured ~2-5 ns: one TLS load + null check).
+//
+// --quick gates (1) and (3) and runs as the trace_overhead_smoke ctest
+// target, so a hot-path regression fails the build.
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <numeric>
+#include <string>
+#include <vector>
+
+#include "comm/world.h"
+#include "common.h"
+#include "core/simulation.h"
+#include "util/crc32.h"
+#include "util/timer.h"
+#include "util/trace.h"
+
+using namespace crkhacc;
+
+namespace {
+
+core::SimConfig bench_config(bool quick) {
+  core::SimConfig config;
+  config.np = 8;
+  config.box = 24.0;
+  config.ng = 16;
+  config.z_init = 20.0;
+  config.z_final = quick ? 14.0 : 8.0;
+  config.num_pm_steps = quick ? 2 : 6;
+  config.hydro = true;
+  config.subgrid_on = true;
+  config.bins.max_depth = 2;
+  config.threads = 1;  // single lane: least timing noise for the gate
+  config.seed = 99;
+  return config;
+}
+
+std::uint32_t state_checksum(const Particles& p) {
+  std::uint32_t crc = 0;
+  auto fold = [&](const std::vector<float>& v) {
+    crc = crc32(v.data(), v.size() * sizeof(float), crc);
+  };
+  fold(p.x);
+  fold(p.y);
+  fold(p.z);
+  fold(p.vx);
+  fold(p.vy);
+  fold(p.vz);
+  fold(p.u);
+  return crc;
+}
+
+struct RunSample {
+  std::uint32_t checksum = 0;
+  std::vector<double> step_seconds;  ///< per PM step
+  std::uint64_t trace_events = 0;
+};
+
+RunSample run_sim(const core::SimConfig& config) {
+  RunSample sample;
+  comm::World world(1);
+  world.run([&](comm::Communicator& comm) {
+    core::Simulation sim(comm, config);
+    sim.initialize();
+    for (int s = 0; s < config.num_pm_steps; ++s) {
+      Stopwatch watch;
+      (void)sim.step();
+      sample.step_seconds.push_back(watch.seconds());
+    }
+    sample.checksum = state_checksum(sim.particles());
+    sample.trace_events = sim.trace().events_recorded();
+  });
+  return sample;
+}
+
+/// ns per HACC_TRACE_SPAN when it must do nothing. `rec` is null for the
+/// no-recorder path or a disabled recorder for the installed-but-off
+/// path. The span name goes through a volatile pointer so the macro body
+/// cannot be folded away.
+double disabled_span_ns(util::TraceRecorder* rec, std::size_t iters) {
+  util::TraceRecorder::Context ctx(rec);
+  const char* volatile name = "noop";
+  Stopwatch watch;
+  for (std::size_t i = 0; i < iters; ++i) {
+    HACC_TRACE_SPAN(name);
+  }
+  return watch.seconds() / static_cast<double>(iters) * 1e9;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool quick = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--quick") == 0) quick = true;
+  }
+  bench::print_header(std::string("Trace-overhead gate — tracing on vs off") +
+                      (quick ? " (--quick)" : ""));
+
+  auto config = bench_config(quick);
+  const int reps = quick ? 1 : 3;
+
+  // Interleave traced/untraced runs so drift in machine load hits both
+  // sides; keep the minimum total per side (robust against noise spikes).
+  double best_off = -1.0, best_on = -1.0;
+  std::uint32_t crc_off = 0, crc_on = 0;
+  std::uint64_t traced_events = 0;
+  for (int rep = 0; rep < reps; ++rep) {
+    config.trace.enabled = false;
+    const auto off = run_sim(config);
+    config.trace.enabled = true;
+    const auto on = run_sim(config);
+    const double total_off =
+        std::accumulate(off.step_seconds.begin(), off.step_seconds.end(), 0.0);
+    const double total_on =
+        std::accumulate(on.step_seconds.begin(), on.step_seconds.end(), 0.0);
+    if (best_off < 0.0 || total_off < best_off) best_off = total_off;
+    if (best_on < 0.0 || total_on < best_on) best_on = total_on;
+    crc_off = off.checksum;
+    crc_on = on.checksum;
+    traced_events = on.trace_events;
+    std::printf("rep %d: %d steps untraced %.3fs, traced %.3fs "
+                "(%llu events)\n",
+                rep, config.num_pm_steps, total_off, total_on,
+                static_cast<unsigned long long>(on.trace_events));
+  }
+
+  const bool deterministic = crc_off == crc_on;
+  const double ratio = best_off > 0.0 ? best_on / best_off : 1.0;
+  std::printf("\ndeterminism: untraced %08x vs traced %08x  %s\n", crc_off,
+              crc_on, deterministic ? "OK" : "MISMATCH");
+  std::printf("overhead: min traced/untraced = %.4f (%+.2f%%), "
+              "%.1f events/step\n",
+              ratio, (ratio - 1.0) * 100.0,
+              static_cast<double>(traced_events) / config.num_pm_steps);
+
+  // Disabled-span micro-benchmark: no recorder, then a compiled-in but
+  // disabled recorder — both must stay in single-digit-nanosecond land.
+  const std::size_t iters = quick ? 2'000'000 : 20'000'000;
+  const double ns_null = disabled_span_ns(nullptr, iters);
+  util::TraceRecorder off_recorder;  // default config: disabled
+  const double ns_off = disabled_span_ns(&off_recorder, iters);
+  std::printf("disabled span: %.2f ns (no recorder), %.2f ns "
+              "(recorder installed, tracing off)\n",
+              ns_null, ns_off);
+
+  const bool disabled_ok = ns_null < 100.0 && ns_off < 100.0;
+  bool ok = deterministic && disabled_ok;
+  std::printf("\ngates: determinism %s, disabled-span<100ns %s",
+              deterministic ? "PASS" : "FAIL", disabled_ok ? "PASS" : "FAIL");
+  if (!quick) {
+    const bool overhead_ok = ratio < 1.02;
+    std::printf(", overhead<2%% %s", overhead_ok ? "PASS" : "FAIL");
+    ok = ok && overhead_ok;
+  }
+  std::printf("\n");
+
+  std::printf(
+      "\nJSON: {\"bench\": \"trace_overhead\", \"quick\": %s, "
+      "\"overhead_ratio\": %.4f, \"disabled_span_ns\": %.2f, "
+      "\"disabled_span_installed_ns\": %.2f, \"events_per_step\": %.1f, "
+      "\"deterministic\": %s}\n",
+      quick ? "true" : "false", ratio, ns_null, ns_off,
+      static_cast<double>(traced_events) / config.num_pm_steps,
+      deterministic ? "true" : "false");
+  return ok ? 0 : 1;
+}

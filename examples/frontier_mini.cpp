@@ -11,6 +11,7 @@
 //   ./examples/frontier_mini [--threads=N] [--sdc=on|off]
 //                            [--launch-schedule=leaf_owner|deferred_store]
 //                            [--sdc-flip-rate=R] [--sdc-flip-seed=S]
+//                            [--trace=FILE] [--metrics]
 //                            [num_ranks] [workdir] [storage_fault_seed]
 //
 // --threads=N runs each rank's short-range pipeline on an N-thread
@@ -26,6 +27,14 @@
 // corruption (torn writes, bit flips) and transient I/O errors; the
 // campaign must still complete with every checkpoint provably intact
 // (write-verify + CRC completion markers + retries).
+//
+// --trace=FILE enables step-phase tracing on every rank and writes a
+// merged Chrome/Perfetto trace_event JSON (open in chrome://tracing or
+// ui.perfetto.dev; pid = rank, tid = pool thread). The report gains a
+// per-phase summary table and cross-rank imbalance (max/mean) stats.
+//
+// --metrics prints the unified MetricsRegistry — timers, kernel FLOPs,
+// trace phase totals, and scheduler counters — reduced across all ranks.
 //
 // --sdc=on (the default) arms the in-memory guardrails: a paged CRC
 // snapshot of particle state at each PM-step boundary plus a post-step
@@ -54,6 +63,8 @@ int main(int argc, char** argv) {
   bool sdc_on = true;
   double sdc_flip_rate = 0.0;
   std::uint64_t sdc_flip_seed = 13;
+  std::string trace_file;
+  bool show_metrics = false;
   std::vector<const char*> positional;
   for (int i = 1; i < argc; ++i) {
     if (std::strncmp(argv[i], "--threads=", 10) == 0) {
@@ -75,6 +86,10 @@ int main(int argc, char** argv) {
       sdc_flip_rate = std::atof(argv[i] + 16);
     } else if (std::strncmp(argv[i], "--sdc-flip-seed=", 16) == 0) {
       sdc_flip_seed = static_cast<std::uint64_t>(std::atoll(argv[i] + 16));
+    } else if (std::strncmp(argv[i], "--trace=", 8) == 0) {
+      trace_file = argv[i] + 8;
+    } else if (std::strcmp(argv[i], "--metrics") == 0) {
+      show_metrics = true;
     } else {
       positional.push_back(argv[i]);
     }
@@ -113,6 +128,8 @@ int main(int argc, char** argv) {
   config.sph.launch.schedule = schedule;
   config.gravity.launch.schedule = schedule;
   config.sdc.enabled = sdc_on;
+  config.trace.enabled = !trace_file.empty();
+  config.trace.file = trace_file;
 
   std::printf("frontier-mini: %d ranks, %zu^3 particle pairs, %d PM steps, "
               "%d pool threads/rank, %s launch schedule\n",
@@ -286,6 +303,52 @@ int main(int argc, char** argv) {
                     pool.critical_path_seconds());
       } else {
         std::printf("thread pool: serial path (threads=%d)\n", config.threads);
+      }
+    }
+
+    // Observability: merged Chrome trace + per-phase imbalance + metrics.
+    // All ranks participate in the gathers; rank 0 prints and writes.
+    if (config.trace.enabled) {
+      const std::string fragment = sim.trace().chrome_events_fragment();
+      std::vector<std::uint8_t> mine(fragment.begin(), fragment.end());
+      const auto gathered = comm.allgather_bytes(mine);
+      if (comm.rank() == 0) {
+        std::vector<std::string> fragments;
+        for (const auto& bytes : gathered) {
+          fragments.emplace_back(bytes.begin(), bytes.end());
+        }
+        std::FILE* out = std::fopen(trace_file.c_str(), "wb");
+        if (out != nullptr) {
+          const std::string doc =
+              util::TraceRecorder::chrome_json_document(fragments);
+          std::fwrite(doc.data(), 1, doc.size(), out);
+          std::fclose(out);
+          std::printf("\ntrace: %llu local events (%llu dropped) -> %s\n",
+                      static_cast<unsigned long long>(result.trace_events),
+                      static_cast<unsigned long long>(result.trace_dropped),
+                      trace_file.c_str());
+        } else {
+          std::fprintf(stderr, "trace: cannot write %s\n", trace_file.c_str());
+        }
+        std::printf("\nper-phase summary (rank 0):\n%s",
+                    sim.trace().summary_table().c_str());
+        if (!result.phase_stats.empty()) {
+          std::printf("\ncross-rank phase imbalance (campaign totals):\n");
+          std::printf("  %-16s %10s %10s %8s\n", "phase", "mean(s)", "max(s)",
+                      "max/mean");
+          for (const auto& phase : result.phase_stats) {
+            std::printf("  %-16s %10.4f %10.4f %8.2f\n", phase.name.c_str(),
+                        phase.mean_seconds, phase.max_seconds,
+                        phase.imbalance());
+          }
+        }
+      }
+    }
+    if (show_metrics) {
+      const auto reduced = sim.collect_metrics().reduce(comm);
+      if (comm.rank() == 0) {
+        std::printf("\nmetrics (reduced over %d ranks):\n%s", comm.size(),
+                    reduced.table().c_str());
       }
     }
   });

@@ -9,6 +9,7 @@
 #include "integrator/timestep.h"
 #include "sph/solver.h"
 #include "subgrid/model.h"
+#include "util/trace.h"
 
 namespace crkhacc::core {
 
@@ -53,6 +54,11 @@ struct SimConfig {
   int threads = 1;
 
   std::uint64_t seed = 42;
+
+  /// Step-phase tracing (spans, per-phase imbalance collectives, Chrome
+  /// JSON export). Off by default: a disabled recorder adds no spans, no
+  /// collectives, and no physics-visible state.
+  util::TraceConfig trace;
 
   sph::SphConfig sph;
   gravity::GravityConfig gravity;

@@ -4,6 +4,7 @@
 #include <vector>
 
 #include "util/assertions.h"
+#include "util/trace.h"
 
 namespace crkhacc::core {
 namespace {
@@ -71,6 +72,7 @@ std::vector<GhostRegion> build_ghost_regions(
 ExchangeStats exchange_and_overload(comm::Communicator& comm,
                                     const comm::CartDecomposition& decomp,
                                     Particles& particles, double overload) {
+  HACC_TRACE_SPAN("exchange");
   ExchangeStats stats;
   const int rank = comm.rank();
   const int p = comm.size();

@@ -224,6 +224,21 @@ std::vector<std::string> ParamFile::apply(SimConfig& config) const {
       }
     } else if (key == "threads") {
       if (auto v = get_int(key)) config.threads = static_cast<int>(*v);
+    } else if (key == "trace") {
+      if (auto v = get_bool(key)) config.trace.enabled = *v;
+    } else if (key == "trace_file") {
+      if (auto v = get_string(key)) config.trace.file = *v;
+    } else if (key == "trace_buffer_events") {
+      const auto v = get_int(key);
+      if (v && *v >= 1) {
+        config.trace.buffer_events = static_cast<std::size_t>(*v);
+      } else {
+        HACC_LOG_ERROR(
+            "param file: trace_buffer_events = '%s' rejected: must be an "
+            "integer >= 1 (per-thread ring capacity in events)",
+            get_string(key).value_or("").c_str());
+        rejected = true;
+      }
     } else if (key == "sdc") {
       if (auto v = get_bool(key)) config.sdc.enabled = *v;
     } else if (key == "sdc_page_bytes") {

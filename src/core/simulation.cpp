@@ -17,6 +17,15 @@
 namespace crkhacc::core {
 namespace {
 
+/// Canonical per-step phases rolled into PhaseStat imbalance metrics.
+/// Every rank reduces over this exact list (collective), so it must be
+/// rank-independent; a rank that skipped a phase contributes zero.
+constexpr const char* kStepPhases[] = {
+    "exchange",     "tree_build", "tree_refit",   "long_range",
+    "bin_assign",   "short_range", "subgrid",     "sdc_snapshot",
+    "sdc_audit",    "checkpoint_io", "analysis",
+};
+
 mesh::PMConfig pm_config_of(const SimConfig& config) {
   return mesh::PMConfig{config.ng, config.box, config.rs_cells,
                         config.split_threshold};
@@ -55,7 +64,9 @@ Simulation::Simulation(comm::Communicator& comm, const SimConfig& config)
       subgrid_(config_.subgrid),
       kdk_(bg_),
       auditor_(config_.sdc),
-      snapshot_(config_.sdc.page_bytes) {
+      snapshot_(config_.sdc.page_bytes),
+      trace_(config_.trace) {
+  trace_.set_rank(comm.rank());
   // Chaining-mesh bins must cover the short-range cutoff and the widest
   // SPH support; ghosts must cover one bin width so every owned
   // particle's neighborhood is complete.
@@ -232,6 +243,7 @@ StepReport Simulation::step_body(SdcStepStats* stats) {
   tree::ChainingMesh mesh_gas(obox, {cm_bin_width_, 64});
   {
     ScopedTimer t(timers_, timers::kTreeBuild);
+    HACC_TRACE_SPAN("tree_build");
     mesh_all.build(particles_, &pool_);
     if (config_.hydro) mesh_gas.build(particles_, gas_indices(), &pool_);
   }
@@ -239,6 +251,7 @@ StepReport Simulation::step_body(SdcStepStats* stats) {
   // --- 3. long-range spectral solve + PM-level kick ----------------------
   {
     ScopedTimer t(timers_, timers::kLongRange);
+    HACC_TRACE_SPAN("long_range");
     pm_.apply(comm_, particles_, overload_);
     const double a_mid = 0.5 * (a0 + a1);
     const float to_peculiar = static_cast<float>(1.0 / (a_mid * a_mid));
@@ -256,7 +269,11 @@ StepReport Simulation::step_body(SdcStepStats* stats) {
 
   // --- 4. timestep bin assignment ----------------------------------------
   const double dt_pm = kdk_.dt_of(a0, a1);
-  const int depth = assign_timestep_bins(dt_pm);
+  int depth = 0;
+  {
+    HACC_TRACE_SPAN("bin_assign");
+    depth = assign_timestep_bins(dt_pm);
+  }
   report.depth = depth;
 
   // --- 5. sub-cycled short-range solve ------------------------------------
@@ -267,15 +284,18 @@ StepReport Simulation::step_body(SdcStepStats* stats) {
   std::vector<double> dt_particle(particles_.size(), 0.0);
 
   for (std::uint64_t s = 0; s < nfine; ++s) {
+    HACC_TRACE_SPAN("substep");
     const double a_s = a0 + static_cast<double>(s) * da_fine;
     integrator::activity_mask(particles_, s, depth, active);
 
     {
       ScopedTimer t(timers_, timers::kTreeBuild);
       if (config_.rebuild_tree_every_substep) {
+        HACC_TRACE_SPAN("tree_build");
         mesh_all.build(particles_, &pool_);
         if (config_.hydro) mesh_gas.build(particles_, gas_indices(), &pool_);
       } else {
+        HACC_TRACE_SPAN("tree_refit");
         mesh_all.refit_bounds(particles_, &pool_);
         if (config_.hydro) mesh_gas.refit_bounds(particles_, &pool_);
       }
@@ -283,6 +303,7 @@ StepReport Simulation::step_body(SdcStepStats* stats) {
 
     {
       ScopedTimer t(timers_, timers::kShortRange);
+      HACC_TRACE_SPAN("short_range");
       // Zero force accumulators of active particles only; inactive keep
       // stale values that no kick reads.
       std::uint64_t n_active = 0;
@@ -300,22 +321,32 @@ StepReport Simulation::step_body(SdcStepStats* stats) {
       // pairs touching an active leaf.
       const double a_sub_mid = a_s + 0.5 * da_fine;
       {
-        auto pairs = mesh_all.interaction_pairs(pm_.split().cutoff());
-        const auto active_pairs = filter_active_pairs(mesh_all, pairs, active);
+        std::vector<std::pair<std::uint32_t, std::uint32_t>> active_pairs;
+        {
+          HACC_TRACE_SPAN("pairs_build");
+          const auto pairs = mesh_all.interaction_pairs(pm_.split().cutoff());
+          active_pairs = filter_active_pairs(mesh_all, pairs, active);
+        }
         gravity::compute_short_range(particles_, mesh_all, &pm_.split(),
                                      config_.gravity, a_sub_mid, active.data(),
                                      flops_, &active_pairs, &pool_);
       }
       if (config_.hydro && mesh_gas.num_particles() > 0) {
-        auto pairs = mesh_gas.interaction_pairs(
-            sph::SphSolver::interaction_radius(particles_, mesh_gas));
-        const auto active_pairs = filter_active_pairs(mesh_gas, pairs, active);
+        std::vector<std::pair<std::uint32_t, std::uint32_t>> active_pairs;
+        {
+          HACC_TRACE_SPAN("pairs_build");
+          const auto pairs = mesh_gas.interaction_pairs(
+              sph::SphSolver::interaction_radius(particles_, mesh_gas));
+          active_pairs = filter_active_pairs(mesh_gas, pairs, active);
+        }
         sph_.compute_forces(particles_, mesh_gas, a_sub_mid, active.data(),
                             flops_, &active_pairs, &pool_);
       }
 
       // Kick each active particle across its own bin interval (drag-free;
       // the PM kick already carried the drag for the whole step).
+      util::TraceRecorder::Span kick_span(util::TraceRecorder::current(),
+                                          "kick");
       for (int b = 0; b <= depth; ++b) {
         if (!integrator::bin_active(static_cast<std::uint8_t>(b), s, depth)) {
           continue;
@@ -337,6 +368,7 @@ StepReport Simulation::step_body(SdcStepStats* stats) {
                   /*with_drag=*/false);
         kdk_.energy_kick(particles_, a_s, a_bin_end, bin_mask.data());
       }
+      kick_span.close();
 
       // Subgrid sources for active gas (per-particle bin-length dt).
       // The stochastic stream is keyed on (PM step, fine substep) so a
@@ -350,7 +382,10 @@ StepReport Simulation::step_body(SdcStepStats* stats) {
       }
 
       // All particles drift at the fine cadence.
-      kdk_.drift(particles_, a_s, a_s + da_fine, config_.box, nullptr);
+      {
+        HACC_TRACE_SPAN("drift");
+        kdk_.drift(particles_, a_s, a_s + da_fine, config_.box, nullptr);
+      }
     }
   }
 
@@ -375,6 +410,7 @@ void Simulation::write_step_checkpoint(io::MultiTierWriter* writer,
   // the escalation path will restore from).
   if (!writer) return;
   ScopedTimer t(timers_, timers::kIO);
+  HACC_TRACE_SPAN("checkpoint_io");
   io::SnapshotMeta meta;
   meta.step = step_;
   meta.scale_factor = a_;
@@ -384,6 +420,7 @@ void Simulation::write_step_checkpoint(io::MultiTierWriter* writer,
 }
 
 void Simulation::sdc_capture(SdcStepStats& stats) {
+  HACC_TRACE_SPAN("sdc_snapshot");
   Stopwatch watch;
   const auto regions = snapshot_regions(std::as_const(particles_));
   snapshot_.capture(regions);
@@ -425,6 +462,7 @@ void Simulation::sdc_inject(SdcStepStats* stats) {
 }
 
 std::uint32_t Simulation::sdc_audit(SdcStepStats& stats) {
+  HACC_TRACE_SPAN("sdc_audit");
   Stopwatch watch;
   ++stats.audits;
   AuditContext ctx;
@@ -454,6 +492,40 @@ std::uint32_t Simulation::sdc_audit(SdcStepStats& stats) {
 }
 
 StepReport Simulation::step(io::MultiTierWriter* writer) {
+  // Install this rank's recorder for the step; spans are no-ops when
+  // tracing is disabled, and the flush + imbalance collectives below run
+  // only when it is enabled (so comm-op counts match untraced runs).
+  util::TraceRecorder::Context trace_ctx(&trace_);
+  const std::uint64_t step_index = step_;
+  StepReport report;
+  {
+    HACC_TRACE_SPAN("step");
+    report = step_guarded(writer);
+  }
+  if (config_.trace.enabled) {
+    trace_.flush(step_index);
+    collect_phase_stats(report, step_index);
+  }
+  return report;
+}
+
+void Simulation::collect_phase_stats(StepReport& report,
+                                     std::uint64_t step_index) {
+  constexpr std::size_t n = std::size(kStepPhases);
+  std::vector<double> sum(n), max(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    sum[i] = max[i] = trace_.step_seconds(step_index, kStepPhases[i]);
+  }
+  comm_.allreduce(std::span<double>(sum), comm::ReduceOp::kSum);
+  comm_.allreduce(std::span<double>(max), comm::ReduceOp::kMax);
+  for (std::size_t i = 0; i < n; ++i) {
+    if (max[i] <= 0.0) continue;  // phase never ran anywhere this step
+    report.phases.push_back(
+        {kStepPhases[i], sum[i] / static_cast<double>(comm_.size()), max[i]});
+  }
+}
+
+StepReport Simulation::step_guarded(io::MultiTierWriter* writer) {
   if (!config_.sdc.enabled) {
     StepReport report = step_body(nullptr);
     write_step_checkpoint(writer, report);
@@ -498,6 +570,10 @@ AnalysisResult Simulation::run_analysis() {
   AnalysisResult result;
   result.a = a_;
   ScopedTimer t(timers_, timers::kAnalysis);
+  // Analysis spans commit at the next step's flush (or the end-of-run
+  // flush), so their imbalance stats attribute to the following step.
+  util::TraceRecorder::Context trace_ctx(&trace_);
+  HACC_TRACE_SPAN("analysis");
 
   // FOF halo finding over the rank-local (overloaded) particle cloud.
   const std::size_t species_count = config_.hydro ? 2 : 1;
@@ -659,6 +735,19 @@ RunResult Simulation::run(io::MultiTierWriter* writer, io::ThrottledStore* pfs,
       continue;
     }
     result.reports.push_back(report);
+    for (const PhaseStat& phase : report.phases) {
+      auto it = std::find_if(result.phase_stats.begin(),
+                             result.phase_stats.end(),
+                             [&](const PhaseStat& p) {
+                               return p.name == phase.name;
+                             });
+      if (it == result.phase_stats.end()) {
+        result.phase_stats.push_back(phase);
+      } else {
+        it->mean_seconds += phase.mean_seconds;
+        it->max_seconds += phase.max_seconds;
+      }
+    }
     ++result.steps_done;
     if (config_.analysis_every > 0 &&
         (step_ % static_cast<std::uint64_t>(config_.analysis_every) == 0 ||
@@ -669,7 +758,29 @@ RunResult Simulation::run(io::MultiTierWriter* writer, io::ThrottledStore* pfs,
   result.completed = true;
   if (writer) result.io = writer->stats();
   result.threading = pool_.stats();
+  if (config_.trace.enabled) {
+    // Commit trailing analysis spans, then surface the local counters.
+    trace_.flush(step_);
+    result.trace_events = trace_.events_recorded();
+    result.trace_dropped = trace_.events_dropped();
+  }
   return result;
+}
+
+MetricsRegistry Simulation::collect_metrics() const {
+  MetricsRegistry m;
+  m.ingest_timers(timers_);
+  m.ingest_flops(flops_);
+  if (config_.trace.enabled) m.ingest_trace(trace_);
+  const util::ThreadPoolStats pool = pool_.stats();
+  m.add("pool/parallel_regions", static_cast<double>(pool.parallel_regions));
+  m.add("pool/chunks_executed", static_cast<double>(pool.chunks_executed));
+  m.add("pool/steals", static_cast<double>(pool.steals));
+  m.add("pool/wall_seconds", pool.wall_seconds);
+  m.observe("pool/utilization", pool.utilization());
+  m.observe("particles/local", static_cast<double>(particles_.size()));
+  m.observe("flops/sustained_gflops", flops_.sustained_gflops());
+  return m;
 }
 
 }  // namespace crkhacc::core

@@ -27,6 +27,7 @@
 #include "core/config.h"
 #include "core/diagnostics.h"
 #include "core/exchange.h"
+#include "core/metrics.h"
 #include "core/particles.h"
 #include "core/sdc.h"
 #include "cosmology/background.h"
@@ -42,8 +43,22 @@
 #include "util/snapshot.h"
 #include "util/thread_pool.h"
 #include "util/timer.h"
+#include "util/trace.h"
 
 namespace crkhacc::core {
+
+/// Cross-rank load-balance statistics for one traced step phase: the
+/// paper's Fig. 6 imbalance view. mean is the rank-average wall time of
+/// the phase, max the slowest rank (the critical path); max/mean > 1
+/// quantifies imbalance.
+struct PhaseStat {
+  std::string name;
+  double mean_seconds = 0.0;
+  double max_seconds = 0.0;
+  double imbalance() const {
+    return mean_seconds > 0.0 ? max_seconds / mean_seconds : 1.0;
+  }
+};
 
 /// Per-PM-step accounting returned by step().
 struct StepReport {
@@ -58,6 +73,10 @@ struct StepReport {
   double io_blocked_seconds = 0.0;   ///< sync I/O time (local-tier writes)
   /// SDC guardrail accounting (zeroed when config.sdc.enabled is false).
   SdcStepStats sdc;
+  /// Per-phase cross-rank times for this step (allreduced; empty unless
+  /// config.trace.enabled — the collectives only run when tracing is on,
+  /// keeping traced-off runs bitwise identical to untraced ones).
+  std::vector<PhaseStat> phases;
 };
 
 /// In situ analysis outputs for one analysis step.
@@ -106,6 +125,13 @@ struct RunResult {
   std::uint64_t sdc_injected_flips = 0;
   std::vector<StepReport> reports;
   std::vector<AnalysisResult> analyses;
+  /// Per-phase imbalance accumulated over the run (tracing on only):
+  /// mean_seconds sums the rank-average time, max_seconds sums each
+  /// step's slowest rank — the phase's critical-path time.
+  std::vector<PhaseStat> phase_stats;
+  /// Local trace accounting at the end of the run (tracing on only).
+  std::uint64_t trace_events = 0;
+  std::uint64_t trace_dropped = 0;
   /// Intra-node scheduler accounting (per-thread busy time, steal counts)
   /// accumulated over the whole run.
   util::ThreadPoolStats threading;
@@ -175,6 +201,12 @@ class Simulation {
   double overload_width() const { return overload_; }
   util::ThreadPool& thread_pool() { return pool_; }
   const util::ThreadPool& thread_pool() const { return pool_; }
+  util::TraceRecorder& trace() { return trace_; }
+  const util::TraceRecorder& trace() const { return trace_; }
+
+  /// Snapshot every instrument (timers, flops, trace, threading) into a
+  /// single registry; reduce() it across ranks for the global view.
+  MetricsRegistry collect_metrics() const;
 
   /// Scale factor at the start of PM step s (uniform-in-a schedule).
   double a_at_step(std::uint64_t s) const;
@@ -186,6 +218,11 @@ class Simulation {
   /// guardrail loop can audit before anything is persisted. `stats`
   /// (may be null) counts injected drill flips.
   StepReport step_body(SdcStepStats* stats);
+  /// step() minus trace bookkeeping: the plain or SDC-guarded step.
+  StepReport step_guarded(io::MultiTierWriter* writer);
+  /// Allreduce this step's canonical phase times into report.phases.
+  /// Collective; called only when tracing is enabled.
+  void collect_phase_stats(StepReport& report, std::uint64_t step_index);
   void write_step_checkpoint(io::MultiTierWriter* writer, StepReport& report);
   void sdc_capture(SdcStepStats& stats);
   bool sdc_rollback();
@@ -232,6 +269,7 @@ class Simulation {
 
   TimerRegistry timers_;
   gpu::FlopRegistry flops_;
+  util::TraceRecorder trace_;
 };
 
 }  // namespace crkhacc::core

@@ -1,6 +1,7 @@
 #include "fft/distributed_fft.h"
 
 #include "util/assertions.h"
+#include "util/trace.h"
 
 namespace crkhacc::fft {
 
@@ -15,6 +16,7 @@ DistributedFFT::DistributedFFT(comm::Communicator& comm, std::size_t n)
 }
 
 void DistributedFFT::forward() {
+  HACC_TRACE_SPAN("fft_forward");
   const std::size_t nz_local = local_z_count();
   // 2-D (x, y) FFT on every local z-plane.
   for (std::size_t zl = 0; zl < nz_local; ++zl) {
@@ -37,6 +39,7 @@ void DistributedFFT::forward() {
 }
 
 void DistributedFFT::backward() {
+  HACC_TRACE_SPAN("fft_backward");
   const std::size_t nx_local = local_kx_count();
   for (std::size_t xl = 0; xl < nx_local; ++xl) {
     for (std::size_t y = 0; y < n_; ++y) {

@@ -499,20 +499,4 @@ LaunchStats launch_pair_kernel(
   return detail::launch_impl(kernel, cm, pairs, nullptr, config, pool);
 }
 
-/// Transitional shim for the pre-LaunchConfig positional signature;
-/// removed after one PR. Parallel launches take the leaf-owner schedule
-/// (bitwise identical to the deferred-store replay they replaced).
-template <typename Kernel>
-[[deprecated(
-    "use launch_pair_kernel(kernel, cm, pairs, LaunchConfig{...}, pool)")]]
-LaunchStats launch_pair_kernel(
-    Kernel& kernel, const tree::ChainingMesh& cm,
-    std::span<const std::pair<std::uint32_t, std::uint32_t>> pairs,
-    std::uint32_t warp_size, LaunchMode mode,
-    util::ThreadPool* pool = nullptr) {
-  return launch_pair_kernel(
-      kernel, cm, pairs, LaunchConfig{.warp_size = warp_size, .mode = mode},
-      pool);
-}
-
 }  // namespace crkhacc::gpu

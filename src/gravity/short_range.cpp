@@ -1,6 +1,9 @@
 #include "gravity/short_range.h"
 
+#include <optional>
+
 #include "cosmology/units.h"
+#include "util/trace.h"
 
 namespace crkhacc::gravity {
 
@@ -21,8 +24,19 @@ gpu::LaunchStats compute_short_range(
     own_pairs = mesh.interaction_pairs(cutoff);
     pairs = &own_pairs;
   }
-  const auto stats =
-      gpu::launch_pair_kernel(kernel, mesh, *pairs, config.launch, pool);
+  // Build the plan unconditionally (the serial path reads its pair list
+  // too) so plan construction is one traced structural point per call,
+  // independent of thread count and LaunchSchedule.
+  std::optional<gpu::LaunchPlan> plan;
+  {
+    HACC_TRACE_SPAN("launch_plan");
+    plan.emplace(mesh, *pairs);
+  }
+  gpu::LaunchStats stats;
+  {
+    HACC_TRACE_SPAN(ShortRangeKernel::kName);
+    stats = gpu::launch_pair_kernel(kernel, mesh, *plan, config.launch, pool);
+  }
   flops.add(ShortRangeKernel::kName, stats.flops, stats.seconds);
   return stats;
 }

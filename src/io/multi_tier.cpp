@@ -10,6 +10,7 @@
 #include "util/crc32.h"
 #include "util/log.h"
 #include "util/timer.h"
+#include "util/trace.h"
 
 namespace crkhacc::io {
 
@@ -94,6 +95,9 @@ bool MultiTierWriter::publish_to_pfs(std::uint64_t step,
 
 double MultiTierWriter::write_checkpoint(const SnapshotMeta& meta,
                                          const Particles& particles) {
+  // Rank-thread span only; the background bleeder thread has no trace
+  // context and must stay unattributed.
+  HACC_TRACE_SPAN("io_write");
   const auto bytes = encode_snapshot(meta, particles, /*include_ghosts=*/true);
   const std::uint32_t crc = crc32(bytes.data(), bytes.size());
   Stopwatch watch;

@@ -6,6 +6,7 @@
 
 #include "cosmology/units.h"
 #include "util/assertions.h"
+#include "util/trace.h"
 
 namespace crkhacc::mesh {
 namespace {
@@ -64,6 +65,7 @@ double PMSolver::greens(double kx, double ky, double kz) const {
 
 std::vector<double> PMSolver::deposit(comm::Communicator& comm,
                                       const Particles& particles) {
+  HACC_TRACE_SPAN("pm_deposit");
   const std::size_t ng = config_.ng;
   const double cell = config_.box / static_cast<double>(ng);
   const double cell_volume = cell * cell * cell;
@@ -209,6 +211,8 @@ void PMSolver::apply(comm::Communicator& comm, Particles& particles,
   const std::size_t nz_local = fft_.local_z_count();
   std::array<std::vector<double>, 3> force;
   for (int d = 0; d < 3; ++d) {
+    util::TraceRecorder::Span gradient_span(util::TraceRecorder::current(),
+                                            "pm_gradient");
     auto& kdata = fft_.k_data();
     for (std::size_t xl = 0; xl < nx_local; ++xl) {
       const double kx = 2.0 * kPi / config_.box *
@@ -227,6 +231,7 @@ void PMSolver::apply(comm::Communicator& comm, Particles& particles,
         }
       }
     }
+    gradient_span.close();
     fft_.backward();
     auto& fd = force[static_cast<std::size_t>(d)];
     fd.resize(nz_local * ng * ng);
@@ -235,6 +240,8 @@ void PMSolver::apply(comm::Communicator& comm, Particles& particles,
   }
 
   // 5. Fetch the force planes covering this rank's overloaded box.
+  util::TraceRecorder::Span fetch_span(util::TraceRecorder::current(),
+                                       "pm_fetch_planes");
   const auto obox = decomp_.overloaded_box(comm.rank(), overload);
   // CIC at position z touches cells floor(z/cell - 0.5) and +1; pad by one.
   const long plane_lo = static_cast<long>(std::floor(obox.lo[2] / cell - 0.5)) - 1;
@@ -297,7 +304,10 @@ void PMSolver::apply(comm::Communicator& comm, Particles& particles,
     }
   }
 
+  fetch_span.close();
+
   // 6. CIC interpolation for every local particle (ghosts included).
+  HACC_TRACE_SPAN("pm_interpolate");
   auto wrap_cell = [ng](long c) {
     long m = c % static_cast<long>(ng);
     if (m < 0) m += static_cast<long>(ng);

@@ -2,10 +2,12 @@
 
 #include <algorithm>
 #include <cmath>
+#include <optional>
 #include <type_traits>
 
 #include "sph/eos.h"
 #include "util/timer.h"
+#include "util/trace.h"
 
 namespace crkhacc::sph {
 
@@ -74,14 +76,21 @@ void SphSolver::compute_forces_impl(
   // One launch plan serves all pairwise passes of this evaluation
   // (density, CRK moments, momentum/energy): it depends only on the mesh
   // and the pair list, both fixed here.
-  const gpu::LaunchPlan plan(gas_mesh, pairs);
+  std::optional<gpu::LaunchPlan> plan;
+  {
+    HACC_TRACE_SPAN("launch_plan");
+    plan.emplace(gas_mesh, pairs);
+  }
 
   // Single launch helper so the per-pass blocks cannot drift: every pass
-  // records its stats and FlopRegistry entry the same way.
+  // records its stats and FlopRegistry entry the same way, under a span
+  // named after the kernel (the per-pass cost budget of the CRK-HACC
+  // hydro paper).
   const auto run_pass = [&](auto& kernel) {
     using Kernel = std::decay_t<decltype(kernel)>;
+    HACC_TRACE_SPAN(Kernel::kName);
     const auto stats =
-        gpu::launch_pair_kernel(kernel, gas_mesh, plan, config_.launch, pool);
+        gpu::launch_pair_kernel(kernel, gas_mesh, *plan, config_.launch, pool);
     last_stats_[Kernel::kName] = stats;
     flops.add(Kernel::kName, stats.flops, stats.seconds);
   };
@@ -109,6 +118,7 @@ void SphSolver::compute_forces_impl(
   // EOS and volumes for every gas particle (ghosts and inactive included:
   // they serve as neighbors below).
   {
+    HACC_TRACE_SPAN("sph_eos");
     Stopwatch watch;
     for_each_slot(perm.size(), pool, [&](std::size_t s) {
       const std::uint32_t i = perm[s];
@@ -128,6 +138,7 @@ void SphSolver::compute_forces_impl(
     CrkMomentKernelT<Shape> kernel(particles, scratch_, active);
     run_pass(kernel);
 
+    HACC_TRACE_SPAN("crk_coeff_solve");
     Stopwatch watch;
     for_each_slot(perm.size(), pool, [&](std::size_t s) {
       const std::uint32_t i = perm[s];

@@ -8,6 +8,7 @@
 #include "cosmology/units.h"
 #include "util/assertions.h"
 #include "util/rng.h"
+#include "util/trace.h"
 
 namespace crkhacc::subgrid {
 
@@ -70,6 +71,7 @@ SubgridStats SubgridModel::apply(Particles& particles,
                                  const std::uint8_t* active,
                                  std::uint64_t step) {
   (void)bg;
+  HACC_TRACE_SPAN("subgrid");
   SubgridStats stats;
   const std::size_t n = particles.size();
   CHECK(dt.size() == n);

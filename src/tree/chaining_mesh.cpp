@@ -5,6 +5,7 @@
 #include <limits>
 
 #include "util/assertions.h"
+#include "util/trace.h"
 
 namespace crkhacc::tree {
 
@@ -51,6 +52,7 @@ void ChainingMesh::build(const Particles& particles, util::ThreadPool* pool) {
 void ChainingMesh::build(const Particles& particles,
                          std::span<const std::uint32_t> subset,
                          util::ThreadPool* pool) {
+  HACC_TRACE_SPAN("cm_build");
   const std::size_t n = subset.size();
   const std::size_t nbins = static_cast<std::size_t>(dims_[0]) * dims_[1] * dims_[2];
 
@@ -175,6 +177,7 @@ void ChainingMesh::fit_leaf(const Particles& particles, Leaf& leaf) const {
 
 void ChainingMesh::refit_bounds(const Particles& particles,
                                 util::ThreadPool* pool) {
+  HACC_TRACE_SPAN("cm_refit");
   if (pool && pool->num_threads() > 1) {
     pool->parallel_for(0, leaves_.size(), 16,
                        [&](std::size_t lo, std::size_t hi, std::size_t) {

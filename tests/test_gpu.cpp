@@ -454,7 +454,10 @@ TEST(LaunchStatsTest, StoreBufferBytesOnlyOnDeferredSchedule) {
 
 // --- deprecated positional shim ---------------------------------------------
 
-TEST(LaunchShim, PositionalOverloadStillLaunches) {
+// The deprecated positional launch_pair_kernel overload is gone: every
+// caller goes through LaunchConfig. This pins that a plan-based launch
+// matches the on-demand pair launch, the path the shim used to forward to.
+TEST(LaunchShim, PlanLaunchMatchesPairLaunch) {
   const auto p = random_particles(64, 1.0, 41);
   tree::ChainingMesh mesh(cube(1.0), {2.0, 16});
   mesh.build(p);
@@ -464,10 +467,8 @@ TEST(LaunchShim, PositionalOverloadStillLaunches) {
       run_phi(p, mesh, pairs, LaunchConfig{.warp_size = 32});
   std::vector<double> phi(p.size(), 0.0);
   SeparableKernel kernel(p, phi);
-#pragma GCC diagnostic push
-#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
-  launch_pair_kernel(kernel, mesh, pairs, 32u, LaunchMode::kWarpSplit);
-#pragma GCC diagnostic pop
+  const LaunchPlan plan(mesh, pairs);
+  launch_pair_kernel(kernel, mesh, plan, LaunchConfig{.warp_size = 32});
   EXPECT_EQ(phi, expected);
 }
 
