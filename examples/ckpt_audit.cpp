@@ -1,0 +1,96 @@
+// Offline checkpoint audit / repair tool.
+//
+// Walks a checkpoint tree (the PFS directory a campaign wrote into),
+// verifies every self-describing column file chunk-by-chunk, and prints
+// a damage report that pinpoints the exact step / rank / column / chunk
+// of every corruption — no simulator, no run configuration needed: the
+// files describe themselves.
+//
+//   ./examples/ckpt_audit <pfs_root> [--ranks=N] [--step=S]
+//                         [--repair-from=DIR]... [--quiet]
+//
+// <pfs_root> is the storage root that contains ckpt/step*/rank*.gio.
+// --ranks=N audits ranks 0..N-1 (default: infer the rank set from the
+// directory listing). --step=S restricts the audit to one step.
+// Each --repair-from=DIR names a redundant tier (e.g. a node-local NVMe
+// staging directory) to patch damaged chunks from; repairs are only
+// persisted after the healed file re-parses clean and matches its
+// completion marker bitwise.
+//
+// Exit status: 0 when the tree is clean (or fully repaired), 1 when
+// damage remains, 2 on usage errors.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "io/ckpt_audit.h"
+#include "io/storage.h"
+
+using namespace crkhacc;
+
+namespace {
+
+int usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s <pfs_root> [--ranks=N] [--step=S] "
+               "[--repair-from=DIR]... [--quiet]\n",
+               argv0);
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  io::CkptAuditOptions options;
+  bool quiet = false;
+  std::string root;
+  std::vector<std::string> repair_dirs;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--ranks=", 8) == 0) {
+      options.num_ranks = std::atoi(argv[i] + 8);
+    } else if (std::strncmp(argv[i], "--step=", 7) == 0) {
+      options.only_step = static_cast<std::uint64_t>(std::atoll(argv[i] + 7));
+    } else if (std::strncmp(argv[i], "--repair-from=", 14) == 0) {
+      repair_dirs.emplace_back(argv[i] + 14);
+    } else if (std::strcmp(argv[i], "--quiet") == 0) {
+      quiet = true;
+    } else if (argv[i][0] == '-') {
+      return usage(argv[0]);
+    } else if (root.empty()) {
+      root = argv[i];
+    } else {
+      return usage(argv[0]);
+    }
+  }
+  if (root.empty()) return usage(argv[0]);
+  if (!std::filesystem::is_directory(root)) {
+    std::fprintf(stderr, "ckpt_audit: %s is not a directory\n", root.c_str());
+    return 2;
+  }
+  options.repair = !repair_dirs.empty();
+
+  // Unthrottled stores: the audit reads/writes at native speed; the
+  // bandwidth/latency models only matter to the live campaign.
+  io::ThrottledStore pfs(io::StoreConfig{root, 0.0, 0.0, /*shared=*/false});
+  std::vector<std::unique_ptr<io::ThrottledStore>> sources;
+  std::vector<io::ThrottledStore*> source_ptrs;
+  for (const std::string& dir : repair_dirs) {
+    if (!std::filesystem::is_directory(dir)) {
+      std::fprintf(stderr, "ckpt_audit: repair source %s is not a directory\n",
+                   dir.c_str());
+      return 2;
+    }
+    sources.push_back(std::make_unique<io::ThrottledStore>(
+        io::StoreConfig{dir, 0.0, 0.0, /*shared=*/false}));
+    source_ptrs.push_back(sources.back().get());
+  }
+
+  const io::CkptAuditReport report =
+      io::audit_checkpoints(pfs, options, source_ptrs);
+  if (!quiet) std::fputs(report.summary().c_str(), stdout);
+  return report.clean() ? 0 : 1;
+}

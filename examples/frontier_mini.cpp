@@ -11,6 +11,7 @@
 //   ./examples/frontier_mini [--threads=N] [--sdc=on|off]
 //                            [--launch-schedule=leaf_owner|deferred_store]
 //                            [--sdc-flip-rate=R] [--sdc-flip-seed=S]
+//                            [--ckpt-diff] [--ckpt-audit-on-restore]
 //                            [--trace=FILE] [--metrics]
 //                            [num_ranks] [workdir] [storage_fault_seed]
 //
@@ -35,6 +36,16 @@
 //
 // --metrics prints the unified MetricsRegistry — timers, kernel FLOPs,
 // trace phase totals, and scheduler counters — reduced across all ranks.
+//
+// --ckpt-diff switches the checkpoint writer to differential mode: each
+// write carries only the column chunks whose page CRC moved since the
+// previous checkpoint, chained full -> diff -> ... with a bounded length.
+// Restores replay the chain and are bitwise identical to full writes.
+//
+// --ckpt-audit-on-restore runs the offline-audit machinery (ckpt_audit)
+// over this rank's checkpoints before every restore, repairing damaged
+// chunks from the node-local redundant copy (implies keeping local
+// copies after the bleed). Audit runs and repairs land in the report.
 //
 // --sdc=on (the default) arms the in-memory guardrails: a paged CRC
 // snapshot of particle state at each PM-step boundary plus a post-step
@@ -65,6 +76,8 @@ int main(int argc, char** argv) {
   std::uint64_t sdc_flip_seed = 13;
   std::string trace_file;
   bool show_metrics = false;
+  bool ckpt_diff = false;
+  bool ckpt_audit_on_restore = false;
   std::vector<const char*> positional;
   for (int i = 1; i < argc; ++i) {
     if (std::strncmp(argv[i], "--threads=", 10) == 0) {
@@ -88,6 +101,10 @@ int main(int argc, char** argv) {
       sdc_flip_seed = static_cast<std::uint64_t>(std::atoll(argv[i] + 16));
     } else if (std::strncmp(argv[i], "--trace=", 8) == 0) {
       trace_file = argv[i] + 8;
+    } else if (std::strcmp(argv[i], "--ckpt-diff") == 0) {
+      ckpt_diff = true;
+    } else if (std::strcmp(argv[i], "--ckpt-audit-on-restore") == 0) {
+      ckpt_audit_on_restore = true;
     } else if (std::strcmp(argv[i], "--metrics") == 0) {
       show_metrics = true;
     } else {
@@ -130,6 +147,11 @@ int main(int argc, char** argv) {
   config.sdc.enabled = sdc_on;
   config.trace.enabled = !trace_file.empty();
   config.trace.file = trace_file;
+  config.ckpt.diff = ckpt_diff;
+  config.ckpt.audit_on_restore = ckpt_audit_on_restore;
+  // The audit needs a redundant copy to repair from: keep the node-local
+  // file after the bleed instead of deleting it.
+  config.ckpt.redundant_local = ckpt_audit_on_restore;
 
   std::printf("frontier-mini: %d ranks, %zu^3 particle pairs, %d PM steps, "
               "%d pool threads/rank, %s launch schedule\n",
@@ -137,6 +159,9 @@ int main(int argc, char** argv) {
               schedule == gpu::LaunchSchedule::kLeafOwner ? "leaf_owner"
                                                           : "deferred_store");
   std::printf("workdir: %s\n", workdir.c_str());
+  std::printf("checkpoints: %s format v2%s\n",
+              ckpt_diff ? "differential (chained)" : "full",
+              ckpt_audit_on_restore ? ", audit+repair on restore" : "");
   std::printf("sdc guardrails: %s%s\n\n", sdc_on ? "on" : "off",
               !sdc_on && sdc_flip_rate > 0.0
                   ? " (flip injector ignored: guardrails off)"
@@ -171,8 +196,12 @@ int main(int argc, char** argv) {
 
   comm::World world(ranks);
   world.run([&](comm::Communicator& comm) {
+    io::MultiTierConfig writer_config;
+    writer_config.rank = comm.rank();
+    writer_config.checkpoint_window = 3;
+    writer_config.ckpt = config.ckpt;
     io::MultiTierWriter writer(*nvmes[static_cast<std::size_t>(comm.rank())],
-                               pfs, io::MultiTierConfig{comm.rank(), 3});
+                               pfs, writer_config);
     core::Simulation sim(comm, config);
     sim.initialize();
 
@@ -208,6 +237,18 @@ int main(int argc, char** argv) {
         comm.allreduce_scalar(bytes, comm::ReduceOp::kSum);
     const double max_blocked =
         comm.allreduce_scalar(local_blocked, comm::ReduceOp::kMax);
+    const auto io_stats = writer.stats();
+    const auto sum_u64 = [&](std::uint64_t value) {
+      return comm.allreduce_scalar(static_cast<std::int64_t>(value),
+                                   comm::ReduceOp::kSum);
+    };
+    const auto total_fulls = sum_u64(io_stats.full_checkpoints);
+    const auto total_diffs = sum_u64(io_stats.diff_checkpoints);
+    const auto total_chunks_written = sum_u64(io_stats.chunks_written);
+    const auto total_chunks_skipped = sum_u64(io_stats.chunks_skipped);
+    const auto longest_chain = comm.allreduce_scalar(
+        static_cast<std::int64_t>(io_stats.longest_chain),
+        comm::ReduceOp::kMax);
 
     if (comm.rank() == 0) {
       std::printf("campaign complete: %llu steps, %llu machine interruptions "
@@ -220,13 +261,30 @@ int main(int argc, char** argv) {
                   static_cast<unsigned long long>(result.checkpoint_fallbacks),
                   static_cast<unsigned long long>(result.restarts_from_ics));
       std::printf("io hardening: %llu local retries, %llu PFS retries, %llu "
-                  "verify failures caught, %llu bleed failures%s\n\n",
+                  "verify failures caught, %llu bleed failures%s\n",
                   static_cast<unsigned long long>(result.io.local_retries),
                   static_cast<unsigned long long>(result.io.pfs_retries),
                   static_cast<unsigned long long>(result.io.verify_failures),
                   static_cast<unsigned long long>(result.io.bleed_failures),
                   result.io.degraded_to_direct ? " (degraded to direct PFS)"
                                                : "");
+      std::printf("checkpoint format: %lld full + %lld diff writes, %lld "
+                  "chunks written, %lld skipped, longest chain %lld\n",
+                  static_cast<long long>(total_fulls),
+                  static_cast<long long>(total_diffs),
+                  static_cast<long long>(total_chunks_written),
+                  static_cast<long long>(total_chunks_skipped),
+                  static_cast<long long>(longest_chain));
+      if (ckpt_audit_on_restore) {
+        std::printf("restore audits: %llu run(s), %llu damaged chunk(s) "
+                    "found, %llu repaired\n",
+                    static_cast<unsigned long long>(result.ckpt_audit_runs),
+                    static_cast<unsigned long long>(
+                        result.ckpt_audit_damaged_chunks),
+                    static_cast<unsigned long long>(
+                        result.ckpt_audit_repaired_chunks));
+      }
+      std::printf("\n");
       if (config.sdc.enabled) {
         std::printf("sdc guardrails: %llu audits, %llu detections, %llu "
                     "rollbacks, %llu replays, %llu escalations, %llu bit "

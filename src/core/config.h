@@ -7,6 +7,7 @@
 #include "cosmology/background.h"
 #include "gravity/short_range.h"
 #include "integrator/timestep.h"
+#include "io/column_file.h"
 #include "sph/solver.h"
 #include "subgrid/model.h"
 #include "util/trace.h"
@@ -67,6 +68,10 @@ struct SimConfig {
   /// Silent-data-corruption guardrails: per-step snapshot + audit +
   /// rollback-replay (sdc_* parameter-file keys).
   SdcConfig sdc;
+
+  /// Checkpoint format / differential-chain knobs (ckpt_* parameter-file
+  /// keys); forwarded into MultiTierConfig by the drivers.
+  io::CkptConfig ckpt;
 };
 
 }  // namespace crkhacc::core

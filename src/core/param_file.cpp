@@ -259,6 +259,48 @@ std::vector<std::string> ParamFile::apply(SimConfig& config) const {
       if (auto v = get_double(key)) config.sdc.max_internal_energy = *v;
     } else if (key == "sdc_occupancy_factor") {
       if (auto v = get_double(key)) config.sdc.occupancy_factor = *v;
+    } else if (key == "ckpt_format") {
+      const auto v = get_int(key);
+      if (v && *v == static_cast<long long>(io::kCkptFormatVersion)) {
+        config.ckpt.format_version = static_cast<int>(*v);
+      } else {
+        // Only the current format can be *written*; accepting another
+        // number would silently produce files no reader exists for.
+        HACC_LOG_ERROR(
+            "param file: ckpt_format = '%s' rejected: this build writes "
+            "only format %u (chunked column checkpoints)",
+            get_string(key).value_or("").c_str(),
+            static_cast<unsigned>(io::kCkptFormatVersion));
+        rejected = true;
+      }
+    } else if (key == "ckpt_diff") {
+      if (auto v = get_bool(key)) config.ckpt.diff = *v;
+    } else if (key == "ckpt_diff_max_chain") {
+      const auto v = get_int(key);
+      if (v && *v >= 0) {
+        config.ckpt.diff_max_chain = static_cast<int>(*v);
+      } else {
+        HACC_LOG_ERROR(
+            "param file: ckpt_diff_max_chain = '%s' rejected: must be an "
+            "integer >= 0 (diffs allowed between forced fulls)",
+            get_string(key).value_or("").c_str());
+        rejected = true;
+      }
+    } else if (key == "ckpt_chunk_bytes") {
+      const auto v = get_int(key);
+      if (v && *v >= 1024) {
+        config.ckpt.chunk_bytes = static_cast<std::size_t>(*v);
+      } else {
+        HACC_LOG_ERROR(
+            "param file: ckpt_chunk_bytes = '%s' rejected: must be an "
+            "integer >= 1024 (column chunk size in bytes)",
+            get_string(key).value_or("").c_str());
+        rejected = true;
+      }
+    } else if (key == "ckpt_redundant_local") {
+      if (auto v = get_bool(key)) config.ckpt.redundant_local = *v;
+    } else if (key == "ckpt_audit_on_restore") {
+      if (auto v = get_bool(key)) config.ckpt.audit_on_restore = *v;
     } else {
       ok = false;
     }

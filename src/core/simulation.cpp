@@ -10,6 +10,7 @@
 #include "cosmology/units.h"
 #include "gravity/short_range.h"
 #include "integrator/timestep.h"
+#include "io/ckpt_audit.h"
 #include "sph/eos.h"
 #include "util/assertions.h"
 #include "util/log.h"
@@ -663,7 +664,35 @@ AnalysisResult Simulation::run_analysis() {
   return result;
 }
 
-void Simulation::recover(io::ThrottledStore& pfs, RunResult& result) {
+void Simulation::recover(io::ThrottledStore& pfs, RunResult& result,
+                         io::MultiTierWriter* writer) {
+  if (config_.ckpt.audit_on_restore) {
+    // Pre-restore audit: each rank owns its rank-local files, so every
+    // rank audits (and repairs) only those — collectively this covers
+    // the whole tree without cross-rank file races. Repairs come from
+    // the writer's node-local tier when redundant copies were kept.
+    io::CkptAuditOptions opts;
+    opts.only_rank = comm_.rank();
+    opts.repair = writer != nullptr;
+    std::vector<io::ThrottledStore*> sources;
+    if (writer != nullptr) sources.push_back(&writer->local_tier());
+    const io::CkptAuditReport audit = io::audit_checkpoints(pfs, opts, sources);
+    ++result.ckpt_audit_runs;
+    result.ckpt_audit_damaged_chunks += static_cast<std::uint64_t>(
+        comm_.allreduce_scalar(static_cast<std::int64_t>(audit.chunks_damaged),
+                               comm::ReduceOp::kSum));
+    result.ckpt_audit_repaired_chunks += static_cast<std::uint64_t>(
+        comm_.allreduce_scalar(static_cast<std::int64_t>(audit.chunks_repaired),
+                               comm::ReduceOp::kSum));
+    if (audit.chunks_damaged > 0) {
+      HACC_LOG_WARN(
+          "rank %d: pre-restore audit found %llu damaged chunk(s), "
+          "repaired %llu",
+          comm_.rank(), static_cast<unsigned long long>(audit.chunks_damaged),
+          static_cast<unsigned long long>(audit.chunks_repaired));
+    }
+  }
+
   // Candidate steps are enumerated once on rank 0 and broadcast, so every
   // rank probes the same sequence and the restore decision stays
   // collective even when ranks disagree about which files are intact.
@@ -711,7 +740,7 @@ RunResult Simulation::run(io::MultiTierWriter* writer, io::ThrottledStore* pfs,
       // survived).
       writer->drain();
       comm_.barrier();
-      recover(*pfs, result);
+      recover(*pfs, result, writer);
       comm_.barrier();
       continue;
     }
@@ -730,7 +759,7 @@ RunResult Simulation::run(io::MultiTierWriter* writer, io::ThrottledStore* pfs,
       CHECK_MSG(writer && pfs, "SDC escalation without checkpointing");
       writer->drain();
       comm_.barrier();
-      recover(*pfs, result);
+      recover(*pfs, result, writer);
       comm_.barrier();
       continue;
     }

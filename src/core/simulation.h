@@ -112,6 +112,12 @@ struct RunResult {
   std::uint64_t checkpoint_fallbacks = 0;
   /// Times no usable checkpoint survived and the run restarted from ICs.
   std::uint64_t restarts_from_ics = 0;
+  /// Pre-restore audit accounting (config.ckpt.audit_on_restore):
+  /// audit passes run, damaged chunks found, and chunks healed from the
+  /// redundant tier, summed across ranks.
+  std::uint64_t ckpt_audit_runs = 0;
+  std::uint64_t ckpt_audit_damaged_chunks = 0;
+  std::uint64_t ckpt_audit_repaired_chunks = 0;
   /// Writer-side fault accounting (retries, verify failures, degraded
   /// mode), captured at the end of the run.
   io::IoStats io;
@@ -182,7 +188,14 @@ class Simulation {
   /// Recovery attempts / fallbacks / IC restarts accumulate into
   /// `result`. Called by run() on every interruption; public so restart
   /// tooling and tests can drive the same state machine directly.
-  void recover(io::ThrottledStore& pfs, RunResult& result);
+  ///
+  /// With config.ckpt.audit_on_restore, each rank first audits its own
+  /// checkpoint files on the PFS and repairs damaged chunks from the
+  /// writer's node-local tier (when `writer` is given and
+  /// config.ckpt.redundant_local kept copies) — so a bit-flipped chunk
+  /// heals in place instead of forcing a fallback to an older step.
+  void recover(io::ThrottledStore& pfs, RunResult& result,
+               io::MultiTierWriter* writer = nullptr);
 
   /// In situ analysis at the current epoch.
   AnalysisResult run_analysis();

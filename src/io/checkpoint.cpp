@@ -5,6 +5,7 @@
 #include <cstring>
 #include <filesystem>
 
+#include "io/column_file.h"
 #include "io/multi_tier.h"
 #include "util/crc32.h"
 
@@ -15,6 +16,10 @@ namespace {
 
 constexpr std::uint32_t kMarkerMagic = 0x434b4f4bu;  // "CKOK"
 constexpr std::size_t kMarkerSize = 4 + 8 + 4 + 4;
+
+/// Hard cap on chain-walk length: chains are bounded by diff_max_chain
+/// at write time, so anything deeper is a corrupted or crafted linkage.
+constexpr int kMaxChainWalk = 4096;
 
 template <typename T>
 void append_pod(std::vector<std::uint8_t>& out, const T& value) {
@@ -71,20 +76,67 @@ std::vector<std::uint64_t> checkpoint_steps(ThrottledStore& pfs) {
   return steps;
 }
 
-bool verify_checkpoint_rank(ThrottledStore& pfs, std::uint64_t step,
-                            int rank) {
+namespace {
+
+/// Read one rank file and check it end to end against its marker.
+bool read_verified(ThrottledStore& pfs, std::uint64_t step, int rank,
+                   std::vector<std::uint8_t>& payload) {
   std::vector<std::uint8_t> marker_bytes;
   if (!pfs.read(MultiTierWriter::marker_path(step, rank), marker_bytes)) {
     return false;
   }
   CheckpointMarker marker;
   if (!decode_marker(marker_bytes, marker)) return false;
-  std::vector<std::uint8_t> payload;
   if (!pfs.read(MultiTierWriter::checkpoint_path(step, rank), payload)) {
     return false;
   }
   return payload.size() == marker.payload_bytes &&
          crc32(payload.data(), payload.size()) == marker.payload_crc;
+}
+
+/// Walk the chain tip -> root, collecting each file's verified bytes and
+/// parse. On success files[0] is the tip at `step` and files.back() is
+/// the anchoring full.
+struct ChainFile {
+  std::vector<std::uint8_t> bytes;
+  ParsedCheckpoint parsed;
+};
+
+bool collect_chain(ThrottledStore& pfs, std::uint64_t step, int rank,
+                   std::vector<ChainFile>& files) {
+  files.clear();
+  std::uint64_t cur = step;
+  for (int depth = 0; depth < kMaxChainWalk; ++depth) {
+    ChainFile file;
+    if (!read_verified(pfs, cur, rank, file.bytes)) return false;
+    if (parse_checkpoint(file.bytes, file.parsed) != ParseStatus::kOk) {
+      return false;
+    }
+    const CkptFileMeta& meta = file.parsed.meta;
+    if (!files.empty()) {
+      const CkptFileMeta& tip = files.front().parsed.meta;
+      // A chain must describe one consistent state layout end to end.
+      if (meta.snapshot.particle_count != tip.snapshot.particle_count ||
+          meta.chunk_bytes != tip.chunk_bytes) {
+        return false;
+      }
+    }
+    const bool is_full = meta.kind == CkptKind::kFull;
+    files.push_back(std::move(file));
+    if (is_full) return true;
+    if (meta.base_step >= cur) return false;  // linkage must walk backward
+    cur = meta.base_step;
+  }
+  return false;
+}
+
+}  // namespace
+
+bool verify_checkpoint_rank(ThrottledStore& pfs, std::uint64_t step,
+                            int rank) {
+  std::vector<ChainFile> files;
+  return collect_chain(pfs, step, rank, files) &&
+         is_complete(files.back().parsed);
 }
 
 std::optional<std::uint64_t> latest_complete_checkpoint(ThrottledStore& pfs,
@@ -101,21 +153,37 @@ std::optional<std::uint64_t> latest_complete_checkpoint(ThrottledStore& pfs,
 
 bool restore_checkpoint(ThrottledStore& pfs, std::uint64_t step, int rank,
                         SnapshotMeta& meta, Particles& out) {
-  std::vector<std::uint8_t> marker_bytes;
-  if (!pfs.read(MultiTierWriter::marker_path(step, rank), marker_bytes)) {
-    return false;
+  std::vector<ChainFile> files;
+  if (!collect_chain(pfs, step, rank, files)) return false;
+  if (!is_complete(files.back().parsed)) return false;
+
+  // Replay: decode the anchoring full, then overlay each diff's carried
+  // chunks oldest -> newest. files[] is tip-first, so walk it backward.
+  Particles tmp;
+  tmp.resize(files.back().parsed.meta.snapshot.particle_count);
+  const auto dest = particle_columns(tmp);
+  for (const MutableColumnView& d : dest) {
+    bool found = false;
+    for (const ParsedColumn& c : files.back().parsed.columns) {
+      if (c.name == d.name) {
+        found = true;
+        break;
+      }
+    }
+    if (!found) return false;  // the full lacks a column this reader needs
   }
-  CheckpointMarker marker;
-  if (!decode_marker(marker_bytes, marker)) return false;
-  std::vector<std::uint8_t> bytes;
-  if (!pfs.read(MultiTierWriter::checkpoint_path(step, rank), bytes)) {
-    return false;
+  for (auto it = files.rbegin(); it != files.rend(); ++it) {
+    if (!apply_chunks(it->parsed, it->bytes, dest)) return false;
   }
-  if (bytes.size() != marker.payload_bytes ||
-      crc32(bytes.data(), bytes.size()) != marker.payload_crc) {
-    return false;
+
+  meta = files.front().parsed.meta.snapshot;
+  if (out.empty()) {
+    out = std::move(tmp);
+  } else {
+    out.reserve(out.size() + tmp.size());
+    for (std::size_t i = 0; i < tmp.size(); ++i) out.append_from(tmp, i);
   }
-  return decode_snapshot(bytes, meta, out);
+  return true;
 }
 
 }  // namespace crkhacc::io

@@ -46,7 +46,11 @@ bool decode_marker(const std::vector<std::uint8_t>& bytes,
 std::vector<std::uint64_t> checkpoint_steps(ThrottledStore& pfs);
 
 /// Full integrity check of one rank's file at `step`: marker present and
-/// well-formed, payload present, size and CRC32 match the marker.
+/// well-formed, payload present, size and CRC32 match the marker, and the
+/// file parses as format v2. A differential checkpoint additionally
+/// requires every ancestor in its chain (diff -> ... -> full) to pass the
+/// same check — a diff whose base was pruned or damaged is not restorable
+/// and must not be selected by latest_complete_checkpoint.
 bool verify_checkpoint_rank(ThrottledStore& pfs, std::uint64_t step, int rank);
 
 /// Newest step for which all `num_ranks` checkpoint files pass
@@ -55,8 +59,11 @@ std::optional<std::uint64_t> latest_complete_checkpoint(ThrottledStore& pfs,
                                                         int num_ranks);
 
 /// Load rank `rank`'s particles from checkpoint `step` on the PFS after
-/// validating the marker CRC against the stored bytes. Returns false on
-/// any integrity failure.
+/// validating the marker CRC against the stored bytes. A differential
+/// checkpoint is restored by replaying its chain: the anchoring full is
+/// decoded first, then each diff's carried chunks are overlaid oldest to
+/// newest — bitwise identical to restoring a full written at `step`.
+/// Returns false on any integrity failure anywhere in the chain.
 bool restore_checkpoint(ThrottledStore& pfs, std::uint64_t step, int rank,
                         SnapshotMeta& meta, Particles& out);
 

@@ -1,0 +1,325 @@
+#include "io/ckpt_audit.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+
+#include "io/checkpoint.h"
+#include "io/column_file.h"
+#include "io/multi_tier.h"
+#include "util/crc32.h"
+
+namespace crkhacc::io {
+namespace {
+
+std::string step_dir(std::uint64_t step) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "ckpt/step%06llu",
+                static_cast<unsigned long long>(step));
+  return buf;
+}
+
+/// Total byte size the file should have per its (CRC-verified) directory
+/// — what a torn write cut it short of.
+std::uint64_t expected_file_size(const ParsedCheckpoint& parsed) {
+  std::uint64_t end = 0;
+  for (const ParsedColumn& col : parsed.columns) {
+    for (const ParsedChunk& chunk : col.chunks) {
+      end = std::max(end, chunk.offset + chunk.length);
+    }
+  }
+  return end;
+}
+
+/// Fetch a validated redundant copy of (step, rank): parses clean, every
+/// carried chunk intact, and describes the same file (step/rank/layout).
+bool fetch_source(const std::vector<ThrottledStore*>& sources,
+                  std::uint64_t step, int rank,
+                  std::vector<std::uint8_t>& bytes, ParsedCheckpoint& parsed) {
+  const auto rel = MultiTierWriter::checkpoint_path(step, rank);
+  for (ThrottledStore* source : sources) {
+    if (source == nullptr) continue;
+    if (!source->read(rel, bytes)) continue;
+    if (parse_checkpoint(bytes, parsed) != ParseStatus::kOk) continue;
+    if (parsed.chunks_damaged != 0) continue;
+    if (parsed.meta.snapshot.step != step ||
+        parsed.meta.snapshot.rank != rank) {
+      continue;
+    }
+    return true;
+  }
+  return false;
+}
+
+/// Verified write-back: the repair itself must not silently tear.
+bool write_back(ThrottledStore& store, const std::string& rel,
+                const std::vector<std::uint8_t>& bytes) {
+  if (store.try_write(rel, bytes).status != IoStatus::kOk) return false;
+  std::vector<std::uint8_t> echo;
+  return store.read(rel, echo) && echo == bytes;
+}
+
+bool stamp_marker(ThrottledStore& pfs, std::uint64_t step, int rank,
+                  const std::vector<std::uint8_t>& payload) {
+  CheckpointMarker marker;
+  marker.payload_bytes = payload.size();
+  marker.payload_crc = crc32(payload.data(), payload.size());
+  return write_back(pfs, MultiTierWriter::marker_path(step, rank),
+                    encode_marker(marker));
+}
+
+}  // namespace
+
+CkptAuditReport audit_checkpoints(
+    ThrottledStore& pfs, const CkptAuditOptions& options,
+    const std::vector<ThrottledStore*>& repair_sources) {
+  CkptAuditReport report;
+  struct Healthy {
+    std::uint64_t step;
+    int rank;
+    CkptKind kind;
+  };
+  std::vector<Healthy> healthy;
+
+  for (const std::uint64_t step : checkpoint_steps(pfs)) {
+    if (options.only_step && *options.only_step != step) continue;
+
+    std::vector<int> ranks;
+    if (options.num_ranks > 0) {
+      for (int r = 0; r < options.num_ranks; ++r) ranks.push_back(r);
+    } else {
+      // Infer the rank set from the directory: self-description extends
+      // to discovery — no run config needed to audit a tree. Markers
+      // count too: a rank whose payload vanished but whose `.ok` marker
+      // survived is exactly the damage the audit must surface.
+      for (const std::string& name : pfs.list(step_dir(step))) {
+        int rank = -1;
+        if (std::sscanf(name.c_str(), "rank%d.gio", &rank) == 1 &&
+            (name.size() == std::strlen("rank00000.gio") ||
+             name.size() == std::strlen("rank00000.gio.ok"))) {
+          ranks.push_back(rank);
+        }
+      }
+      std::sort(ranks.begin(), ranks.end());
+      ranks.erase(std::unique(ranks.begin(), ranks.end()), ranks.end());
+    }
+
+    for (const int rank : ranks) {
+      if (options.only_rank >= 0 && rank != options.only_rank) continue;
+      ++report.files_scanned;
+      const auto rel = MultiTierWriter::checkpoint_path(step, rank);
+
+      std::vector<std::uint8_t> marker_bytes;
+      CheckpointMarker marker;
+      const bool marker_ok =
+          pfs.read(MultiTierWriter::marker_path(step, rank), marker_bytes) &&
+          decode_marker(marker_bytes, marker);
+
+      auto add_damage = [&](const std::string& column, std::uint32_t chunk,
+                            bool repaired, const std::string& reason) {
+        report.damage.push_back(
+            CkptDamage{step, rank, column, chunk, repaired, reason});
+      };
+
+      // Whole-file replacement from a redundant copy; used when the
+      // payload is missing or its header/directory is beyond parsing.
+      auto repair_whole_file = [&]() -> bool {
+        if (!options.repair) return false;
+        std::vector<std::uint8_t> src;
+        ParsedCheckpoint src_parsed;
+        if (!fetch_source(repair_sources, step, rank, src, src_parsed)) {
+          return false;
+        }
+        if (marker_ok && (src.size() != marker.payload_bytes ||
+                          crc32(src.data(), src.size()) !=
+                              marker.payload_crc)) {
+          return false;  // the copy is not the file the marker promised
+        }
+        if (!write_back(pfs, rel, src)) return false;
+        if (!marker_ok && !stamp_marker(pfs, step, rank, src)) return false;
+        return true;
+      };
+
+      std::vector<std::uint8_t> bytes;
+      if (!pfs.read(rel, bytes)) {
+        ++report.files_damaged;
+        const bool repaired = repair_whole_file();
+        if (repaired) ++report.files_repaired;
+        add_damage("<file>", 0, repaired, "payload missing");
+        if (repaired) healthy.push_back({step, rank, CkptKind::kFull});
+        continue;
+      }
+
+      ParsedCheckpoint parsed;
+      const ParseStatus status = parse_checkpoint(bytes, parsed);
+      if (status == ParseStatus::kLegacy) {
+        ++report.files_legacy;
+        add_damage("<file>", 0, false, "legacy format v1 (GIO1)");
+        continue;
+      }
+      if (status != ParseStatus::kOk) {
+        ++report.files_damaged;
+        const bool repaired = repair_whole_file();
+        if (repaired) ++report.files_repaired;
+        add_damage("<file>", 0, repaired,
+                   status == ParseStatus::kBadVersion
+                       ? "unreadable newer format version"
+                       : "header/directory corrupt");
+        if (repaired) healthy.push_back({step, rank, parsed.meta.kind});
+        continue;
+      }
+
+      report.chunks_checked += parsed.chunks_checked;
+      const bool marker_match =
+          marker_ok && bytes.size() == marker.payload_bytes &&
+          crc32(bytes.data(), bytes.size()) == marker.payload_crc;
+
+      if (parsed.chunks_damaged == 0) {
+        if (marker_match) {
+          ++report.files_ok;
+          healthy.push_back({step, rank, parsed.meta.kind});
+          continue;
+        }
+        // Payload provably intact (header, directory, and every chunk
+        // CRC pass) but the completion marker is lost or stale: the
+        // marker can be re-stamped from the payload itself.
+        ++report.files_damaged;
+        bool repaired = false;
+        if (options.repair) repaired = stamp_marker(pfs, step, rank, bytes);
+        if (repaired) ++report.files_repaired;
+        add_damage("<marker>", 0, repaired, "marker missing or mismatched");
+        if (repaired) healthy.push_back({step, rank, parsed.meta.kind});
+        continue;
+      }
+
+      // Chunk-level damage: pinpoint each bad chunk, then patch from a
+      // redundant copy if one carries that chunk intact.
+      ++report.files_damaged;
+      report.chunks_damaged += parsed.chunks_damaged;
+
+      const std::uint64_t size_on_pfs = bytes.size();
+      std::vector<std::uint8_t> src;
+      ParsedCheckpoint src_parsed;
+      const bool have_source =
+          options.repair &&
+          fetch_source(repair_sources, step, rank, src, src_parsed) &&
+          src_parsed.meta.chunk_bytes == parsed.meta.chunk_bytes &&
+          src_parsed.meta.snapshot.particle_count ==
+              parsed.meta.snapshot.particle_count;
+      if (have_source) {
+        // A torn write may have truncated the payload region; restore
+        // the directory-declared size before patching the tail chunks.
+        const std::uint64_t full_size = expected_file_size(parsed);
+        if (bytes.size() < full_size) bytes.resize(full_size, 0);
+      }
+
+      std::uint64_t patched = 0;
+      for (const ParsedColumn& col : parsed.columns) {
+        for (const ParsedChunk& chunk : col.chunks) {
+          if (chunk.valid) continue;
+          const std::string reason =
+              chunk.offset + chunk.length > size_on_pfs
+                  ? "chunk truncated (torn write)"
+                  : "chunk CRC mismatch";
+          bool repaired = false;
+          if (have_source) {
+            for (const ParsedColumn& scol : src_parsed.columns) {
+              if (scol.name != col.name) continue;
+              for (const ParsedChunk& schunk : scol.chunks) {
+                if (schunk.index != chunk.index || !schunk.valid) continue;
+                if (schunk.length != chunk.length) break;
+                std::memcpy(bytes.data() + chunk.offset,
+                            src.data() + schunk.offset, chunk.length);
+                repaired = true;
+                break;
+              }
+              break;
+            }
+          }
+          if (repaired) ++patched;
+          add_damage(col.name, chunk.index, repaired, reason);
+        }
+      }
+
+      if (patched > 0) {
+        // Only persist a repair the format itself can prove: re-parse
+        // the patched bytes and check against the marker when we have
+        // one (the healed file must be bitwise what the writer bled).
+        ParsedCheckpoint verify;
+        bool sound = parse_checkpoint(bytes, verify) == ParseStatus::kOk &&
+                     verify.chunks_damaged == 0;
+        if (sound && marker_ok) {
+          sound = bytes.size() == marker.payload_bytes &&
+                  crc32(bytes.data(), bytes.size()) == marker.payload_crc;
+        }
+        if (sound && write_back(pfs, rel, bytes) &&
+            (marker_ok || stamp_marker(pfs, step, rank, bytes))) {
+          report.chunks_repaired += patched;
+          if (patched == parsed.chunks_damaged) {
+            ++report.files_repaired;
+            healthy.push_back({step, rank, parsed.meta.kind});
+          }
+        } else {
+          // Roll the damage entries back to unrepaired: nothing landed.
+          for (auto it = report.damage.rbegin();
+               it != report.damage.rend() && patched > 0; ++it) {
+            if (it->step == step && it->rank == rank && it->repaired) {
+              it->repaired = false;
+              --patched;
+            }
+          }
+        }
+      }
+    }
+  }
+
+  // Chain pass (post-repair): a differential file is only as restorable
+  // as its ancestry, so walk each healthy diff's chain on the PFS.
+  for (const Healthy& h : healthy) {
+    if (h.kind != CkptKind::kDiff) continue;
+    ++report.chains_checked;
+    if (!verify_checkpoint_rank(pfs, h.step, h.rank)) {
+      ++report.chains_broken;
+      report.damage.push_back(CkptDamage{h.step, h.rank, "<chain>", 0, false,
+                                         "ancestor missing or damaged"});
+    }
+  }
+  return report;
+}
+
+std::string CkptAuditReport::summary() const {
+  char buf[512];
+  std::string out;
+  std::snprintf(buf, sizeof(buf),
+                "ckpt_audit: %llu file(s) scanned — %llu ok, %llu damaged "
+                "(%llu repaired), %llu legacy\n",
+                static_cast<unsigned long long>(files_scanned),
+                static_cast<unsigned long long>(files_ok),
+                static_cast<unsigned long long>(files_damaged),
+                static_cast<unsigned long long>(files_repaired),
+                static_cast<unsigned long long>(files_legacy));
+  out += buf;
+  std::snprintf(buf, sizeof(buf),
+                "  chunks: %llu checked, %llu damaged, %llu repaired\n",
+                static_cast<unsigned long long>(chunks_checked),
+                static_cast<unsigned long long>(chunks_damaged),
+                static_cast<unsigned long long>(chunks_repaired));
+  out += buf;
+  std::snprintf(buf, sizeof(buf),
+                "  diff chains: %llu checked, %llu broken\n",
+                static_cast<unsigned long long>(chains_checked),
+                static_cast<unsigned long long>(chains_broken));
+  out += buf;
+  for (const CkptDamage& d : damage) {
+    std::snprintf(buf, sizeof(buf),
+                  "  step %llu rank %d: %s[%u] — %s%s\n",
+                  static_cast<unsigned long long>(d.step), d.rank,
+                  d.column.c_str(), d.chunk, d.reason.c_str(),
+                  d.repaired ? " (repaired)" : "");
+    out += buf;
+  }
+  out += clean() ? "  verdict: CLEAN\n" : "  verdict: DAMAGE REMAINS\n";
+  return out;
+}
+
+}  // namespace crkhacc::io

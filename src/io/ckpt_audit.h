@@ -1,0 +1,83 @@
+// Offline checkpoint audit and repair.
+//
+// Because checkpoints are self-describing chunked column files
+// (io/column_file.h) with an independent CRC per chunk, anything — not
+// just the simulator — can verify one and say exactly which column chunk
+// of which rank file is damaged. This library does that over a PFS tier,
+// and, when a redundant copy exists (MultiTierWriter's node-local tier
+// kept via CkptConfig::redundant_local, or any mirror), repairs in
+// place:
+//
+//   * a damaged or truncated chunk is patched from the matching valid
+//     chunk of a redundant copy;
+//   * a destroyed header/directory (or missing payload) is replaced by a
+//     whole redundant copy that validates end to end;
+//   * a lost/garbled `.ok` marker over a provably-intact payload (all
+//     internal CRCs pass) is re-stamped from the payload itself.
+//
+// Repairs are only written back once the patched bytes verify end to
+// end. The `ckpt_audit` CLI (examples/) wraps this for operators.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "io/storage.h"
+
+namespace crkhacc::io {
+
+struct CkptAuditOptions {
+  int num_ranks = 0;   ///< files per step; 0 = infer from the directory
+  int only_rank = -1;  ///< restrict to one rank's files (-1 = all)
+  std::optional<std::uint64_t> only_step;  ///< restrict to one step
+  bool repair = false;  ///< attempt repairs (requires a source for chunk
+                        ///< and whole-file repairs; marker re-stamping
+                        ///< needs none)
+};
+
+/// One located fault. `column` is a column name for chunk-level damage,
+/// or "<file>" / "<marker>" for file-level damage.
+struct CkptDamage {
+  std::uint64_t step = 0;
+  int rank = 0;
+  std::string column;
+  std::uint32_t chunk = 0;
+  bool repaired = false;
+  std::string reason;
+};
+
+struct CkptAuditReport {
+  std::uint64_t files_scanned = 0;
+  std::uint64_t files_ok = 0;       ///< intact before any repair
+  std::uint64_t files_damaged = 0;
+  std::uint64_t files_repaired = 0;  ///< damaged, fully healed
+  std::uint64_t files_legacy = 0;    ///< format v1; reported, unrepairable
+  std::uint64_t chunks_checked = 0;
+  std::uint64_t chunks_damaged = 0;
+  std::uint64_t chunks_repaired = 0;
+  std::uint64_t chains_checked = 0;  ///< diff files whose chain was walked
+  std::uint64_t chains_broken = 0;   ///< missing/damaged ancestor
+  std::vector<CkptDamage> damage;
+
+  /// No unrepaired damage anywhere (legacy files and broken chains count
+  /// as damage).
+  bool clean() const {
+    return files_damaged == files_repaired && files_legacy == 0 &&
+           chains_broken == 0;
+  }
+
+  /// Human-readable multi-line summary (the CLI's output).
+  std::string summary() const;
+};
+
+/// Audit (and optionally repair) every selected checkpoint file on
+/// `pfs`. `repair_sources` are tiers that may hold redundant copies;
+/// each is tried in order. Runs entirely from the on-disk format — no
+/// simulator state needed.
+CkptAuditReport audit_checkpoints(
+    ThrottledStore& pfs, const CkptAuditOptions& options,
+    const std::vector<ThrottledStore*>& repair_sources = {});
+
+}  // namespace crkhacc::io

@@ -1,92 +1,71 @@
 #include "io/generic_io.h"
 
-#include <cstring>
 #include <fstream>
 
-#include "util/crc32.h"
+#include "io/column_file.h"
 
 namespace crkhacc::io {
-namespace {
-
-constexpr std::uint32_t kMagic = 0x47494f31;  // "GIO1"
-
-struct WireHeader {
-  std::uint32_t magic;
-  std::uint32_t header_crc;   ///< CRC of the fields below
-  std::uint64_t step;
-  double scale_factor;
-  std::int32_t rank;
-  std::int32_t num_ranks;
-  std::uint64_t particle_count;
-  std::uint64_t payload_bytes;
-  std::uint32_t payload_crc;
-  std::uint32_t pad = 0;
-};
-static_assert(sizeof(WireHeader) == 56);
-
-std::uint32_t header_fields_crc(const WireHeader& h) {
-  // CRC over everything after header_crc.
-  const auto* base = reinterpret_cast<const unsigned char*>(&h);
-  const std::size_t offset = offsetof(WireHeader, step);
-  return crc32(base + offset, sizeof(WireHeader) - offset);
-}
-
-}  // namespace
 
 std::vector<std::uint8_t> encode_snapshot(const SnapshotMeta& meta,
                                           const Particles& particles,
                                           bool include_ghosts) {
-  std::vector<Particles::Record> records;
-  records.reserve(particles.size());
-  for (std::size_t i = 0; i < particles.size(); ++i) {
-    if (!include_ghosts && !particles.is_owned(i)) continue;
-    records.push_back(particles.record(i));
+  // Ghost filtering needs a contiguous copy either way (the columns must
+  // be dense); reuse the container so column views line up.
+  Particles filtered;
+  const Particles* source = &particles;
+  if (!include_ghosts) {
+    filtered.reserve(particles.size());
+    for (std::size_t i = 0; i < particles.size(); ++i) {
+      if (particles.is_owned(i)) filtered.append_from(particles, i);
+    }
+    source = &filtered;
   }
 
-  WireHeader header{};
-  header.magic = kMagic;
-  header.step = meta.step;
-  header.scale_factor = meta.scale_factor;
-  header.rank = meta.rank;
-  header.num_ranks = meta.num_ranks;
-  header.particle_count = records.size();
-  header.payload_bytes = records.size() * sizeof(Particles::Record);
-  header.payload_crc = crc32(records.data(), header.payload_bytes);
-  header.header_crc = header_fields_crc(header);
-
-  std::vector<std::uint8_t> bytes(sizeof(WireHeader) + header.payload_bytes);
-  std::memcpy(bytes.data(), &header, sizeof(WireHeader));
-  std::memcpy(bytes.data() + sizeof(WireHeader), records.data(),
-              header.payload_bytes);
-  return bytes;
+  CkptFileMeta file_meta;
+  file_meta.snapshot = meta;
+  file_meta.snapshot.particle_count = source->size();
+  file_meta.snapshot.format_version = kCkptFormatVersion;
+  file_meta.kind = CkptKind::kFull;
+  file_meta.base_step = meta.step;
+  file_meta.chain_index = 0;
+  file_meta.chunk_bytes = static_cast<std::uint32_t>(CkptConfig{}.chunk_bytes);
+  const auto columns = particle_columns(*source);
+  return encode_checkpoint(file_meta, columns, nullptr);
 }
 
 bool decode_snapshot(const std::vector<std::uint8_t>& bytes,
                      SnapshotMeta& meta, Particles& out) {
-  if (bytes.size() < sizeof(WireHeader)) return false;
-  WireHeader header;
-  std::memcpy(&header, bytes.data(), sizeof(WireHeader));
-  if (header.magic != kMagic) return false;
-  if (header.header_crc != header_fields_crc(header)) return false;
-  if (bytes.size() != sizeof(WireHeader) + header.payload_bytes) return false;
-  if (header.payload_bytes != header.particle_count * sizeof(Particles::Record)) {
-    return false;
-  }
-  if (crc32(bytes.data() + sizeof(WireHeader), header.payload_bytes) !=
-      header.payload_crc) {
-    return false;
-  }
-  meta.step = header.step;
-  meta.scale_factor = header.scale_factor;
-  meta.rank = header.rank;
-  meta.num_ranks = header.num_ranks;
-  meta.particle_count = header.particle_count;
+  ParsedCheckpoint parsed;
+  if (parse_checkpoint(bytes, parsed) != ParseStatus::kOk) return false;
+  // A standalone decode needs the whole state in one file: full kind,
+  // every chunk carried and intact. Differential files are only readable
+  // through the chain walk in checkpoint.cpp.
+  if (parsed.meta.kind != CkptKind::kFull) return false;
+  if (!is_complete(parsed)) return false;
 
-  out.reserve(out.size() + header.particle_count);
-  const auto* records = reinterpret_cast<const Particles::Record*>(
-      bytes.data() + sizeof(WireHeader));
-  for (std::uint64_t r = 0; r < header.particle_count; ++r) {
-    out.append_record(records[r]);
+  Particles tmp;
+  tmp.resize(parsed.meta.snapshot.particle_count);
+  const auto dest = particle_columns(tmp);
+  // Every column this reader needs must be carried; extra columns in the
+  // file are skipped (warn-once) inside apply_chunks.
+  for (const MutableColumnView& d : dest) {
+    bool found = false;
+    for (const ParsedColumn& c : parsed.columns) {
+      if (c.name == d.name) {
+        found = true;
+        break;
+      }
+    }
+    if (!found) return false;
+  }
+  if (!apply_chunks(parsed, bytes, dest)) return false;
+
+  meta = parsed.meta.snapshot;
+  if (out.empty()) {
+    out = std::move(tmp);
+  } else {
+    out.reserve(out.size() + tmp.size());
+    for (std::size_t i = 0; i < tmp.size(); ++i) out.append_from(tmp, i);
   }
   return true;
 }

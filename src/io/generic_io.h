@@ -16,12 +16,20 @@
 
 namespace crkhacc::io {
 
+/// Checkpoint wire-format version this build writes and reads.
+/// v1 was the opaque "GIO1" record blob (single whole-payload CRC);
+/// v2 is the "CKC2" self-describing chunked column format
+/// (io/column_file.h). v1 files are detected and rejected with a clear
+/// error, never misparsed.
+inline constexpr std::uint32_t kCkptFormatVersion = 2;
+
 struct SnapshotMeta {
   std::uint64_t step = 0;
   double scale_factor = 1.0;
   std::int32_t rank = 0;
   std::int32_t num_ranks = 1;
   std::uint64_t particle_count = 0;  ///< filled on write
+  std::uint32_t format_version = kCkptFormatVersion;  ///< filled on read
 };
 
 /// Serialize owned particles (ghosts skipped unless include_ghosts) into

@@ -27,7 +27,7 @@ std::string MultiTierWriter::marker_path(std::uint64_t step, int rank) {
 
 MultiTierWriter::MultiTierWriter(ThrottledStore& local, ThrottledStore& pfs,
                                  const MultiTierConfig& config)
-    : local_(local), pfs_(pfs), config_(config) {
+    : local_(local), pfs_(pfs), config_(config), planner_(config.ckpt) {
   CHECK(config.max_write_attempts >= 1);
   worker_ = std::thread([this] { worker_loop(); });
 }
@@ -93,12 +93,59 @@ bool MultiTierWriter::publish_to_pfs(std::uint64_t step,
                         stats_.pfs_retries);
 }
 
+std::vector<std::uint8_t> MultiTierWriter::encode_planned(
+    const SnapshotMeta& meta, const Particles& particles, bool force_full,
+    IoRecord& record) {
+  // Checkpoints carry the overloaded (ghost) regions, so the columns
+  // serialize straight out of the live container — no filtering copy.
+  const auto columns = particle_columns(particles);
+  CkptFileMeta file_meta;
+  file_meta.snapshot = meta;
+  file_meta.snapshot.particle_count = particles.size();
+  file_meta.snapshot.format_version = kCkptFormatVersion;
+  file_meta.chunk_bytes = static_cast<std::uint32_t>(config_.ckpt.chunk_bytes);
+
+  const CkptDiffPlanner::Plan plan =
+      force_full ? planner_.plan_full(meta.step, columns)
+                 : planner_.plan(meta.step, columns);
+  file_meta.kind = plan.kind;
+  file_meta.base_step = plan.base_step;
+  file_meta.chain_index = plan.chain_index;
+
+  record.step = meta.step;
+  record.diff = plan.kind == CkptKind::kDiff;
+  record.chunks_written = plan.chunks_written;
+  record.chunks_total = plan.chunks_total;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (record.diff) {
+      ++stats_.diff_checkpoints;
+    } else {
+      ++stats_.full_checkpoints;
+    }
+    stats_.chunks_written += plan.chunks_written;
+    stats_.chunks_skipped += plan.chunks_total - plan.chunks_written;
+    stats_.longest_chain =
+        std::max<std::uint64_t>(stats_.longest_chain, plan.chain_index);
+  }
+  {
+    std::lock_guard<std::mutex> lock(prune_mutex_);
+    chain_roots_[meta.step] = plan.chain_root;
+  }
+  auto bytes = encode_checkpoint(
+      file_meta, columns, plan.mask.empty() ? nullptr : &plan.mask);
+  record.bytes = bytes.size();
+  return bytes;
+}
+
 double MultiTierWriter::write_checkpoint(const SnapshotMeta& meta,
                                          const Particles& particles) {
   // Rank-thread span only; the background bleeder thread has no trace
   // context and must stay unattributed.
   HACC_TRACE_SPAN("io_write");
-  const auto bytes = encode_snapshot(meta, particles, /*include_ghosts=*/true);
+  IoRecord record;
+  const auto bytes =
+      encode_planned(meta, particles, /*force_full=*/false, record);
   const std::uint32_t crc = crc32(bytes.data(), bytes.size());
   Stopwatch watch;
 
@@ -130,15 +177,18 @@ double MultiTierWriter::write_checkpoint(const SnapshotMeta& meta,
     prune(meta.step);
     std::lock_guard<std::mutex> lock(mutex_);
     if (!published) ++stats_.bleed_failures;
-    records_.push_back(
-        IoRecord{meta.step, bytes.size(), blocked, blocked, published});
+    record.local_seconds = blocked;
+    record.pfs_seconds = blocked;
+    record.bled = published;
+    records_.push_back(record);
     return blocked;
   }
 
   const double blocked = watch.seconds();
   {
     std::lock_guard<std::mutex> lock(mutex_);
-    records_.push_back(IoRecord{meta.step, bytes.size(), blocked, 0.0, false});
+    record.local_seconds = blocked;
+    records_.push_back(record);
     queue_.push_back(meta.step);
   }
   cv_.notify_one();
@@ -147,15 +197,22 @@ double MultiTierWriter::write_checkpoint(const SnapshotMeta& meta,
 
 double MultiTierWriter::write_checkpoint_direct(const SnapshotMeta& meta,
                                                 const Particles& particles) {
-  const auto bytes = encode_snapshot(meta, particles, /*include_ghosts=*/true);
+  // The direct baseline always writes fulls: it models the
+  // no-node-local-tier configuration, where a chain would put every
+  // restart at the mercy of the slow shared channel.
+  IoRecord record;
+  const auto bytes =
+      encode_planned(meta, particles, /*force_full=*/true, record);
   Stopwatch watch;
   const bool published = publish_to_pfs(meta.step, bytes);
   const double blocked = watch.seconds();
   {
     std::lock_guard<std::mutex> lock(mutex_);
     if (!published) ++stats_.bleed_failures;
-    records_.push_back(
-        IoRecord{meta.step, bytes.size(), blocked, blocked, published});
+    record.local_seconds = blocked;
+    record.pfs_seconds = blocked;
+    record.bled = published;
+    records_.push_back(record);
   }
   return blocked;
 }
@@ -182,7 +239,10 @@ void MultiTierWriter::worker_loop() {
     if (local_.read(rel, bytes)) {
       published = publish_to_pfs(step, bytes);
     }
-    if (published) {
+    if (published && !config_.ckpt.redundant_local) {
+      // redundant_local retains the node-local copy after the bleed (the
+      // prune window still bounds it) so ckpt_audit has an independent,
+      // verified source to repair damaged PFS chunks from.
       local_.remove(rel);
     }
     const double seconds = watch.seconds();
@@ -216,13 +276,23 @@ void MultiTierWriter::prune(std::uint64_t newest_step) {
   const std::uint64_t cutoff =
       newest_step - static_cast<std::uint64_t>(config_.checkpoint_window);
   std::lock_guard<std::mutex> lock(prune_mutex_);
-  for (std::uint64_t step = prune_floor_; step < cutoff; ++step) {
+  // Chain-aware retention: a differential checkpoint inside the window
+  // replays through every ancestor down to its anchoring full, so the
+  // delete floor must not pass the oldest chain root any retained step
+  // still depends on. (Chains are contiguous step runs, so keeping
+  // [root, cutoff) keeps every intermediate diff too.)
+  std::uint64_t keep_floor = cutoff;
+  for (const auto& [step, root] : chain_roots_) {
+    if (step >= cutoff) keep_floor = std::min(keep_floor, root);
+  }
+  for (std::uint64_t step = prune_floor_; step < keep_floor; ++step) {
     const auto rel = checkpoint_path(step, config_.rank);
     local_.remove(rel);
     pfs_.remove(marker_path(step, config_.rank));
     pfs_.remove(rel);
+    chain_roots_.erase(step);
   }
-  prune_floor_ = std::max(prune_floor_, cutoff);
+  prune_floor_ = std::max(prune_floor_, keep_floor);
 }
 
 void MultiTierWriter::drain() {

@@ -12,10 +12,19 @@
 // and only then becomes the active one, so the previous snapshot stays
 // intact until its replacement is complete. Buffers are reused across
 // captures (no steady-state allocation once sizes stabilize).
+//
+// The differential-checkpoint layer (io/column_file.h) reuses the same
+// page-CRC machinery in `align_regions` mode: every region starts on a
+// page boundary (zero padding in between), so each page belongs to
+// exactly one region and the page index doubles as a column chunk
+// index. changed_pages() then diffs the active capture's page CRCs
+// against the previous capture's, which is exactly the "which chunks
+// moved since the last checkpoint" signal a differential write needs.
 #pragma once
 
 #include <cstddef>
 #include <cstdint>
+#include <optional>
 #include <span>
 #include <vector>
 
@@ -36,7 +45,12 @@ class PagedSnapshot {
 
   static constexpr std::size_t kDefaultPageBytes = 64 * 1024;
 
-  explicit PagedSnapshot(std::size_t page_bytes = kDefaultPageBytes);
+  /// `align_regions` starts every region on a page boundary (the gap is
+  /// zero-filled), so a page never straddles two regions and the page
+  /// index maps 1:1 onto a per-region chunk index. The default packed
+  /// layout is unchanged for existing users (SDC guardrails).
+  explicit PagedSnapshot(std::size_t page_bytes = kDefaultPageBytes,
+                         bool align_regions = false);
 
   /// Copy `regions` into the inactive buffer, stamp per-page CRCs, and
   /// make it the active capture. The previously active capture remains
@@ -64,6 +78,21 @@ class PagedSnapshot {
   std::size_t num_regions() const;
   std::size_t region_bytes(std::size_t r) const;
 
+  /// Per-page CRC32s of the active capture.
+  std::span<const std::uint32_t> page_crcs() const;
+
+  /// First page index / page count of region `r` in the active capture.
+  /// Requires `align_regions` mode (CHECK), where the mapping is exact.
+  std::size_t region_first_page(std::size_t r) const;
+  std::size_t region_num_pages(std::size_t r) const;
+
+  /// One flag per page of the active capture: true = this page's CRC
+  /// differs from the previous capture's. nullopt when there is no
+  /// comparable previous capture (fewer than two captures, or the
+  /// region layout changed between them) — callers must treat that as
+  /// "everything changed".
+  std::optional<std::vector<std::uint8_t>> changed_pages() const;
+
   /// Test hook: direct mutable access to the active capture's payload,
   /// for injecting snapshot-buffer corruption in tests.
   std::uint8_t* mutable_payload_for_test();
@@ -73,13 +102,16 @@ class PagedSnapshot {
     std::vector<std::uint8_t> data;
     std::vector<std::uint32_t> page_crc;
     std::vector<std::size_t> region_bytes;
+    std::vector<std::size_t> region_offset;  ///< byte offset of each region
   };
 
   bool verify_buffer(const Buffer& buffer) const;
 
   std::size_t page_bytes_;
+  bool align_regions_;
   Buffer buffers_[2];
-  int active_ = -1;  ///< index of the valid capture; -1 = none yet
+  int active_ = -1;    ///< index of the valid capture; -1 = none yet
+  int captures_ = 0;   ///< total completed captures (saturates at 2)
 };
 
 }  // namespace crkhacc::util
