@@ -9,7 +9,7 @@
 // interruption count.
 //
 //   ./examples/frontier_mini [--threads=N] [--sdc=on|off]
-//                            [--launch-schedule=leaf_owner|deferred_store]
+//                            [--launch-schedule=leaf_owner|deferred_store|simd]
 //                            [--sdc-flip-rate=R] [--sdc-flip-seed=S]
 //                            [--ckpt-diff] [--ckpt-audit-on-restore]
 //                            [--trace=FILE] [--metrics]
@@ -21,8 +21,10 @@
 //
 // --launch-schedule selects how pair-kernel launches compose with the
 // pool: leaf_owner (default) accumulates in place per owner leaf;
-// deferred_store is the buffered-replay alternative. Both are bitwise
-// identical to serial — the knob exists for A/B drills.
+// deferred_store is the buffered-replay alternative; simd keeps the
+// owner-leaf decomposition but runs vectorized tile engines (rejected
+// when the build has no SIMD backend). All three are bitwise identical
+// to serial — the knob exists for A/B drills.
 //
 // With a storage_fault_seed, the PFS additionally injects silent
 // corruption (torn writes, bit flips) and transient I/O errors; the
@@ -64,6 +66,7 @@
 
 #include "comm/world.h"
 #include "core/simulation.h"
+#include "gpu/device.h"
 #include "gpu/launch.h"
 
 using namespace crkhacc;
@@ -86,10 +89,18 @@ int main(int argc, char** argv) {
       const char* value = argv[i] + 18;
       if (std::strcmp(value, "deferred_store") == 0) {
         schedule = gpu::LaunchSchedule::kDeferredStore;
+      } else if (std::strcmp(value, "simd") == 0) {
+        if (!gpu::simd_support().available) {
+          std::fprintf(stderr,
+                       "--launch-schedule=simd: this build has no SIMD "
+                       "backend (configure with CRKHACC_ENABLE_SIMD=ON)\n");
+          return 2;
+        }
+        schedule = gpu::LaunchSchedule::kSimd;
       } else if (std::strcmp(value, "leaf_owner") != 0) {
         std::fprintf(stderr,
                      "unknown --launch-schedule '%s' (leaf_owner | "
-                     "deferred_store)\n",
+                     "deferred_store | simd)\n",
                      value);
         return 2;
       }
@@ -153,11 +164,18 @@ int main(int argc, char** argv) {
   // file after the bleed instead of deleting it.
   config.ckpt.redundant_local = ckpt_audit_on_restore;
 
+  const char* schedule_name =
+      schedule == gpu::LaunchSchedule::kLeafOwner        ? "leaf_owner"
+      : schedule == gpu::LaunchSchedule::kDeferredStore  ? "deferred_store"
+                                                         : "simd";
   std::printf("frontier-mini: %d ranks, %zu^3 particle pairs, %d PM steps, "
-              "%d pool threads/rank, %s launch schedule\n",
+              "%d pool threads/rank, %s launch schedule%s%s%s\n",
               ranks, config.np, config.num_pm_steps, config.threads,
-              schedule == gpu::LaunchSchedule::kLeafOwner ? "leaf_owner"
-                                                          : "deferred_store");
+              schedule_name,
+              schedule == gpu::LaunchSchedule::kSimd ? " (" : "",
+              schedule == gpu::LaunchSchedule::kSimd ? gpu::simd_support().isa
+                                                     : "",
+              schedule == gpu::LaunchSchedule::kSimd ? ")" : "");
   std::printf("workdir: %s\n", workdir.c_str());
   std::printf("checkpoints: %s format v2%s\n",
               ckpt_diff ? "differential (chained)" : "full",
@@ -255,6 +273,8 @@ int main(int argc, char** argv) {
                   "survived\n",
                   static_cast<unsigned long long>(result.steps_done),
                   static_cast<unsigned long long>(result.interruptions));
+      std::printf("launch: %s schedule, simd backend %s\n",
+                  result.launch_schedule.c_str(), result.simd_isa.c_str());
       std::printf("recovery: %llu checkpoint restores attempted, %llu "
                   "fallbacks to older steps, %llu restarts from ICs\n",
                   static_cast<unsigned long long>(result.recovery_attempts),

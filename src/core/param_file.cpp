@@ -7,6 +7,7 @@
 #include <set>
 #include <sstream>
 
+#include "gpu/device.h"
 #include "util/log.h"
 
 namespace crkhacc::core {
@@ -215,10 +216,41 @@ std::vector<std::string> ParamFile::apply(SimConfig& config) const {
       } else if (v == "deferred_store" || v == "replay") {
         config.sph.launch.schedule = gpu::LaunchSchedule::kDeferredStore;
         config.gravity.launch.schedule = gpu::LaunchSchedule::kDeferredStore;
+      } else if (v == "simd") {
+        if (gpu::simd_support().available) {
+          config.sph.launch.schedule = gpu::LaunchSchedule::kSimd;
+          config.gravity.launch.schedule = gpu::LaunchSchedule::kSimd;
+        } else {
+          // Keep whatever schedule the config already had: a run on a
+          // SIMD-less build should proceed, just not with kSimd.
+          HACC_LOG_ERROR(
+              "param file: launch_schedule = 'simd' rejected: this build "
+              "has no SIMD backend (configure with CRKHACC_ENABLE_SIMD=ON "
+              "on a supported host); keeping '%s'",
+              config.sph.launch.schedule == gpu::LaunchSchedule::kDeferredStore
+                  ? "deferred_store"
+                  : "leaf_owner");
+          rejected = true;
+        }
       } else {
         HACC_LOG_ERROR(
             "param file: launch_schedule = '%s' rejected: expected "
-            "'leaf_owner' or 'deferred_store'",
+            "'leaf_owner', 'deferred_store' or 'simd'",
+            v.c_str());
+        rejected = true;
+      }
+    } else if (key == "simd_math") {
+      const auto v = lower(get_string(key).value_or(""));
+      if (v == "exact" || v == "bitwise") {
+        config.sph.launch.simd_math = gpu::SimdMath::kExact;
+        config.gravity.launch.simd_math = gpu::SimdMath::kExact;
+      } else if (v == "fused" || v == "fma") {
+        config.sph.launch.simd_math = gpu::SimdMath::kFused;
+        config.gravity.launch.simd_math = gpu::SimdMath::kFused;
+      } else {
+        HACC_LOG_ERROR(
+            "param file: simd_math = '%s' rejected: expected 'exact' "
+            "(bitwise scalar parity) or 'fused' (FMA, ULP-bounded)",
             v.c_str());
         rejected = true;
       }

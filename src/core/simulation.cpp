@@ -8,6 +8,7 @@
 #include "analysis/fof.h"
 #include "cosmology/ics.h"
 #include "cosmology/units.h"
+#include "gpu/device.h"
 #include "gravity/short_range.h"
 #include "integrator/timestep.h"
 #include "io/ckpt_audit.h"
@@ -787,6 +788,18 @@ RunResult Simulation::run(io::MultiTierWriter* writer, io::ThrottledStore* pfs,
   result.completed = true;
   if (writer) result.io = writer->stats();
   result.threading = pool_.stats();
+  switch (config_.sph.launch.schedule) {
+    case gpu::LaunchSchedule::kLeafOwner:
+      result.launch_schedule = "leaf_owner";
+      break;
+    case gpu::LaunchSchedule::kDeferredStore:
+      result.launch_schedule = "deferred_store";
+      break;
+    case gpu::LaunchSchedule::kSimd:
+      result.launch_schedule = "simd";
+      break;
+  }
+  result.simd_isa = gpu::simd_support().isa;
   if (config_.trace.enabled) {
     // Commit trailing analysis spans, then surface the local counters.
     trace_.flush(step_);

@@ -141,6 +141,11 @@ struct RunResult {
   /// Intra-node scheduler accounting (per-thread busy time, steal counts)
   /// accumulated over the whole run.
   util::ThreadPoolStats threading;
+  /// Pair-kernel launch policy the run actually used ("leaf_owner",
+  /// "deferred_store" or "simd") and, for kSimd, the compiled-in
+  /// instruction set ("avx2" / "scalar"; "none" on SIMD-less builds).
+  std::string launch_schedule;
+  std::string simd_isa;
 };
 
 class Simulation {

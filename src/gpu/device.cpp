@@ -3,7 +3,15 @@
 #include <algorithm>
 #include <chrono>
 
+#include "gpu/simd.h"
+
 namespace crkhacc::gpu {
+
+const SimdSupport& simd_support() {
+  static const SimdSupport support{simd::kAvailable, simd::kIsaName,
+                                   simd::kAvailable ? simd::kWidth : 0};
+  return support;
+}
 
 const std::vector<DeviceSpec>& known_devices() {
   static const std::vector<DeviceSpec> devices = {

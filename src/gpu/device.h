@@ -27,6 +27,20 @@ struct DeviceSpec {
 /// The three devices of Table I (MI250X per GCD, PVC per tile, H100).
 const std::vector<DeviceSpec>& known_devices();
 
+/// What the kSimd launch schedule compiled down to on this host: the
+/// instruction set chosen at configure time (gpu/simd.h) and its lane
+/// width. `available` is false when the build disabled SIMD
+/// (CRKHACC_ENABLE_SIMD=OFF) or the configure probe found no usable ISA.
+struct SimdSupport {
+  bool available;
+  const char* isa;  ///< "avx2", "scalar", or "none"
+  int width;        ///< vector lanes per op (8 for AVX2)
+};
+
+/// The host's compiled-in SIMD backend (static; never changes at run
+/// time).
+const SimdSupport& simd_support();
+
 /// Measured FMA throughput of this host in GFLOP/s (cached after the
 /// first call). Plays the role of the hardware peak in utilization
 /// figures.

@@ -24,6 +24,15 @@
 //    as a fallback; transient memory is O(interactions) per launch vs.
 //    zero for kLeafOwner.
 //
+//  * kSimd — the leaf-owner decomposition with the inner half-warp tile
+//    evaluated simd::kWidth lanes per instruction (gpu/warp_simd.h).
+//    Work distribution, store ownership, and per-accumulator operand
+//    order are identical to kLeafOwner, so results stay bitwise identical
+//    to serial by default (simd_math = kExact); simd_math = kFused opts
+//    into real FMA under an explicit ULP gate. Requires a SIMD-enabled
+//    build (simd::kAvailable), warp-split mode, and a power-of-two
+//    warp_size; kernels without a SIMD form fall back to scalar tiles.
+//
 // A LaunchPlan depends only on (mesh, pair list) — not on the kernel, the
 // thread count, or the launch mode — so one plan is shared by the
 // density / CRK-moment / momentum-energy passes of a hydro force
@@ -37,6 +46,8 @@
 #include <utility>
 #include <vector>
 
+#include "gpu/simd.h"
+
 namespace crkhacc::tree {
 class ChainingMesh;
 }
@@ -46,7 +57,15 @@ namespace crkhacc::gpu {
 enum class LaunchMode { kNaive, kWarpSplit };
 
 /// How launch_pair_kernel distributes pair work over pool workers.
-enum class LaunchSchedule { kLeafOwner, kDeferredStore };
+enum class LaunchSchedule { kLeafOwner, kDeferredStore, kSimd };
+
+/// Arithmetic contract of the kSimd schedule's vector kernels.
+///  * kExact — every a*b+c is mul then add (two roundings): bitwise
+///    identical to the scalar kernels. The default.
+///  * kFused — real FMA (one rounding): faster, not bitwise vs. scalar;
+///    covered by the explicit per-field ULP gates in tests/test_simd and
+///    bench/simd_lanes.
+enum class SimdMath { kExact, kFused };
 
 /// Launch policy for launch_pair_kernel. Replaces the old positional
 /// (warp_size, mode) arguments; designated initializers keep call sites
@@ -55,6 +74,7 @@ struct LaunchConfig {
   std::uint32_t warp_size = 64;
   LaunchMode mode = LaunchMode::kWarpSplit;
   LaunchSchedule schedule = LaunchSchedule::kLeafOwner;
+  SimdMath simd_math = SimdMath::kExact;  ///< only read by kSimd launches
 
   /// nullptr if the config is usable, else a human-readable reason.
   /// warp_size < 2 is rejected for BOTH modes: the warp-split half-warp
@@ -64,6 +84,20 @@ struct LaunchConfig {
     if (warp_size < 2) {
       return "warp_size must be >= 2 (half-warp w = warp_size / 2 would be "
              "0 and the warp-split tile loop could not advance)";
+    }
+    if (schedule == LaunchSchedule::kSimd) {
+      if (!simd::kAvailable) {
+        return "launch_schedule simd requires a SIMD-enabled build "
+               "(configure with CRKHACC_ENABLE_SIMD=ON)";
+      }
+      if (mode == LaunchMode::kNaive) {
+        return "launch_schedule simd vectorizes warp-split tiles; "
+               "launch_mode naive has no lanes to vectorize";
+      }
+      if ((warp_size & (warp_size - 1)) != 0) {
+        return "launch_schedule simd requires a power-of-two warp_size "
+               "(the lane rotation indexes (l + t) mod W)";
+      }
     }
     return nullptr;
   }

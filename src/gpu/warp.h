@@ -68,6 +68,14 @@
 //    order. O(interactions) transient memory and a serial replay tax;
 //    kept as the measured baseline (bench/launch_schedule).
 //
+//  * LaunchSchedule::kSimd — the leaf-owner decomposition with the inner
+//    tile evaluated simd::kWidth lanes per vector instruction
+//    (gpu/warp_simd.h) for kernels that define the SimdPairKernel
+//    surface; other kernels run the scalar tiles unchanged. Serial kSimd
+//    launches also use the vector engine (the schedule selects the tile
+//    ENGINE, not just the pool decomposition), so serial-vs-parallel
+//    stays an apples-to-apples bitwise comparison.
+//
 // Kernel contract under parallel launches: load()/partial() must not read
 // any field that store() writes within the same launch (the pass
 // structure already guarantees it — positions/masses in, accelerations/
@@ -85,15 +93,17 @@
 #include <vector>
 
 #include "gpu/launch.h"
+#include "gpu/warp_simd.h"
 #include "tree/chaining_mesh.h"
 #include "util/assertions.h"
 #include "util/thread_pool.h"
 #include "util/timer.h"
 
-namespace crkhacc::gpu {
+// kMaxHalfWarp (the largest supported half-warp) lives in gpu/simd.h so
+// the SIMD lane-buffer geometry can depend on it; it is still part of
+// this header's public surface via that include.
 
-/// Largest supported half-warp (AMD's 64-lane warp split in two).
-inline constexpr std::uint32_t kMaxHalfWarp = 32;
+namespace crkhacc::gpu {
 
 namespace detail {
 
@@ -127,10 +137,9 @@ void naive_side(Kernel& kernel, const tree::ChainingMesh& cm,
   }
 }
 
-/// Which accumulator half of a tile is live. kBoth is the symmetric
-/// evaluation of the serial driver; kI / kJ are the one-sided halves the
-/// leaf-owner schedule splits a cross pair into.
-enum class TileSide : std::uint8_t { kBoth, kI, kJ };
+// TileSide (which accumulator half of a tile is live) is declared in
+// gpu/warp_simd.h, shared between these scalar drivers and the vector
+// engine.
 
 /// Lane-register file of one half-warp chunk: up to W particle states and
 /// their separable partials, loaded once and reused across every tile of
@@ -293,14 +302,17 @@ void warp_split_pair_sided(Kernel& kernel, const tree::ChainingMesh& cm,
   }
 }
 
-/// Evaluate a contiguous sub-range [first, last) of the pair list.
+/// Evaluate a contiguous sub-range [first, last) of the pair list. Under
+/// the kSimd schedule, kernels with a SIMD form take the vector tile
+/// engine; wrapper kernels (DeferredStoreKernel, test kernels with
+/// double accumulators) fall back to scalar tiles — still bitwise.
 template <typename Kernel>
 void run_pair_range(
     Kernel& kernel, const tree::ChainingMesh& cm,
     std::span<const std::pair<std::uint32_t, std::uint32_t>> pairs,
-    std::size_t first, std::size_t last, std::uint32_t warp_size,
-    LaunchMode mode, LaunchStats& stats) {
-  if (mode == LaunchMode::kNaive) {
+    std::size_t first, std::size_t last, const LaunchConfig& config,
+    LaunchStats& stats) {
+  if (config.mode == LaunchMode::kNaive) {
     for (std::size_t q = first; q < last; ++q) {
       const auto [la, lb] = pairs[q];
       const bool same = la == lb;
@@ -309,41 +321,68 @@ void run_pair_range(
         naive_side(kernel, cm, cm.leaf(lb), cm.leaf(la), false, stats);
       }
     }
-  } else {
-    for (std::size_t q = first; q < last; ++q) {
-      const auto [la, lb] = pairs[q];
-      warp_split_pair(kernel, cm, la, lb, warp_size, stats);
+    return;
+  }
+  if constexpr (SimdPairKernel<Kernel>) {
+    if (config.schedule == LaunchSchedule::kSimd) {
+      for (std::size_t q = first; q < last; ++q) {
+        const auto [la, lb] = pairs[q];
+        simd_pair(kernel, cm, la, lb, config, stats);
+      }
+      return;
     }
+  }
+  for (std::size_t q = first; q < last; ++q) {
+    const auto [la, lb] = pairs[q];
+    warp_split_pair(kernel, cm, la, lb, config.warp_size, stats);
   }
 }
 
 /// Evaluate every entry of plan owner `t`: the tiles that accumulate onto
-/// that owner's particles, in pair order.
+/// that owner's particles, in pair order. SIMD fallback rules as in
+/// run_pair_range.
 template <typename Kernel>
 void run_owner_entries(Kernel& kernel, const tree::ChainingMesh& cm,
                        const LaunchPlan& plan, std::size_t t,
-                       std::uint32_t warp_size, LaunchMode mode,
-                       LaunchStats& stats) {
+                       const LaunchConfig& config, LaunchStats& stats) {
   const std::uint32_t owner = plan.owner(t);
   for (const LaunchPlan::Entry& e : plan.entries(t)) {
-    if (mode == LaunchMode::kNaive) {
+    if (config.mode == LaunchMode::kNaive) {
       // naive_side is already one-sided: accumulate partner onto owner.
       naive_side(kernel, cm, cm.leaf(owner), cm.leaf(e.partner),
                  e.side == LaunchPlan::Side::kBoth, stats);
-    } else {
-      switch (e.side) {
-        case LaunchPlan::Side::kBoth:
-          warp_split_pair(kernel, cm, owner, owner, warp_size, stats);
-          break;
-        case LaunchPlan::Side::kISide:
-          warp_split_pair_sided(kernel, cm, owner, e.partner, warp_size,
-                                TileSide::kI, stats);
-          break;
-        case LaunchPlan::Side::kJSide:
-          warp_split_pair_sided(kernel, cm, e.partner, owner, warp_size,
-                                TileSide::kJ, stats);
-          break;
+      continue;
+    }
+    if constexpr (SimdPairKernel<Kernel>) {
+      if (config.schedule == LaunchSchedule::kSimd) {
+        switch (e.side) {
+          case LaunchPlan::Side::kBoth:
+            simd_pair(kernel, cm, owner, owner, config, stats);
+            break;
+          case LaunchPlan::Side::kISide:
+            simd_pair_sided(kernel, cm, owner, e.partner, config,
+                            TileSide::kI, stats);
+            break;
+          case LaunchPlan::Side::kJSide:
+            simd_pair_sided(kernel, cm, e.partner, owner, config,
+                            TileSide::kJ, stats);
+            break;
+        }
+        continue;
       }
+    }
+    switch (e.side) {
+      case LaunchPlan::Side::kBoth:
+        warp_split_pair(kernel, cm, owner, owner, config.warp_size, stats);
+        break;
+      case LaunchPlan::Side::kISide:
+        warp_split_pair_sided(kernel, cm, owner, e.partner, config.warp_size,
+                              TileSide::kI, stats);
+        break;
+      case LaunchPlan::Side::kJSide:
+        warp_split_pair_sided(kernel, cm, e.partner, owner, config.warp_size,
+                              TileSide::kJ, stats);
+        break;
     }
   }
 }
@@ -407,10 +446,22 @@ LaunchStats launch_impl(
                                       sizeof(typename Kernel::Partial) +
                                       sizeof(typename Kernel::Accum);
   }
+  if constexpr (detail::SimdPairKernel<Kernel>) {
+    if (config.schedule == LaunchSchedule::kSimd &&
+        config.mode == LaunchMode::kWarpSplit) {
+      // The vector engine's working set: two padded SoA lane buffers
+      // plus the vector accumulator block.
+      stats.register_bytes_per_thread =
+          2 * sizeof(typename Kernel::SimdLanes) +
+          sizeof(typename Kernel::SimdAccum);
+    }
+  }
   if (!pool || pool->num_threads() <= 1) {
-    detail::run_pair_range(kernel, cm, pairs, 0, pairs.size(),
-                           config.warp_size, config.mode, stats);
-  } else if (config.schedule == LaunchSchedule::kLeafOwner) {
+    detail::run_pair_range(kernel, cm, pairs, 0, pairs.size(), config, stats);
+  } else if (config.schedule == LaunchSchedule::kLeafOwner ||
+             config.schedule == LaunchSchedule::kSimd) {
+    // kSimd shares the owner-leaf decomposition: same task granularity,
+    // same store ownership, only the tile engine differs.
     CHECK_MSG(plan != nullptr,
               "parallel leaf-owner launch requires a LaunchPlan");
     // One task per owner leaf; each accumulates in place into disjoint
@@ -420,9 +471,7 @@ LaunchStats launch_impl(
                        [&](std::size_t lo, std::size_t hi, std::size_t c) {
                          for (std::size_t t = lo; t < hi; ++t) {
                            detail::run_owner_entries(kernel, cm, *plan, t,
-                                                     config.warp_size,
-                                                     config.mode,
-                                                     owner_stats[c]);
+                                                     config, owner_stats[c]);
                          }
                        });
     for (const LaunchStats& s : owner_stats) {
@@ -442,8 +491,7 @@ LaunchStats launch_impl(
         [&](std::size_t lo, std::size_t hi, std::size_t c) {
           detail::DeferredStoreKernel<Kernel> deferred(kernel,
                                                        chunks[c].stores);
-          detail::run_pair_range(deferred, cm, pairs, lo, hi,
-                                 config.warp_size, config.mode,
+          detail::run_pair_range(deferred, cm, pairs, lo, hi, config,
                                  chunks[c].stats);
         });
     // Ordered replay: chunk order x in-chunk order == serial pair order.
@@ -492,7 +540,8 @@ LaunchStats launch_pair_kernel(
     std::span<const std::pair<std::uint32_t, std::uint32_t>> pairs,
     const LaunchConfig& config, util::ThreadPool* pool = nullptr) {
   if (pool && pool->num_threads() > 1 &&
-      config.schedule == LaunchSchedule::kLeafOwner) {
+      (config.schedule == LaunchSchedule::kLeafOwner ||
+       config.schedule == LaunchSchedule::kSimd)) {
     const LaunchPlan plan(cm, pairs);
     return detail::launch_impl(kernel, cm, plan.pairs(), &plan, config, pool);
   }

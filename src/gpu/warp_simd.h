@@ -1,0 +1,245 @@
+// Vectorized warp-split tile drivers — the kSimd launch schedule engine.
+//
+// The scalar warp tile (gpu/warp.h) pairs i-lane l with j-lane
+// m = (l + t) mod W at rotation step t; each accumulator therefore sees
+// its partners in a fixed, serial order. This engine evaluates
+// simd::kWidth of those lanes per instruction while preserving exactly
+// that per-accumulator order, which is what makes kSimd bitwise identical
+// to the serial scalar driver (with SimdMath::kExact):
+//
+//  * Lane buffers are padded SoA arrays with modulo replication: slot k
+//    holds lane (k mod w), so slots [base + t, base + t + kWidth) are the
+//    rotated partners of self lanes [base, base + kWidth) — the GPU
+//    "shuffle" becomes one contiguous unaligned vector load. (Proof:
+//    slot (base + t) mod w + k holds lane ((base + t) mod w + k) mod w =
+//    (base + k + t) mod w, the rotation partner of self lane base + k;
+//    the index stays below w + kWidth <= kLaneSlots.)
+//
+//  * Ragged chunks and the self-interaction diagonal become lane masks:
+//    a masked lane BLENDS its accumulator (keeps the old value) rather
+//    than adding zero, so signed zeros and accumulation history match the
+//    scalar skip exactly. The diagonal (l == m) occurs only at t = 0, so
+//    same-chunk tiles simply start the rotation at t = 1.
+//
+//  * The one-sided tile walks of the leaf-owner schedule (TileSide::kI
+//    forward wrap, TileSide::kJ backward wrap — see warp_tile's header
+//    comment) ARE the rotation order, so the same rows routine serves
+//    kBoth / kI / kJ with a direction flag; per-accumulator operand
+//    sequences are unchanged from the scalar specializations.
+//
+// Kernels opt in by defining SimdLanes / SimdAccum / interact_simd (see
+// the SimdPairKernel concept); kernels without a SIMD form run the scalar
+// tiles under kSimd unchanged — still bitwise, just not vectorized.
+#pragma once
+
+#include <algorithm>
+#include <bit>
+#include <concepts>
+#include <cstdint>
+
+#include "gpu/launch.h"
+#include "gpu/simd.h"
+#include "tree/chaining_mesh.h"
+
+namespace crkhacc::gpu::detail {
+
+/// Which accumulator half of a tile is live. kBoth is the symmetric
+/// evaluation of the serial driver; kI / kJ are the one-sided halves the
+/// leaf-owner schedule splits a cross pair into. (Defined here, below
+/// warp.h's includes, so both the scalar and SIMD drivers share it.)
+enum class TileSide : std::uint8_t { kBoth, kI, kJ };
+
+/// A pair kernel that ships a vector form: SoA lane storage, a vector
+/// accumulator extractable per lane, and a masked vector interact. The
+/// interact_simd member itself is templated on the SimdMath policy, so
+/// the concept checks the types and the scalar surface it must mesh with.
+template <typename Kernel>
+concept SimdPairKernel = requires(const Kernel k, typename Kernel::SimdLanes& lanes,
+                                  const typename Kernel::SimdAccum acc) {
+  lanes.set(0u, typename Kernel::State{}, typename Kernel::Partial{});
+  { acc.lane(0u) } -> std::same_as<typename Kernel::Accum>;
+};
+
+/// Padded SoA lane buffer of one half-warp chunk: the kernel's lane
+/// fields plus the driver-owned liveness mask (slot k is live when
+/// (k mod w) < n, stored as all-ones float bits for direct mask loads).
+/// Replica slots (k >= w) and dead slots hold value-initialized State/
+/// Partial, so vector arithmetic on them is ordinary IEEE math on zeros
+/// (possibly producing inf/NaN) that the mask blends away — never
+/// uninitialized reads.
+template <typename Kernel>
+struct SimdLaneBuffer {
+  typename Kernel::SimdLanes lanes;
+  simd::LaneArray live;
+  const std::uint32_t* idx = nullptr;
+  std::uint32_t n = 0;
+
+  void fill(const Kernel& kernel, const std::uint32_t* indices,
+            std::uint32_t count, std::uint32_t w, LaunchStats& stats) {
+    idx = indices;
+    n = count;
+    const float on = simd::mask_on();
+    // Slot k holds lane (k mod w); each lane is loaded ONCE and copied
+    // into its replica slots (k >= w), so the replica padding costs
+    // register traffic, not repeated gathers.
+    for (std::uint32_t u = 0; u < w; ++u) {
+      if (u < count) {
+        const auto s = kernel.load(indices[u]);
+        const auto p = kernel.partial(s);
+        lanes.set(u, s, p);
+        live[u] = on;
+        for (std::uint32_t k = u + w; k < w + simd::kWidth; k += w) {
+          lanes.set(k, s, p);
+          live[k] = on;
+        }
+      } else {
+        lanes.set(u, typename Kernel::State{}, typename Kernel::Partial{});
+        live[u] = 0.0f;
+        for (std::uint32_t k = u + w; k < w + simd::kWidth; k += w) {
+          lanes.set(k, typename Kernel::State{}, typename Kernel::Partial{});
+          live[k] = 0.0f;
+        }
+      }
+    }
+    // Accounting parity with the scalar LaneFile: one global load and one
+    // partial evaluation per live lane (replica slots are register
+    // traffic, not loads), so kSimd stats match the scalar schedules.
+    stats.global_loads += count;
+    stats.partial_evals += count;
+  }
+};
+
+/// Accumulate every rotation step onto `self`'s lanes, kWidth lanes per
+/// instruction, and store once per lane — one side of a warp tile.
+/// forward = partner (l + t) mod w per step t (the i-side / kI order);
+/// backward = partner (l - t) mod w (the j-side / kJ order). Starting at
+/// t = 1 skips the same-chunk diagonal (l == m happens only at t = 0).
+template <typename Math, typename Kernel>
+void simd_accum_rows(Kernel& kernel, const SimdLaneBuffer<Kernel>& self,
+                     const SimdLaneBuffer<Kernel>& other, std::uint32_t w,
+                     bool backward, bool skip_diagonal, LaunchStats& stats) {
+  for (std::uint32_t lb = 0; lb < self.n; lb += simd::kWidth) {
+    typename Kernel::SimdAccum acc{};
+    const simd::vmask self_live =
+        simd::cmp_lt(simd::iota() + simd::broadcast(static_cast<float>(lb)),
+                     simd::broadcast(static_cast<float>(self.n)));
+    for (std::uint32_t t = skip_diagonal ? 1u : 0u; t < w; ++t) {
+      const std::uint32_t ob = backward ? (lb + w - t) % w : (lb + t) % w;
+      const simd::vmask live =
+          self_live & simd::loadu_mask(other.live.data() + ob);
+      kernel.template interact_simd<Math>(self.lanes, lb, other.lanes, ob,
+                                          live, acc);
+      stats.interactions += simd::popcount(live);
+    }
+    const std::uint32_t hi = std::min(lb + simd::kWidth, self.n);
+    for (std::uint32_t l = lb; l < hi; ++l) {
+      kernel.store(self.idx[l], acc.lane(l - lb));
+    }
+    stats.stores += hi - lb;
+  }
+}
+
+/// One vector warp tile: the i-side rows always run (forward rotation);
+/// the j-side rows run backward unless the tile is a chunk against
+/// itself, mirroring warp_tile<kBoth>'s do_j / diagonal handling.
+template <typename Math, typename Kernel>
+void simd_warp_tile_both(Kernel& kernel, const SimdLaneBuffer<Kernel>& bi,
+                         const SimdLaneBuffer<Kernel>& bj, std::uint32_t w,
+                         bool same_chunk, LaunchStats& stats) {
+  simd_accum_rows<Math>(kernel, bi, bj, w, /*backward=*/false,
+                        /*skip_diagonal=*/same_chunk, stats);
+  if (!same_chunk) {
+    simd_accum_rows<Math>(kernel, bj, bi, w, /*backward=*/true,
+                          /*skip_diagonal=*/false, stats);
+  }
+}
+
+/// Both-sides vector evaluation of pair (leaf_a, leaf_b) — the kSimd
+/// serial driver, chunk-loop structure identical to warp_split_pair.
+template <typename Math, typename Kernel>
+void simd_warp_split_pair(Kernel& kernel, const tree::ChainingMesh& cm,
+                          std::uint32_t leaf_a, std::uint32_t leaf_b,
+                          std::uint32_t warp_size, LaunchStats& stats) {
+  const tree::Leaf& a = cm.leaf(leaf_a);
+  const tree::Leaf& b = cm.leaf(leaf_b);
+  const std::uint32_t* perm = cm.permutation().data();
+  const std::uint32_t w = std::min(warp_size / 2, kMaxHalfWarp);
+  const bool same_leaf = leaf_a == leaf_b;
+
+  SimdLaneBuffer<Kernel> bi, bj;
+  for (std::uint32_t ci = a.begin; ci < a.end; ci += w) {
+    bi.fill(kernel, perm + ci, std::min(w, a.end - ci), w, stats);
+    const std::uint32_t cj_begin = same_leaf ? ci : b.begin;
+    for (std::uint32_t cj = cj_begin; cj < b.end; cj += w) {
+      bj.fill(kernel, perm + cj, std::min(w, b.end - cj), w, stats);
+      simd_warp_tile_both<Math>(kernel, bi, bj, w, same_leaf && ci == cj,
+                                stats);
+    }
+  }
+}
+
+/// One-sided vector evaluation of cross pair (leaf_a, leaf_b): only the
+/// `side` accumulators run. Chunk-loop structure (owner outermost, lane
+/// buffer hoisted) identical to warp_split_pair_sided.
+template <typename Math, typename Kernel>
+void simd_warp_split_pair_sided(Kernel& kernel, const tree::ChainingMesh& cm,
+                                std::uint32_t leaf_a, std::uint32_t leaf_b,
+                                std::uint32_t warp_size, TileSide side,
+                                LaunchStats& stats) {
+  const tree::Leaf& a = cm.leaf(leaf_a);
+  const tree::Leaf& b = cm.leaf(leaf_b);
+  const std::uint32_t* perm = cm.permutation().data();
+  const std::uint32_t w = std::min(warp_size / 2, kMaxHalfWarp);
+
+  SimdLaneBuffer<Kernel> bi, bj;
+  if (side == TileSide::kI) {
+    for (std::uint32_t ci = a.begin; ci < a.end; ci += w) {
+      bi.fill(kernel, perm + ci, std::min(w, a.end - ci), w, stats);
+      for (std::uint32_t cj = b.begin; cj < b.end; cj += w) {
+        bj.fill(kernel, perm + cj, std::min(w, b.end - cj), w, stats);
+        simd_accum_rows<Math>(kernel, bi, bj, w, /*backward=*/false,
+                              /*skip_diagonal=*/false, stats);
+      }
+    }
+  } else {
+    for (std::uint32_t cj = b.begin; cj < b.end; cj += w) {
+      bj.fill(kernel, perm + cj, std::min(w, b.end - cj), w, stats);
+      for (std::uint32_t ci = a.begin; ci < a.end; ci += w) {
+        bi.fill(kernel, perm + ci, std::min(w, a.end - ci), w, stats);
+        simd_accum_rows<Math>(kernel, bj, bi, w, /*backward=*/true,
+                              /*skip_diagonal=*/false, stats);
+      }
+    }
+  }
+}
+
+/// SimdMath policy dispatch for a both-sides pair.
+template <typename Kernel>
+void simd_pair(Kernel& kernel, const tree::ChainingMesh& cm,
+               std::uint32_t leaf_a, std::uint32_t leaf_b,
+               const LaunchConfig& config, LaunchStats& stats) {
+  if (config.simd_math == SimdMath::kFused) {
+    simd_warp_split_pair<simd::FusedMath>(kernel, cm, leaf_a, leaf_b,
+                                          config.warp_size, stats);
+  } else {
+    simd_warp_split_pair<simd::ExactMath>(kernel, cm, leaf_a, leaf_b,
+                                          config.warp_size, stats);
+  }
+}
+
+/// SimdMath policy dispatch for a one-sided cross pair.
+template <typename Kernel>
+void simd_pair_sided(Kernel& kernel, const tree::ChainingMesh& cm,
+                     std::uint32_t leaf_a, std::uint32_t leaf_b,
+                     const LaunchConfig& config, TileSide side,
+                     LaunchStats& stats) {
+  if (config.simd_math == SimdMath::kFused) {
+    simd_warp_split_pair_sided<simd::FusedMath>(kernel, cm, leaf_a, leaf_b,
+                                                config.warp_size, side, stats);
+  } else {
+    simd_warp_split_pair_sided<simd::ExactMath>(kernel, cm, leaf_a, leaf_b,
+                                                config.warp_size, side, stats);
+  }
+}
+
+}  // namespace crkhacc::gpu::detail

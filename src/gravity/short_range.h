@@ -13,6 +13,7 @@
 
 #include "core/particles.h"
 #include "gpu/device.h"
+#include "gpu/simd.h"
 #include "gpu/warp.h"
 #include "mesh/force_split.h"
 #include "tree/chaining_mesh.h"
@@ -81,6 +82,77 @@ class ShortRangeKernel {
     p_.ax[i] += scale_ * acc.ax;
     p_.ay[i] += scale_ * acc.ay;
     p_.az[i] += scale_ * acc.az;
+  }
+
+  // --- kSimd surface (gpu/warp_simd.h). interact_simd mirrors interact's
+  // expression DAG per lane: the early-out becomes a mask, stores blend.
+  // Keep both bodies in lockstep.
+
+  struct SimdLanes {
+    gpu::simd::LaneArray x, y, z, m;
+    void set(std::uint32_t k, const State& s, const Partial& p) {
+      x[k] = s.x;
+      y[k] = s.y;
+      z[k] = s.z;
+      m[k] = p.m;
+    }
+  };
+
+  struct SimdAccum {
+    gpu::simd::vfloat ax = gpu::simd::vzero();
+    gpu::simd::vfloat ay = gpu::simd::vzero();
+    gpu::simd::vfloat az = gpu::simd::vzero();
+    Accum lane(std::uint32_t l) const {
+      return Accum{gpu::simd::extract(ax, l), gpu::simd::extract(ay, l),
+                   gpu::simd::extract(az, l)};
+    }
+  };
+
+  template <typename Math>
+  void interact_simd(const SimdLanes& self, std::uint32_t sb,
+                     const SimdLanes& other, std::uint32_t ob,
+                     gpu::simd::vmask live, SimdAccum& acc) const {
+    namespace v = gpu::simd;
+    const v::vfloat sx = v::load_aligned(self.x.data() + sb);
+    const v::vfloat sy = v::load_aligned(self.y.data() + sb);
+    const v::vfloat sz = v::load_aligned(self.z.data() + sb);
+    const v::vfloat ox = v::loadu(other.x.data() + ob);
+    const v::vfloat oy = v::loadu(other.y.data() + ob);
+    const v::vfloat oz = v::loadu(other.z.data() + ob);
+    const v::vfloat om = v::loadu(other.m.data() + ob);
+    const v::vfloat dx = sx - ox;
+    const v::vfloat dy = sy - oy;
+    const v::vfloat dz = sz - oz;
+    const v::vfloat r2 = Math::madd(dz, dz, Math::madd(dy, dy, dx * dx));
+    live = live & v::cmp_lt(r2, v::broadcast(cutoff2_)) &
+           v::cmp_gt(r2, v::vzero());
+    // Fully-dead blocks skip the remaining math (and the split factor's
+    // scalar erfc calls) — the scalar driver's early-out, block-wise.
+    // Bitwise neutral: every op below is blended under `live`.
+    if (v::mask_bits(live) == 0) return;
+    const v::vfloat r = v::sqrt(r2);
+    const v::vfloat soft_r2 = r2 + v::broadcast(soft2_);
+    const v::vfloat inv_r3 = v::broadcast(1.0f) / (soft_r2 * v::sqrt(soft_r2));
+    v::vfloat fs = v::broadcast(1.0f);
+    if (split_) {
+      // The split factor is double-precision erfc/exp scalar code; calling
+      // it per live lane keeps kSimd bitwise identical to the scalar path
+      // (split == nullptr launches stay fully vectorized).
+      alignas(32) float rl[v::kWidth];
+      alignas(32) float fl[v::kWidth];
+      v::store(rl, r);
+      const std::uint32_t bits = v::mask_bits(live);
+      for (std::uint32_t l = 0; l < v::kWidth; ++l) {
+        fl[l] = (bits >> l) & 1u
+                    ? static_cast<float>(split_->short_range_factor(rl[l]))
+                    : 1.0f;
+      }
+      fs = v::load_aligned(fl);
+    }
+    const v::vfloat f = v::neg(om) * fs * inv_r3;
+    acc.ax = v::select(live, Math::madd(f, dx, acc.ax), acc.ax);
+    acc.ay = v::select(live, Math::madd(f, dy, acc.ay), acc.ay);
+    acc.az = v::select(live, Math::madd(f, dz, acc.az), acc.az);
   }
 
  private:

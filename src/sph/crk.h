@@ -22,6 +22,8 @@
 
 #include <array>
 
+#include "gpu/simd.h"
+
 namespace crkhacc::sph {
 
 /// Accumulated geometric moments for one particle. m2 is symmetric,
@@ -68,6 +70,31 @@ inline std::array<float, 3> corrected_grad(const CrkCoefficients& c, float w,
   return {c.a * c.b[0] * w + radial * d[0],
           c.a * c.b[1] * w + radial * d[1],
           c.a * c.b[2] * w + radial * d[2]};
+}
+
+/// One vector lane-set of corrected-gradient components.
+struct CorrectedGradV {
+  gpu::simd::vfloat x, y, z;
+};
+
+/// Vector twin of corrected_grad for the kSimd momentum kernel: the same
+/// per-lane expression DAG (the r > 1e-20 guard becomes a select; a*b+c
+/// sites go through Math::madd so ExactMath reproduces the scalar bits
+/// and FusedMath uses real FMA). Keep in lockstep with corrected_grad.
+template <typename Math>
+inline CorrectedGradV corrected_grad_v(
+    gpu::simd::vfloat a, gpu::simd::vfloat bx, gpu::simd::vfloat by,
+    gpu::simd::vfloat bz, gpu::simd::vfloat w, gpu::simd::vfloat dw_dr,
+    gpu::simd::vfloat dx, gpu::simd::vfloat dy, gpu::simd::vfloat dz,
+    gpu::simd::vfloat r) {
+  namespace v = gpu::simd;
+  const v::vfloat lin = Math::madd(
+      bz, dz, Math::madd(by, dy, Math::madd(bx, dx, v::broadcast(1.0f))));
+  const v::vfloat radial = v::select(v::cmp_gt(r, v::broadcast(1e-20f)),
+                                     a * lin * dw_dr / r, v::vzero());
+  return {Math::madd(radial, dx, a * bx * w),
+          Math::madd(radial, dy, a * by * w),
+          Math::madd(radial, dz, a * bz * w)};
 }
 
 }  // namespace crkhacc::sph

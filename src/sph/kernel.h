@@ -5,10 +5,19 @@
 // high-neighbor-count configurations (CRKSPH evaluates ~270 neighbors per
 // particle; Wendland kernels resist the pairing instability there).
 // All functions are float-typed: the short-range solver runs FP32.
+//
+// Each shape also ships vector twins (w_v / dw_dr_v) for the kSimd launch
+// schedule: the SAME expression DAG per lane — every multiply, divide and
+// constant in the same order, branches turned into masked selects — so
+// with contraction disabled (-ffp-contract=off, top-level CMakeLists) the
+// vector value of a live lane is bit-identical to the scalar call. Keep
+// the scalar and vector bodies in lockstep when editing either.
 #pragma once
 
 #include <cmath>
 #include <numbers>
+
+#include "gpu/simd.h"
 
 namespace crkhacc::sph {
 
@@ -38,6 +47,40 @@ struct CubicSpline {
     }
     const float t = 2.0f - q;
     return sigma * (-0.75f * t * t) / h;
+  }
+
+  /// Vector twin of w(): both piecewise branches evaluated, blended by
+  /// q < 1 then zeroed for q >= 2 — per lane, bitwise equal to w().
+  static gpu::simd::vfloat w_v(gpu::simd::vfloat r, gpu::simd::vfloat h) {
+    namespace v = gpu::simd;
+    const v::vfloat q = r / h;
+    const v::vfloat sigma =
+        v::broadcast(static_cast<float>(1.0 / std::numbers::pi)) /
+        (h * h * h);
+    const v::vfloat inner =
+        sigma * (v::broadcast(1.0f) - v::broadcast(1.5f) * q * q +
+                 v::broadcast(0.75f) * q * q * q);
+    const v::vfloat t = v::broadcast(2.0f) - q;
+    const v::vfloat outer = sigma * v::broadcast(0.25f) * t * t * t;
+    const v::vfloat val =
+        v::select(v::cmp_lt(q, v::broadcast(1.0f)), inner, outer);
+    return v::select(v::cmp_lt(q, v::broadcast(2.0f)), val, v::vzero());
+  }
+
+  /// Vector twin of dw_dr().
+  static gpu::simd::vfloat dw_dr_v(gpu::simd::vfloat r, gpu::simd::vfloat h) {
+    namespace v = gpu::simd;
+    const v::vfloat q = r / h;
+    const v::vfloat sigma =
+        v::broadcast(static_cast<float>(1.0 / std::numbers::pi)) /
+        (h * h * h);
+    const v::vfloat inner =
+        sigma * (v::broadcast(-3.0f) * q + v::broadcast(2.25f) * q * q) / h;
+    const v::vfloat t = v::broadcast(2.0f) - q;
+    const v::vfloat outer = sigma * (v::broadcast(-0.75f) * t * t) / h;
+    const v::vfloat val =
+        v::select(v::cmp_lt(q, v::broadcast(1.0f)), inner, outer);
+    return v::select(v::cmp_lt(q, v::broadcast(2.0f)), val, v::vzero());
   }
 };
 
@@ -70,6 +113,39 @@ struct WendlandC4 {
     // d/dq of omq^6 (1 + 6q + 35/3 q^2) = omq^5 (-56/3 q) (1 + 5 q)
     const float dwdq = sigma * omq5 * (-56.0f / 3.0f) * q * (1.0f + 5.0f * q);
     return dwdq / (2.0f * h);
+  }
+
+  /// Vector twin of w() — see CubicSpline::w_v for the contract.
+  static gpu::simd::vfloat w_v(gpu::simd::vfloat r, gpu::simd::vfloat h) {
+    namespace v = gpu::simd;
+    const v::vfloat q = r / (v::broadcast(2.0f) * h);
+    const v::vfloat sigma =
+        v::broadcast(static_cast<float>(495.0 / (32.0 * std::numbers::pi))) /
+        (v::broadcast(8.0f) * h * h * h);
+    const v::vfloat omq = v::broadcast(1.0f) - q;
+    const v::vfloat omq2 = omq * omq;
+    const v::vfloat omq6 = omq2 * omq2 * omq2;
+    const v::vfloat val =
+        sigma * omq6 *
+        (v::broadcast(1.0f) + v::broadcast(6.0f) * q +
+         v::broadcast(35.0f / 3.0f) * q * q);
+    return v::select(v::cmp_lt(q, v::broadcast(1.0f)), val, v::vzero());
+  }
+
+  /// Vector twin of dw_dr().
+  static gpu::simd::vfloat dw_dr_v(gpu::simd::vfloat r, gpu::simd::vfloat h) {
+    namespace v = gpu::simd;
+    const v::vfloat q = r / (v::broadcast(2.0f) * h);
+    const v::vfloat sigma =
+        v::broadcast(static_cast<float>(495.0 / (32.0 * std::numbers::pi))) /
+        (v::broadcast(8.0f) * h * h * h);
+    const v::vfloat omq = v::broadcast(1.0f) - q;
+    const v::vfloat omq2 = omq * omq;
+    const v::vfloat omq5 = omq2 * omq2 * omq;
+    const v::vfloat dwdq = sigma * omq5 * v::broadcast(-56.0f / 3.0f) * q *
+                           (v::broadcast(1.0f) + v::broadcast(5.0f) * q);
+    const v::vfloat val = dwdq / (v::broadcast(2.0f) * h);
+    return v::select(v::cmp_lt(q, v::broadcast(1.0f)), val, v::vzero());
   }
 };
 
