@@ -1,0 +1,268 @@
+// Shrink-and-continue gate: rank-loss recovery wall time + bitwise
+// re-entry.
+//
+// The paper's fault-tolerance argument is that losing a node costs
+// little more than a planned restart: the watchdog converts the wedge
+// into a collective verdict, the campaign relaunches the survivors, and
+// the adopting ranks replay the dead rank's checkpoint chain from the
+// PFS. This bench measures that claim end to end on a 3 -> 2 rank
+// shrink and gates:
+//
+//   1. overhead — the full recovery (watchdog detection + survivor
+//      unwinding + shrunken relaunch running to completion) costs less
+//      than 1.10x a fault-free 2-rank restart doing the same replay
+//      from the same checkpoint step;
+//   2. correctness — the shrunken run's final particle state is bitwise
+//      identical to that fault-free restart (memcmp per column);
+//   3. bookkeeping — exactly one rank file is adopted and the campaign
+//      reports one loss and one shrink recovery.
+//
+// --quick shrinks the problem and runs as the rank_loss_smoke ctest
+// target, so a detection or adoption regression fails the build.
+#include <cstdio>
+#include <cstring>
+#include <chrono>
+#include <filesystem>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "comm/world.h"
+#include "core/campaign.h"
+#include "core/simulation.h"
+#include "io/checkpoint.h"
+#include "io/multi_tier.h"
+#include "io/storage.h"
+
+using namespace crkhacc;
+
+namespace {
+
+namespace fs = std::filesystem;
+using Clock = std::chrono::steady_clock;
+
+core::SimConfig bench_config(bool quick) {
+  core::SimConfig config;
+  config.np = quick ? 8 : 16;
+  config.box = 24.0;
+  config.ng = quick ? 16 : 32;
+  config.z_init = 20.0;
+  config.z_final = 5.0;
+  // Enough steps after the two committed ones that the replayed tail
+  // dominates detection latency — the overhead gate measures recovery
+  // against a restart doing the same replay.
+  config.num_pm_steps = quick ? 5 : 8;
+  config.hydro = false;
+  config.subgrid_on = false;
+  config.bins.max_depth = 4;
+  config.seed = 99;
+  config.rank_loss_policy = core::RankLossPolicy::kShrink;
+  return config;
+}
+
+struct RankRecord {
+  std::uint64_t resume_step = 0;
+  Particles final_particles;
+  core::RunResult result;
+  bool finished = false;
+};
+
+/// One rank/one epoch: initialize (or recover on resume), commit two
+/// steps collectively, then run to completion. Identical comm schedule
+/// across the probe, shrink, and reference phases, so the probed op
+/// budget transfers.
+void epoch_program(comm::Communicator& comm, const core::CampaignEpoch& epoch,
+                   io::ThrottledStore& pfs, const core::SimConfig& config,
+                   std::vector<std::uint64_t>* op_base,
+                   std::vector<std::uint64_t>* op_end,
+                   std::vector<RankRecord>* records) {
+  const auto me = static_cast<std::size_t>(comm.rank());
+  io::MultiTierWriter writer(*epoch.local, pfs,
+                             io::MultiTierConfig{comm.rank(), 16});
+  core::Simulation sim(comm, config);
+  core::RunResult pre;
+  if (epoch.resume) {
+    sim.recover(pfs, pre, &writer);
+  } else {
+    sim.initialize();
+    sim.step(&writer);
+    sim.step(&writer);
+    writer.drain();
+    comm.barrier();
+  }
+  if (op_base != nullptr) (*op_base)[me] = comm.op_count();
+  if (epoch.resume && records != nullptr) {
+    (*records)[me].resume_step = sim.current_step();
+  }
+
+  auto result = sim.run(&writer, &pfs, nullptr);
+  writer.drain();
+  comm.barrier();
+  if (op_end != nullptr) (*op_end)[me] = comm.op_count();
+  if (records != nullptr) {
+    core::merge_recovery_counters(result, pre);
+    epoch.stamp(result);
+    auto& record = (*records)[me];
+    record.final_particles = sim.particles();
+    record.result = result;
+    record.finished = true;
+  }
+}
+
+template <typename T>
+bool same_bits(const std::vector<T>& a, const std::vector<T>& b) {
+  return a.size() == b.size() &&
+         (a.empty() || std::memcmp(a.data(), b.data(), a.size() * sizeof(T)) == 0);
+}
+
+bool bitwise_equal(const Particles& a, const Particles& b) {
+  return same_bits(a.id, b.id) && same_bits(a.x, b.x) && same_bits(a.y, b.y) &&
+         same_bits(a.z, b.z) && same_bits(a.vx, b.vx) &&
+         same_bits(a.vy, b.vy) && same_bits(a.vz, b.vz) &&
+         same_bits(a.mass, b.mass) && same_bits(a.u, b.u) &&
+         same_bits(a.rho, b.rho) && same_bits(a.hsml, b.hsml) &&
+         same_bits(a.metal, b.metal) && same_bits(a.species, b.species) &&
+         same_bits(a.ghost, b.ghost);
+}
+
+struct Stores {
+  io::ThrottledStore pfs;
+  std::vector<std::unique_ptr<io::ThrottledStore>> nvmes;
+  std::vector<io::ThrottledStore*> locals;
+
+  Stores(const fs::path& root, int ranks)
+      : pfs(io::StoreConfig{(root / "pfs").string(), 0.0, 0.0, true}) {
+    for (int r = 0; r < ranks; ++r) {
+      nvmes.push_back(std::make_unique<io::ThrottledStore>(io::StoreConfig{
+          (root / ("nvme" + std::to_string(r))).string(), 0.0, 0.0, false}));
+      locals.push_back(nvmes.back().get());
+    }
+  }
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool quick = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--quick") == 0) quick = true;
+  }
+  const int ranks = 3;
+  const core::SimConfig config = bench_config(quick);
+  const comm::WatchdogConfig fast_watchdog{true, 0.005};
+
+  const auto root = fs::temp_directory_path() / "crkhacc_rank_loss_bench";
+  fs::remove_all(root);
+  fs::create_directories(root);
+
+  std::printf("rank_loss: np=%d ng=%d steps=%d, %d ranks -> %d survivors\n\n",
+              static_cast<int>(config.np), static_cast<int>(config.ng),
+              config.num_pm_steps, ranks, ranks - 1);
+
+  // --- probe: fault-free op budget per rank ------------------------------
+  std::vector<std::uint64_t> op_base(ranks, 0), op_end(ranks, 0);
+  {
+    Stores stores(root / "probe", ranks);
+    comm::World world(ranks);
+    world.run([&](comm::Communicator& comm) {
+      core::CampaignEpoch epoch;
+      epoch.local = stores.locals[static_cast<std::size_t>(comm.rank())];
+      epoch_program(comm, epoch, stores.pfs, config, &op_base, &op_end,
+                    nullptr);
+    });
+  }
+  const std::uint64_t kill_op = (op_base[1] + op_end[1]) / 2;
+  std::printf("probe: rank 1 comm ops %llu..%llu, kill scheduled at op %llu\n",
+              static_cast<unsigned long long>(op_base[1]),
+              static_cast<unsigned long long>(op_end[1]),
+              static_cast<unsigned long long>(kill_op));
+
+  // --- shrink: kill rank 1 mid-run, survive on 2 ranks -------------------
+  Stores shrink_stores(root / "shrink", ranks);
+  std::vector<RankRecord> shrunk(ranks);
+  core::Campaign campaign(core::RankLossPolicy::kShrink, shrink_stores.locals,
+                          fast_watchdog);
+  campaign.schedule_rank_failure(1, kill_op);
+  campaign.run([&](comm::Communicator& comm, const core::CampaignEpoch& epoch) {
+    epoch_program(comm, epoch, shrink_stores.pfs, config, nullptr, nullptr,
+                  &shrunk);
+  });
+  const double recovery_s = campaign.last_recovery_seconds();
+  const std::uint64_t resume_step = shrunk[0].resume_step;
+  std::printf("shrink: recovered from step %llu, recovery %0.3f s "
+              "(detection + shrunken relaunch to completion)\n",
+              static_cast<unsigned long long>(resume_step), recovery_s);
+
+  bool ok = true;
+  if (campaign.rank_losses() != 1 || campaign.shrink_recoveries() != 1 ||
+      !shrunk[0].finished || !shrunk[1].finished ||
+      shrunk[0].result.adopted_rank_files != 1) {
+    std::printf("FAIL: expected 1 loss / 1 shrink recovery / 1 adopted rank "
+                "file, got %llu / %llu / %llu\n",
+                static_cast<unsigned long long>(campaign.rank_losses()),
+                static_cast<unsigned long long>(campaign.shrink_recoveries()),
+                static_cast<unsigned long long>(
+                    shrunk[0].result.adopted_rank_files));
+    ok = false;
+  }
+
+  // --- reference: fault-free 2-rank restart from the same step -----------
+  const auto step_dir =
+      fs::path(io::MultiTierWriter::checkpoint_path(resume_step, 0))
+          .parent_path()
+          .string();
+  Stores ref_stores(root / "reference", ranks - 1);
+  fs::create_directories(
+      fs::path(ref_stores.pfs.full_path(step_dir)).parent_path());
+  fs::copy(shrink_stores.pfs.full_path(step_dir),
+           ref_stores.pfs.full_path(step_dir), fs::copy_options::recursive);
+
+  std::vector<RankRecord> reference(ranks - 1);
+  core::Campaign ref_campaign(core::RankLossPolicy::kShrink, ref_stores.locals,
+                              fast_watchdog);
+  ref_campaign.set_resume(true);
+  const auto restart_begin = Clock::now();
+  ref_campaign.run(
+      [&](comm::Communicator& comm, const core::CampaignEpoch& epoch) {
+        epoch_program(comm, epoch, ref_stores.pfs, config, nullptr, nullptr,
+                      &reference);
+      });
+  const double restart_s =
+      std::chrono::duration<double>(Clock::now() - restart_begin).count();
+  std::printf("reference: fault-free 2-rank restart from step %llu took "
+              "%0.3f s\n\n",
+              static_cast<unsigned long long>(reference[0].resume_step),
+              restart_s);
+
+  if (reference[0].resume_step != resume_step) {
+    std::printf("FAIL: reference restarted from step %llu, not %llu\n",
+                static_cast<unsigned long long>(reference[0].resume_step),
+                static_cast<unsigned long long>(resume_step));
+    ok = false;
+  }
+  for (int r = 0; r < ranks - 1; ++r) {
+    const auto idx = static_cast<std::size_t>(r);
+    if (!bitwise_equal(shrunk[idx].final_particles,
+                       reference[idx].final_particles)) {
+      std::printf("FAIL: rank %d final state differs from the fault-free "
+                  "restart\n", r);
+      ok = false;
+    }
+  }
+  if (ok) {
+    std::printf("re-entry: final state bitwise identical to the fault-free "
+                "restart on both survivors\n");
+  }
+
+  const double overhead = restart_s > 0.0 ? recovery_s / restart_s : 0.0;
+  std::printf("recovery overhead: %0.3f s vs %0.3f s restart -> %0.2fx "
+              "(gate: < 1.10x)\n", recovery_s, restart_s, overhead);
+  if (overhead >= 1.10) {
+    std::printf("FAIL: recovery overhead above the 1.10x gate\n");
+    ok = false;
+  }
+
+  fs::remove_all(root);
+  std::printf("\n%s\n", ok ? "ALL GATES PASS" : "GATE FAILURE");
+  return ok ? 0 : 1;
+}

@@ -12,6 +12,8 @@
 //                            [--launch-schedule=leaf_owner|deferred_store|simd]
 //                            [--sdc-flip-rate=R] [--sdc-flip-seed=S]
 //                            [--ckpt-diff] [--ckpt-audit-on-restore]
+//                            [--rank-loss-policy=fatal|shrink]
+//                            [--kill-rank=R@OP]
 //                            [--trace=FILE] [--metrics]
 //                            [num_ranks] [workdir] [storage_fault_seed]
 //
@@ -49,6 +51,14 @@
 // chunks from the node-local redundant copy (implies keeping local
 // copies after the bleed). Audit runs and repairs land in the report.
 //
+// --rank-loss-policy=shrink keeps the campaign alive when a rank dies:
+// the watchdog converts the survivors' wedge into a collective
+// RankLossError, the campaign relaunches on N-1 ranks, and the adopting
+// ranks replay the dead rank's checkpoint chain from the PFS (round-robin
+// remap) before re-entering the normal exchange path. The default, fatal,
+// ends the run. --kill-rank=R@OP is the drill switch: rank R throws
+// RankFailure at its OP-th comm operation.
+//
 // --sdc=on (the default) arms the in-memory guardrails: a paged CRC
 // snapshot of particle state at each PM-step boundary plus a post-step
 // invariant audit, with rollback-replay on a failed audit. With
@@ -64,7 +74,9 @@
 #include <string>
 #include <vector>
 
+#include "comm/decomposition.h"
 #include "comm/world.h"
+#include "core/campaign.h"
 #include "core/simulation.h"
 #include "gpu/device.h"
 #include "gpu/launch.h"
@@ -81,6 +93,9 @@ int main(int argc, char** argv) {
   bool show_metrics = false;
   bool ckpt_diff = false;
   bool ckpt_audit_on_restore = false;
+  core::RankLossPolicy rank_loss_policy = core::RankLossPolicy::kFatal;
+  int kill_rank = -1;
+  std::uint64_t kill_op = 0;
   std::vector<const char*> positional;
   for (int i = 1; i < argc; ++i) {
     if (std::strncmp(argv[i], "--threads=", 10) == 0) {
@@ -116,6 +131,24 @@ int main(int argc, char** argv) {
       ckpt_diff = true;
     } else if (std::strcmp(argv[i], "--ckpt-audit-on-restore") == 0) {
       ckpt_audit_on_restore = true;
+    } else if (std::strncmp(argv[i], "--rank-loss-policy=", 19) == 0) {
+      const char* value = argv[i] + 19;
+      if (std::strcmp(value, "shrink") == 0) {
+        rank_loss_policy = core::RankLossPolicy::kShrink;
+      } else if (std::strcmp(value, "fatal") != 0) {
+        std::fprintf(stderr,
+                     "unknown --rank-loss-policy '%s' (fatal | shrink)\n",
+                     value);
+        return 2;
+      }
+    } else if (std::strncmp(argv[i], "--kill-rank=", 12) == 0) {
+      unsigned long long op = 0;
+      if (std::sscanf(argv[i] + 12, "%d@%llu", &kill_rank, &op) != 2 ||
+          kill_rank < 0) {
+        std::fprintf(stderr, "--kill-rank wants R@OP, e.g. --kill-rank=1@400\n");
+        return 2;
+      }
+      kill_op = op;
     } else if (std::strcmp(argv[i], "--metrics") == 0) {
       show_metrics = true;
     } else {
@@ -163,6 +196,7 @@ int main(int argc, char** argv) {
   // The audit needs a redundant copy to repair from: keep the node-local
   // file after the bleed instead of deleting it.
   config.ckpt.redundant_local = ckpt_audit_on_restore;
+  config.rank_loss_policy = rank_loss_policy;
 
   const char* schedule_name =
       schedule == gpu::LaunchSchedule::kLeafOwner        ? "leaf_owner"
@@ -180,10 +214,18 @@ int main(int argc, char** argv) {
   std::printf("checkpoints: %s format v2%s\n",
               ckpt_diff ? "differential (chained)" : "full",
               ckpt_audit_on_restore ? ", audit+repair on restore" : "");
-  std::printf("sdc guardrails: %s%s\n\n", sdc_on ? "on" : "off",
+  std::printf("sdc guardrails: %s%s\n", sdc_on ? "on" : "off",
               !sdc_on && sdc_flip_rate > 0.0
                   ? " (flip injector ignored: guardrails off)"
                   : "");
+  std::printf("rank loss policy: %s%s\n\n",
+              rank_loss_policy == core::RankLossPolicy::kShrink ? "shrink"
+                                                                : "fatal",
+              kill_rank >= 0 ? " (kill drill armed)" : "");
+  if (kill_rank >= 0) {
+    std::printf("kill drill: rank %d dies at comm op %llu\n\n", kill_rank,
+                static_cast<unsigned long long>(kill_op));
+  }
   if (sdc_on && sdc_flip_rate > 0.0) {
     std::printf("memory fault injection armed: flip rate %.3f per drill "
                 "point, seed %llu\n\n",
@@ -212,16 +254,28 @@ int main(int argc, char** argv) {
         workdir + "/nvme" + std::to_string(r), 400e6, 0.0, /*shared=*/false}));
   }
 
-  comm::World world(ranks);
-  world.run([&](comm::Communicator& comm) {
+  // The campaign owns the machine: it relaunches a shrunken World after
+  // a rank loss (policy permitting), handing each surviving rank its
+  // node-local tier under the new dense numbering.
+  std::vector<io::ThrottledStore*> locals;
+  locals.reserve(nvmes.size());
+  for (const auto& nvme : nvmes) locals.push_back(nvme.get());
+  core::Campaign campaign(config.rank_loss_policy, locals);
+  if (kill_rank >= 0) campaign.schedule_rank_failure(kill_rank, kill_op);
+  const auto rank_program = [&](comm::Communicator& comm,
+                                const core::CampaignEpoch& epoch) {
     io::MultiTierConfig writer_config;
     writer_config.rank = comm.rank();
     writer_config.checkpoint_window = 3;
     writer_config.ckpt = config.ckpt;
-    io::MultiTierWriter writer(*nvmes[static_cast<std::size_t>(comm.rank())],
-                               pfs, writer_config);
+    io::MultiTierWriter writer(*epoch.local, pfs, writer_config);
     core::Simulation sim(comm, config);
-    sim.initialize();
+    core::RunResult pre;  // adoption/audit counters from a shrink resume
+    if (epoch.resume) {
+      sim.recover(pfs, pre, &writer);
+    } else {
+      sim.initialize();
+    }
 
     // Per-rank seeded injector: deterministic for a given (seed, rank),
     // so a flaky report reproduces exactly.
@@ -240,7 +294,9 @@ int main(int argc, char** argv) {
             static_cast<std::uint64_t>(config.num_pm_steps))) -
         sim.background().time_of(sim.a_at_step(0));
     const io::FaultInjector fault(campaign_time / 3.0, /*seed=*/2);
-    const auto result = sim.run(&writer, &pfs, &fault);
+    auto result = sim.run(&writer, &pfs, &fault);
+    core::merge_recovery_counters(result, pre);
+    epoch.stamp(result);
     writer.drain();
     comm.barrier();
 
@@ -280,6 +336,15 @@ int main(int argc, char** argv) {
                   static_cast<unsigned long long>(result.recovery_attempts),
                   static_cast<unsigned long long>(result.checkpoint_fallbacks),
                   static_cast<unsigned long long>(result.restarts_from_ics));
+      if (result.rank_losses > 0) {
+        std::printf("rank loss: %llu rank(s) lost, %llu shrink "
+                    "recoveries, %llu checkpoint files adopted; finished on "
+                    "%s\n",
+                    static_cast<unsigned long long>(result.rank_losses),
+                    static_cast<unsigned long long>(result.shrink_recoveries),
+                    static_cast<unsigned long long>(result.adopted_rank_files),
+                    sim.decomposition().describe().c_str());
+      }
       std::printf("io hardening: %llu local retries, %llu PFS retries, %llu "
                   "verify failures caught, %llu bleed failures%s\n",
                   static_cast<unsigned long long>(result.io.local_retries),
@@ -429,7 +494,17 @@ int main(int argc, char** argv) {
                     reduced.table().c_str());
       }
     }
-  });
+  };
+  try {
+    campaign.run(rank_program);
+  } catch (const comm::RankLossError& loss) {
+    // Under rank_loss_policy = fatal (or when a shrink would leave no
+    // rank alive) the loss ends the campaign; fail cleanly with the
+    // watchdog's diagnosis instead of std::terminate.
+    std::fprintf(stderr, "campaign aborted by rank loss:\n%s\n", loss.what());
+    std::filesystem::remove_all(workdir);
+    return 1;
+  }
   std::filesystem::remove_all(workdir);
   return 0;
 }

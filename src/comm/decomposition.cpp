@@ -123,4 +123,10 @@ double CartDecomposition::min_image(double dx) const {
   return dx;
 }
 
+std::string CartDecomposition::describe() const {
+  return std::to_string(dims_[0]) + "x" + std::to_string(dims_[1]) + "x" +
+         std::to_string(dims_[2]) + " grid over " +
+         std::to_string(num_ranks()) + " ranks";
+}
+
 }  // namespace crkhacc::comm

@@ -8,6 +8,7 @@
 #pragma once
 
 #include <array>
+#include <string>
 #include <vector>
 
 namespace crkhacc::comm {
@@ -62,6 +63,9 @@ class CartDecomposition {
 
   /// Minimum-image displacement a-b in the periodic box.
   double min_image(double dx) const;
+
+  /// "AxBxC grid over N ranks" — shrink/relaunch log and report lines.
+  std::string describe() const;
 
  private:
   std::array<int, 3> dims_;

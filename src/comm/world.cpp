@@ -63,6 +63,7 @@ void World::run(const std::function<void(Communicator&)>& rank_main) {
     }
   }
   failures_.clear();
+  loss_latency_s_ = 0.0;
   deadlock_flag_.store(false);
   {
     std::lock_guard<std::mutex> lock(state_mutex_);
@@ -88,6 +89,9 @@ void World::run(const std::function<void(Communicator&)>& rank_main) {
       } catch (const RankFailure& failure) {
         {
           std::lock_guard<std::mutex> lock(state_mutex_);
+          if (failures_.empty()) {
+            first_failure_tp_ = std::chrono::steady_clock::now();
+          }
           failures_.push_back(FailureRecord{failure.rank(), failure.op()});
         }
         set_phase(r, Phase::kFailed);
@@ -103,8 +107,19 @@ void World::run(const std::function<void(Communicator&)>& rank_main) {
   if (watchdog.joinable()) watchdog.join();
 
   if (!failures_.empty() || deadlock_flag_.load()) dirty_ = true;
+  if (!failures_.empty()) {
+    loss_latency_s_ = std::chrono::duration<double>(
+                          std::chrono::steady_clock::now() - first_failure_tp_)
+                          .count();
+  }
   if (deadlock_flag_.load()) {
     std::lock_guard<std::mutex> lock(state_mutex_);
+    // A wedge explained by recorded deaths is a rank loss, not a true
+    // deadlock: survivors were blocked on a dead peer. Raise the
+    // shrinkable subclass so a campaign layer can relaunch on N - lost.
+    if (!failures_.empty()) {
+      throw RankLossError(deadlock_diagnosis_, failures_);
+    }
     throw DeadlockError(deadlock_diagnosis_);
   }
 }
@@ -194,12 +209,36 @@ std::string World::watchdog_probe(std::uint64_t& last_progress, bool& armed) {
 
 std::string World::dump_rank_states() {
   std::vector<RankState> snapshot;
+  std::vector<FailureRecord> lost;
   {
     std::lock_guard<std::mutex> lock(state_mutex_);
     snapshot = rank_states_;
+    lost = failures_;
   }
-  std::string out =
-      "communication deadlock: no live rank can make progress\n";
+  // Lead with the root cause. A wedge with recorded deaths is not a
+  // deadlock among live ranks — the survivors are waiting on a peer that
+  // no longer exists, and the headline should say so instead of burying
+  // the dead rank in the per-rank dump.
+  std::string out;
+  if (lost.empty()) {
+    out = "communication deadlock: no live rank can make progress\n";
+  } else {
+    out = "rank loss: ";
+    for (std::size_t i = 0; i < lost.size(); ++i) {
+      if (i > 0) out += ", ";
+      out += "rank " + std::to_string(lost[i].rank) + " died at comm op " +
+             std::to_string(lost[i].op);
+    }
+    out += "; survivors are blocked on the lost rank";
+    out += lost.size() > 1 ? "s\n" : "\n";
+  }
+  std::vector<std::int64_t> death_op(snapshot.size(), -1);
+  for (const auto& f : lost) {
+    if (f.rank >= 0 && f.rank < static_cast<int>(snapshot.size())) {
+      death_op[static_cast<std::size_t>(f.rank)] =
+          static_cast<std::int64_t>(f.op);
+    }
+  }
   for (std::size_t r = 0; r < snapshot.size(); ++r) {
     const auto& state = snapshot[r];
     out += "  rank " + std::to_string(r) + ": ";
@@ -210,6 +249,11 @@ std::string World::dump_rank_states() {
       case Phase::kBlockedRecv:
         out += "blocked in recv(source=" + std::to_string(state.source) +
                ", tag=" + std::to_string(state.tag) + ")";
+        if (state.source >= 0 &&
+            state.source < static_cast<int>(death_op.size()) &&
+            death_op[static_cast<std::size_t>(state.source)] >= 0) {
+          out += " — awaited source is dead";
+        }
         break;
       case Phase::kBlockedBarrier:
         out += "blocked in barrier(generation=" +
@@ -219,7 +263,11 @@ std::string World::dump_rank_states() {
         out += "finished";
         break;
       case Phase::kFailed:
-        out += "failed (rank lost)";
+        out += "failed (rank lost";
+        if (death_op[r] >= 0) {
+          out += " at comm op " + std::to_string(death_op[r]);
+        }
+        out += ")";
         break;
     }
     out += "\n";

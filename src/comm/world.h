@@ -18,9 +18,13 @@
 // watchdog converts the resulting — or any other — communication deadlock
 // into a DeadlockError carrying every rank's blocked state (who it waits
 // on, which tag, which barrier generation) instead of hanging forever.
+// When the wedge is caused by recorded rank deaths, run() raises the
+// RankLossError subclass instead — ULFM's "revoked communicator" moment —
+// naming the dead ranks so a campaign layer can shrink and continue.
 #pragma once
 
 #include <atomic>
+#include <chrono>
 #include <condition_variable>
 #include <cstdint>
 #include <cstring>
@@ -67,6 +71,28 @@ class DeadlockError : public std::runtime_error {
  public:
   explicit DeadlockError(const std::string& diagnosis)
       : std::runtime_error(diagnosis) {}
+};
+
+/// An injected failure observed during a run.
+struct FailureRecord {
+  int rank = 0;
+  std::uint64_t op = 0;
+};
+
+/// Raised instead of a plain DeadlockError when the proven wedge is
+/// explained by recorded rank deaths: the survivors are blocked on a lost
+/// peer, not genuinely deadlocked. Subclasses DeadlockError so existing
+/// fatal-path handlers keep working; a shrink-aware caller catches this
+/// type specifically and relaunches on the survivors.
+class RankLossError : public DeadlockError {
+ public:
+  RankLossError(const std::string& diagnosis,
+                std::vector<FailureRecord> lost)
+      : DeadlockError(diagnosis), lost_(std::move(lost)) {}
+  const std::vector<FailureRecord>& lost() const { return lost_; }
+
+ private:
+  std::vector<FailureRecord> lost_;
 };
 
 /// Per-rank communication handle. Valid only inside World::run.
@@ -201,6 +227,11 @@ class Communicator {
   /// Total bytes this rank has sent point-to-point (diagnostics).
   std::uint64_t bytes_sent() const { return bytes_sent_; }
 
+  /// Communication operations issued so far (the counter
+  /// schedule_rank_failure indexes) — lets harnesses measure an op
+  /// budget on a fault-free run and aim an injected failure inside it.
+  std::uint64_t op_count() const { return op_count_; }
+
  private:
   friend class World;
   Communicator(World& world, int rank) : world_(world), rank_(rank) {}
@@ -237,8 +268,10 @@ class World {
 
   /// Execute `rank_main(comm)` on every rank concurrently; returns after
   /// all ranks finish. May be called repeatedly on the same World.
-  /// Throws DeadlockError (after joining every rank thread) if the
-  /// watchdog proved a communication deadlock; injected RankFailures do
+  /// After joining every rank thread: throws RankLossError if the
+  /// watchdog proved a wedge and ranks were lost (the survivors were
+  /// blocked on a dead peer), DeadlockError if the machine wedged with no
+  /// recorded deaths. A RankFailure that never wedges the survivors does
   /// not throw — inspect failures().
   void run(const std::function<void(Communicator&)>& rank_main);
 
@@ -250,11 +283,14 @@ class World {
   void clear_failure_schedule();
 
   /// Injected failures observed during the most recent run().
-  struct FailureRecord {
-    int rank = 0;
-    std::uint64_t op = 0;
-  };
+  using FailureRecord = comm::FailureRecord;
   std::vector<FailureRecord> failures() const { return failures_; }
+
+  /// Wall seconds from the first rank death of the most recent run()
+  /// until run() returned control (watchdog detection + survivor
+  /// unwinding + thread joins). 0 when no rank was lost. This is the
+  /// detection half of a shrink recovery's wall-time bill.
+  double last_loss_latency_seconds() const { return loss_latency_s_; }
 
  private:
   friend class Communicator;
@@ -314,6 +350,8 @@ class World {
   // --- fault domain -------------------------------------------------------
   std::vector<std::int64_t> fail_at_op_;  ///< per rank; -1 = never
   std::vector<FailureRecord> failures_;
+  std::chrono::steady_clock::time_point first_failure_tp_{};
+  double loss_latency_s_ = 0.0;
   mutable std::mutex state_mutex_;
   std::vector<RankState> rank_states_;
   std::atomic<std::uint64_t> progress_{0};  ///< bumped on any forward step

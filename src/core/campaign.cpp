@@ -1,0 +1,119 @@
+#include "core/campaign.h"
+
+#include <algorithm>
+#include <chrono>
+#include <string>
+
+#include "comm/decomposition.h"
+#include "util/log.h"
+
+namespace crkhacc::core {
+
+void merge_recovery_counters(RunResult& into, const RunResult& pre) {
+  into.recovery_attempts += pre.recovery_attempts;
+  into.checkpoint_fallbacks += pre.checkpoint_fallbacks;
+  into.restarts_from_ics += pre.restarts_from_ics;
+  into.ckpt_audit_runs += pre.ckpt_audit_runs;
+  into.ckpt_audit_damaged_chunks += pre.ckpt_audit_damaged_chunks;
+  into.ckpt_audit_repaired_chunks += pre.ckpt_audit_repaired_chunks;
+  into.adopted_rank_files += pre.adopted_rank_files;
+}
+
+Campaign::Campaign(RankLossPolicy policy,
+                   std::vector<io::ThrottledStore*> locals,
+                   const comm::WatchdogConfig& watchdog)
+    : policy_(policy), locals_(std::move(locals)), watchdog_(watchdog) {
+  CHECK(!locals_.empty());
+}
+
+void Campaign::schedule_rank_failure(int rank, std::uint64_t op) {
+  CHECK(rank >= 0 && rank < ranks());
+  scheduled_failures_.emplace_back(rank, op);
+}
+
+void Campaign::run(const RankProgram& rank_program) {
+  using Clock = std::chrono::steady_clock;
+  CampaignEpoch epoch;
+  epoch.resume = resume_first_epoch_;
+  bool recovery_timing = false;
+  Clock::time_point recovery_start{};
+  double detection_s = 0.0;
+
+  for (;;) {
+    const int n = ranks();
+    comm::World world(n, watchdog_);
+    if (epoch.epoch == 0) {
+      for (const auto& [rank, op] : scheduled_failures_) {
+        world.schedule_rank_failure(rank, op);
+      }
+    }
+    epoch.rank_losses = rank_losses_;
+    epoch.shrink_recoveries = shrink_recoveries_;
+
+    std::vector<comm::FailureRecord> lost;
+    try {
+      world.run([&](comm::Communicator& comm) {
+        CampaignEpoch mine = epoch;
+        mine.local = locals_[static_cast<std::size_t>(comm.rank())];
+        rank_program(comm, mine);
+      });
+      // A death can go unobserved (no survivor ever blocked on the dead
+      // rank); treat it as a loss all the same — the campaign must end
+      // with every live rank having completed an epoch.
+      lost = world.failures();
+    } catch (const comm::RankLossError& loss) {
+      if (policy_ != RankLossPolicy::kShrink) throw;
+      lost = loss.lost();
+    }
+
+    if (lost.empty()) {
+      if (recovery_timing) {
+        recovery_seconds_ =
+            detection_s +
+            std::chrono::duration<double>(Clock::now() - recovery_start)
+                .count();
+      }
+      return;
+    }
+    rank_losses_ += lost.size();
+    if (policy_ != RankLossPolicy::kShrink ||
+        static_cast<int>(lost.size()) >= n) {
+      throw comm::RankLossError(
+          "rank loss is unrecoverable: " +
+              std::to_string(lost.size()) + " of " + std::to_string(n) +
+              " rank(s) lost under policy " +
+              (policy_ == RankLossPolicy::kShrink ? "shrink" : "fatal"),
+          lost);
+    }
+
+    // Shrink: survivors renumber densely. Dead ranks' node-local stores
+    // go with them — their redundant checkpoint copies die with the node,
+    // which is why adoption replays the PFS chain instead.
+    std::vector<int> dead;
+    dead.reserve(lost.size());
+    for (const auto& f : lost) dead.push_back(f.rank);
+    std::sort(dead.rbegin(), dead.rend());
+    dead.erase(std::unique(dead.begin(), dead.end()), dead.end());
+    for (const int r : dead) {
+      locals_.erase(locals_.begin() + r);
+    }
+    ++shrink_recoveries_;
+    recovery_timing = true;
+    recovery_start = Clock::now();
+    detection_s += world.last_loss_latency_seconds();
+
+    const int survivors = ranks();
+    const auto dims = comm::near_cubic_factorization(survivors);
+    HACC_LOG_WARN(
+        "shrink-and-continue: lost %d rank(s), relaunching epoch %llu on "
+        "%d rank(s) (%dx%dx%d grid), resuming from the last "
+        "collectively-committed checkpoint",
+        static_cast<int>(dead.size()),
+        static_cast<unsigned long long>(epoch.epoch + 1), survivors,
+        dims[0], dims[1], dims[2]);
+    ++epoch.epoch;
+    epoch.resume = true;
+  }
+}
+
+}  // namespace crkhacc::core

@@ -1,0 +1,95 @@
+// Campaign-level shrink-and-continue runner.
+//
+// World::run can only report a rank loss by unwinding every rank program:
+// the survivors wedge on the dead peer, the watchdog proves it, and the
+// whole machine comes down as a collective RankLossError. Rebuilding a
+// smaller machine is therefore a between-runs decision — no rank thread
+// can do it from inside. Campaign owns that loop: it launches the rank
+// program on a World and, when ranks are lost under
+// RankLossPolicy::kShrink, drops the dead ranks' node-local stores,
+// relaunches the survivors as a fresh World(n - lost), and asks the rank
+// program to *resume* — Simulation::recover rolls back to the last
+// collectively-committed checkpoint step and the adopting ranks replay
+// the dead ranks' chains by round-robin remap (old rank file f -> new
+// rank f % n), so the lost domains re-enter through the normal exchange
+// path. Under kFatal (the default) a loss propagates unchanged.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "comm/world.h"
+#include "core/config.h"
+#include "core/simulation.h"
+#include "io/storage.h"
+
+namespace crkhacc::core {
+
+/// One epoch's view of the campaign, handed to the rank program on every
+/// (re)launch. `local` is this rank's node-local burst-buffer tier —
+/// indexed by the *current* rank numbering, which changes across shrinks.
+struct CampaignEpoch {
+  std::uint64_t epoch = 0;  ///< 0 = initial launch; +1 per relaunch
+  bool resume = false;      ///< recover from checkpoints instead of init
+  io::ThrottledStore* local = nullptr;
+  std::uint64_t rank_losses = 0;        ///< dead ranks observed so far
+  std::uint64_t shrink_recoveries = 0;  ///< shrunken relaunches so far
+
+  /// Fold the campaign-level loss counters into a rank's RunResult.
+  void stamp(RunResult& result) const {
+    result.rank_losses = rank_losses;
+    result.shrink_recoveries = shrink_recoveries;
+  }
+};
+
+/// Fold the counters a pre-run recover() accumulated into the RunResult
+/// Simulation::run produced afterwards (run starts a fresh result).
+void merge_recovery_counters(RunResult& into, const RunResult& pre);
+
+class Campaign {
+ public:
+  using RankProgram =
+      std::function<void(comm::Communicator&, const CampaignEpoch&)>;
+
+  /// One node-local store per initial rank; entries for dead ranks are
+  /// dropped at each shrink so index == current rank throughout.
+  Campaign(RankLossPolicy policy, std::vector<io::ThrottledStore*> locals,
+           const comm::WatchdogConfig& watchdog = {});
+
+  /// Deterministic failure injection, applied to the first epoch only —
+  /// a relaunched machine starts with a clean schedule.
+  void schedule_rank_failure(int rank, std::uint64_t op);
+
+  /// Make even the first epoch resume from checkpoints (restart
+  /// tooling / reference-run harnesses).
+  void set_resume(bool resume) { resume_first_epoch_ = resume; }
+
+  /// Run the campaign until an epoch completes on every surviving rank.
+  /// Throws RankLossError when a rank is lost under kFatal via the
+  /// watchdog, or when a shrink would leave no rank alive.
+  void run(const RankProgram& rank_program);
+
+  int ranks() const { return static_cast<int>(locals_.size()); }
+  std::uint64_t rank_losses() const { return rank_losses_; }
+  std::uint64_t shrink_recoveries() const { return shrink_recoveries_; }
+
+  /// Wall seconds the most recent shrink recovery cost end to end: from
+  /// the first rank death (watchdog detection + survivor unwinding)
+  /// through the relaunched epoch running to completion. 0 when the
+  /// campaign never lost a rank. This is the number the rank-loss bench
+  /// holds against a fault-free restart.
+  double last_recovery_seconds() const { return recovery_seconds_; }
+
+ private:
+  RankLossPolicy policy_;
+  std::vector<io::ThrottledStore*> locals_;
+  comm::WatchdogConfig watchdog_;
+  std::vector<std::pair<int, std::uint64_t>> scheduled_failures_;
+  bool resume_first_epoch_ = false;
+  std::uint64_t rank_losses_ = 0;
+  std::uint64_t shrink_recoveries_ = 0;
+  double recovery_seconds_ = 0.0;
+};
+
+}  // namespace crkhacc::core

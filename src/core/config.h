@@ -14,6 +14,13 @@
 
 namespace crkhacc::core {
 
+/// What a campaign does when a rank dies mid-run.
+enum class RankLossPolicy {
+  kFatal,   ///< propagate the RankLossError; the run is over (default)
+  kShrink,  ///< relaunch on the survivors, adopting the dead rank's
+            ///< domain from its checkpoint chain (ULFM shrink-and-continue)
+};
+
 struct SimConfig {
   cosmo::Parameters cosmology;
 
@@ -72,6 +79,10 @@ struct SimConfig {
   /// Checkpoint format / differential-chain knobs (ckpt_* parameter-file
   /// keys); forwarded into MultiTierConfig by the drivers.
   io::CkptConfig ckpt;
+
+  /// Campaign-level response to a lost rank (`rank_loss_policy` key);
+  /// honored by core::Campaign, not by a bare World::run.
+  RankLossPolicy rank_loss_policy = RankLossPolicy::kFatal;
 };
 
 }  // namespace crkhacc::core

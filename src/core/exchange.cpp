@@ -76,6 +76,12 @@ ExchangeStats exchange_and_overload(comm::Communicator& comm,
   ExchangeStats stats;
   const int rank = comm.rank();
   const int p = comm.size();
+  // A decomposition built for a different machine size silently routes
+  // particles to ranks that no longer exist (or never receives from ones
+  // that do) — the classic stale-state footgun after a shrink relaunch.
+  CHECK_MSG(decomp.num_ranks() == p,
+            "exchange: decomposition rank count does not match the "
+            "communicator — rebuild CartDecomposition after a resize");
 
   // 1. Drop stale ghosts.
   {

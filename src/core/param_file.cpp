@@ -254,6 +254,20 @@ std::vector<std::string> ParamFile::apply(SimConfig& config) const {
             v.c_str());
         rejected = true;
       }
+    } else if (key == "rank_loss_policy") {
+      const auto v = lower(get_string(key).value_or(""));
+      if (v == "fatal") {
+        config.rank_loss_policy = RankLossPolicy::kFatal;
+      } else if (v == "shrink") {
+        config.rank_loss_policy = RankLossPolicy::kShrink;
+      } else {
+        HACC_LOG_ERROR(
+            "param file: rank_loss_policy = '%s' rejected: expected "
+            "'fatal' (rank loss ends the campaign) or 'shrink' "
+            "(relaunch on the survivors)",
+            v.c_str());
+        rejected = true;
+      }
     } else if (key == "threads") {
       if (auto v = get_int(key)) config.threads = static_cast<int>(*v);
     } else if (key == "trace") {

@@ -674,6 +674,10 @@ void Simulation::recover(io::ThrottledStore& pfs, RunResult& result,
     // the writer's node-local tier when redundant copies were kept.
     io::CkptAuditOptions opts;
     opts.only_rank = comm_.rank();
+    // Stride by the *current* rank count: after a shrink this rank will
+    // restore every writer rank r with r % size == rank, so it must audit
+    // (and repair) that whole adoption set, not just its own number.
+    opts.rank_stride = comm_.size();
     opts.repair = writer != nullptr;
     std::vector<io::ThrottledStore*> sources;
     if (writer != nullptr) sources.push_back(&writer->local_tier());
@@ -703,16 +707,49 @@ void Simulation::recover(io::ThrottledStore& pfs, RunResult& result,
 
   for (std::uint64_t step : candidates) {
     ++result.recovery_attempts;
+    // Each step directory records its own writer count; rank 0 reads it
+    // and broadcasts so every rank applies the same adoption map. When it
+    // differs from the current rank count (the step predates a shrink),
+    // old rank file f is restored by current rank f % size, ascending —
+    // the lost domains ride along and the first exchange re-bins them.
+    std::vector<std::int64_t> writer_count(1, 0);
+    if (comm_.rank() == 0) {
+      writer_count[0] = io::checkpoint_writer_count(pfs, step);
+    }
+    comm_.bcast(writer_count, 0);
+    const int m = static_cast<int>(writer_count[0]);
+    const int n = comm_.size();
+
     Particles restored;
     io::SnapshotMeta meta;
-    const bool ok =
-        io::restore_checkpoint(pfs, step, comm_.rank(), meta, restored) &&
-        meta.step == step;
-    // A checkpoint is only usable if EVERY rank validated its file.
+    bool ok = m >= 1;
+    bool restored_any = false;
+    std::int64_t adopted = 0;
+    for (int f = comm_.rank(); ok && f < m; f += n) {
+      ok = io::restore_checkpoint(pfs, step, f, meta, restored) &&
+           meta.step == step && meta.rank == f &&
+           meta.num_ranks == static_cast<std::int32_t>(m);
+      if (ok) {
+        restored_any = true;
+        if (f != comm_.rank()) ++adopted;
+      }
+    }
+    // A checkpoint is only usable if EVERY rank validated its files.
     if (comm_.all_agree(ok)) {
+      result.adopted_rank_files += static_cast<std::uint64_t>(
+          comm_.allreduce_scalar(adopted, comm::ReduceOp::kSum));
       particles_ = std::move(restored);
-      step_ = meta.step;
-      a_ = meta.scale_factor;
+      step_ = step;
+      // Ranks with no file (m < n after a grow) rebuild the step's scale
+      // factor from the schedule — bitwise equal to the stored value,
+      // since the writer stamped a_at_step(step) at the step boundary.
+      a_ = restored_any ? meta.scale_factor : a_at_step(step);
+      if (m != n && comm_.rank() == 0) {
+        HACC_LOG_WARN(
+            "recovering step %llu written by %d rank(s) onto %d rank(s): "
+            "adopting by round-robin remap",
+            static_cast<unsigned long long>(step), m, n);
+      }
       if (step != candidates.front()) {
         HACC_LOG_WARN(
             "rank %d: newest checkpoint corrupt; recovered from step %llu",

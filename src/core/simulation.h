@@ -112,6 +112,14 @@ struct RunResult {
   std::uint64_t checkpoint_fallbacks = 0;
   /// Times no usable checkpoint survived and the run restarted from ICs.
   std::uint64_t restarts_from_ics = 0;
+  /// Shrink-and-continue accounting. rank_losses / shrink_recoveries are
+  /// campaign-level (stamped by core::Campaign: dead ranks observed and
+  /// shrunken relaunches performed); adopted_rank_files counts checkpoint
+  /// rank files restored by a rank other than their writer during
+  /// round-robin adoption, summed across ranks.
+  std::uint64_t rank_losses = 0;
+  std::uint64_t shrink_recoveries = 0;
+  std::uint64_t adopted_rank_files = 0;
   /// Pre-restore audit accounting (config.ckpt.audit_on_restore):
   /// audit passes run, damaged chunks found, and chunks healed from the
   /// redundant tier, summed across ranks.

@@ -1,6 +1,7 @@
 #include "io/checkpoint.h"
 
 #include <algorithm>
+#include <atomic>
 #include <charconv>
 #include <cstring>
 #include <filesystem>
@@ -8,6 +9,7 @@
 #include "io/column_file.h"
 #include "io/multi_tier.h"
 #include "util/crc32.h"
+#include "util/log.h"
 
 namespace crkhacc::io {
 namespace fs = std::filesystem;
@@ -139,14 +141,40 @@ bool verify_checkpoint_rank(ThrottledStore& pfs, std::uint64_t step,
          is_complete(files.back().parsed);
 }
 
+int checkpoint_writer_count(ThrottledStore& pfs, std::uint64_t step) {
+  std::vector<ChainFile> files;
+  if (!collect_chain(pfs, step, /*rank=*/0, files)) return 0;
+  if (!is_complete(files.back().parsed)) return 0;
+  const std::int32_t recorded = files.front().parsed.meta.snapshot.num_ranks;
+  return recorded >= 1 ? recorded : 0;
+}
+
 std::optional<std::uint64_t> latest_complete_checkpoint(ThrottledStore& pfs,
                                                         int num_ranks) {
+  static std::atomic<bool> warned_rank_mismatch{false};
   for (std::uint64_t step : checkpoint_steps(pfs)) {
+    // Completeness is judged against the step's OWN writer count, never
+    // the caller's: a step whose files record M writers was collectively
+    // committed iff ranks 0..M-1 all verify. Probing the caller's rank
+    // set instead would mis-select a partially-bled M-rank step for any
+    // smaller reader (silently dropping the unbled domains) — exactly
+    // the corruption a post-shrink restart must not suffer.
+    const int recorded = checkpoint_writer_count(pfs, step);
+    if (recorded <= 0) continue;
     bool complete = true;
-    for (int r = 0; r < num_ranks && complete; ++r) {
+    for (int r = 1; r < recorded && complete; ++r) {
       complete = verify_checkpoint_rank(pfs, step, r);
     }
-    if (complete) return step;
+    if (!complete) continue;
+    if (recorded != num_ranks && !warned_rank_mismatch.exchange(true)) {
+      HACC_LOG_WARN(
+          "checkpoint step %llu was committed by ranks 0..%d, not the "
+          "ranks 0..%d this run expects; restore will remap the %d rank "
+          "file(s) onto %d rank(s)",
+          static_cast<unsigned long long>(step), recorded - 1, num_ranks - 1,
+          recorded, num_ranks);
+    }
+    return step;
   }
   return std::nullopt;
 }

@@ -53,8 +53,27 @@ std::vector<std::uint64_t> checkpoint_steps(ThrottledStore& pfs);
 /// and must not be selected by latest_complete_checkpoint.
 bool verify_checkpoint_rank(ThrottledStore& pfs, std::uint64_t step, int rank);
 
-/// Newest step for which all `num_ranks` checkpoint files pass
-/// verify_checkpoint_rank on the PFS. nullopt if none.
+/// Writer-rank count a checkpoint step records about itself: the
+/// `num_ranks` stamped into rank 0's verified file meta. 0 when rank 0's
+/// file is absent or fails verification — a step with no restorable
+/// rank-0 file was never collectively committed. This is what makes a
+/// step directory self-describing: a later run with a different rank
+/// count (e.g. after a shrink) can still tell which files constitute a
+/// complete commit.
+int checkpoint_writer_count(ThrottledStore& pfs, std::uint64_t step);
+
+/// Newest collectively-committed step on the PFS: the newest step whose
+/// files 0..M-1 all pass verify_checkpoint_rank, where M is the writer
+/// count the step records about itself (checkpoint_writer_count). nullopt
+/// if none.
+///
+/// `num_ranks` is the rank set the caller expects; a directory written by
+/// a *different* rank count M (e.g. before a shrink) is tolerated rather
+/// than silently skipped — the step is returned with a one-shot warning
+/// naming the expected vs found rank set, and the caller adopts the
+/// extra (or missing) domains by round-robin remap on restore. A step
+/// only partially bled before a rank died (files recording M writers but
+/// fewer verifiable) never qualifies under any reader rank count.
 std::optional<std::uint64_t> latest_complete_checkpoint(ThrottledStore& pfs,
                                                         int num_ranks);
 

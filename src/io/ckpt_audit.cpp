@@ -105,7 +105,14 @@ CkptAuditReport audit_checkpoints(
     }
 
     for (const int rank : ranks) {
-      if (options.only_rank >= 0 && rank != options.only_rank) continue;
+      if (options.only_rank >= 0) {
+        // With a stride, "mine" is the round-robin adoption set: every
+        // writer rank this (possibly shrunken) rank will restore.
+        const bool mine = options.rank_stride > 0
+                              ? rank % options.rank_stride == options.only_rank
+                              : rank == options.only_rank;
+        if (!mine) continue;
+      }
       ++report.files_scanned;
       const auto rel = MultiTierWriter::checkpoint_path(step, rank);
 

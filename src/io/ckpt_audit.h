@@ -31,6 +31,10 @@ namespace crkhacc::io {
 struct CkptAuditOptions {
   int num_ranks = 0;   ///< files per step; 0 = infer from the directory
   int only_rank = -1;  ///< restrict to one rank's files (-1 = all)
+  int rank_stride = 0;  ///< with only_rank >= 0: audit every writer rank r
+                        ///< with r % rank_stride == only_rank — the
+                        ///< round-robin adoption set a shrunken run will
+                        ///< restore. 0 = only_rank's own files only.
   std::optional<std::uint64_t> only_step;  ///< restrict to one step
   bool repair = false;  ///< attempt repairs (requires a source for chunk
                         ///< and whole-file repairs; marker re-stamping

@@ -201,20 +201,73 @@ TEST(WorldFaults, WatchdogConvertsMismatchedRecvIntoDiagnostic) {
 
 TEST(WorldFaults, WatchdogReportsBarrierDeadlock) {
   // Rank 1 dies before the barrier; the survivor waits on a barrier that
-  // can never complete.
+  // can never complete. The diagnosis must lead with the dead rank and
+  // its last comm op — not a generic all-ranks-blocked deadlock.
   World world(2, fast_watchdog());
   world.schedule_rank_failure(1, /*op=*/0);
   try {
     world.run([](Communicator& comm) { comm.barrier(); });
-    FAIL() << "expected DeadlockError";
-  } catch (const DeadlockError& e) {
+    FAIL() << "expected RankLossError";
+  } catch (const RankLossError& e) {
     const std::string what = e.what();
+    EXPECT_NE(what.find("rank 1 died at comm op 0"), std::string::npos)
+        << what;
+    EXPECT_EQ(what.find("communication deadlock"), std::string::npos) << what;
     EXPECT_NE(what.find("blocked in barrier"), std::string::npos) << what;
-    EXPECT_NE(what.find("failed (rank lost)"), std::string::npos) << what;
+    EXPECT_NE(what.find("failed (rank lost at comm op 0)"), std::string::npos)
+        << what;
+    ASSERT_EQ(e.lost().size(), 1u);
+    EXPECT_EQ(e.lost()[0].rank, 1);
+    EXPECT_EQ(e.lost()[0].op, 0u);
   }
   ASSERT_EQ(world.failures().size(), 1u);
   EXPECT_EQ(world.failures()[0].rank, 1);
+  EXPECT_GT(world.last_loss_latency_seconds(), 0.0);
   world.clear_failure_schedule();
+}
+
+TEST(WorldFaults, RankLossNamesDeadSourceInRecvDiagnosis) {
+  // Rank 0 blocks receiving from rank 1, which dies instead of sending:
+  // the survivor's blocked line must point at the dead source.
+  World world(2, fast_watchdog());
+  world.schedule_rank_failure(1, /*op=*/0);
+  try {
+    world.run([](Communicator& comm) {
+      if (comm.rank() == 0) {
+        comm.recv_value<int>(1, /*tag=*/3);
+      } else {
+        comm.send_value(0, /*tag=*/3, 42);  // op 0: dies before sending
+      }
+    });
+    FAIL() << "expected RankLossError";
+  } catch (const RankLossError& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("rank 1 died at comm op 0"), std::string::npos)
+        << what;
+    EXPECT_NE(what.find("recv(source=1, tag=3) — awaited source is dead"),
+              std::string::npos)
+        << what;
+  }
+  world.clear_failure_schedule();
+}
+
+TEST(WorldFaults, TrueDeadlockStillRaisesPlainDeadlockError) {
+  // No failure schedule: a genuine deadlock must NOT be classified as a
+  // rank loss.
+  World world(2, fast_watchdog());
+  try {
+    world.run([](Communicator& comm) {
+      comm.recv_bytes(1 - comm.rank(), /*tag=*/1);  // nobody sends
+    });
+    FAIL() << "expected DeadlockError";
+  } catch (const RankLossError&) {
+    FAIL() << "a failure-free deadlock must not be a RankLossError";
+  } catch (const DeadlockError& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("communication deadlock"), std::string::npos) << what;
+  }
+  EXPECT_TRUE(world.failures().empty());
+  EXPECT_DOUBLE_EQ(world.last_loss_latency_seconds(), 0.0);
 }
 
 TEST(WorldFaults, RankFailureUnwindsCleanlyWhenUnobserved) {
@@ -365,6 +418,67 @@ TEST_P(DecompositionTest, NeighborRelationIsSymmetric) {
 
 INSTANTIATE_TEST_SUITE_P(RankCounts, DecompositionTest,
                          ::testing::Values(1, 2, 4, 8, 12, 27));
+
+// Shrink remapping: after a rank loss the survivors rebuild the
+// decomposition at N-1 and every particle must land in exactly one new
+// domain. Exercised over the (N, N-1) pairs a shrink actually produces.
+class ShrinkRemapTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(ShrinkRemapTest, OwnerOfIsTotalDisjointCoverAtBothRankCounts) {
+  const double box = 100.0;
+  for (const int n : {GetParam(), GetParam() - 1}) {
+    const CartDecomposition decomp(n, box);
+    ASSERT_EQ(decomp.num_ranks(), n);
+    std::vector<std::uint64_t> owned(static_cast<std::size_t>(n), 0);
+    // Dense lattice sample, offset off the domain faces where ownership
+    // changes hands.
+    const int samples = 16;
+    for (int i = 0; i < samples; ++i) {
+      for (int j = 0; j < samples; ++j) {
+        for (int k = 0; k < samples; ++k) {
+          const std::array<double, 3> p{(i + 0.37) * box / samples,
+                                        (j + 0.37) * box / samples,
+                                        (k + 0.37) * box / samples};
+          const int owner = decomp.owner_of(p);
+          ASSERT_GE(owner, 0);
+          ASSERT_LT(owner, n);
+          ++owned[static_cast<std::size_t>(owner)];
+          // Disjoint: the owner's box contains the point and no other
+          // rank's does (local boxes are half-open, so membership is
+          // exclusive by construction — assert it anyway).
+          EXPECT_TRUE(decomp.local_box(owner).contains(p));
+          for (int r = 0; r < n; ++r) {
+            if (r == owner) continue;
+            EXPECT_FALSE(decomp.local_box(r).contains(p))
+                << "n=" << n << " point owned by both " << owner << " and "
+                << r;
+          }
+        }
+      }
+    }
+    // Total: every rank owns a share of a uniform sample.
+    for (int r = 0; r < n; ++r) {
+      EXPECT_GT(owned[static_cast<std::size_t>(r)], 0u)
+          << "n=" << n << " rank " << r << " owns nothing";
+    }
+  }
+}
+
+TEST_P(ShrinkRemapTest, NeighborsStaySymmetricAfterRefactorization) {
+  // The N-1 grid is a different factorization, not a sub-grid of N; the
+  // neighbor relation must come out symmetric from scratch.
+  const CartDecomposition shrunk(GetParam() - 1, 100.0);
+  for (int r = 0; r < shrunk.num_ranks(); ++r) {
+    for (int nb : shrunk.neighbors_of(r)) {
+      const auto back = shrunk.neighbors_of(nb);
+      EXPECT_NE(std::find(back.begin(), back.end(), r), back.end())
+          << "rank " << nb << " does not list " << r << " back";
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(ShrinkPairs, ShrinkRemapTest,
+                         ::testing::Values(2, 3, 4, 8, 12, 27));
 
 TEST(Decomposition, WrapAndMinImage) {
   const CartDecomposition decomp(8, 10.0);

@@ -282,6 +282,28 @@ launch_schedule = deferred_store
   EXPECT_EQ(keep.sph.launch.schedule, gpu::LaunchSchedule::kLeafOwner);
 }
 
+TEST(ParamFile, AppliesRankLossPolicyAndRejectsUnknownValues) {
+  const auto params = ParamFile::parse("rank_loss_policy = shrink\n");
+  ASSERT_TRUE(params.has_value());
+  SimConfig config;
+  EXPECT_TRUE(params->apply(config).empty());
+  EXPECT_EQ(config.rank_loss_policy, RankLossPolicy::kShrink);
+
+  const auto back = ParamFile::parse("rank_loss_policy = fatal\n");
+  ASSERT_TRUE(back.has_value());
+  EXPECT_TRUE(back->apply(config).empty());
+  EXPECT_EQ(config.rank_loss_policy, RankLossPolicy::kFatal);
+
+  // An unknown policy is flagged and the previous value kept — a typo
+  // must not silently downgrade a shrink campaign to fatal.
+  const auto bad = ParamFile::parse("rank_loss_policy = respawn\n");
+  ASSERT_TRUE(bad.has_value());
+  SimConfig keep;
+  keep.rank_loss_policy = RankLossPolicy::kShrink;
+  EXPECT_EQ(bad->apply(keep).size(), 1u);
+  EXPECT_EQ(keep.rank_loss_policy, RankLossPolicy::kShrink);
+}
+
 TEST(Diagnostics, ConservationSnapshotReducesGlobally) {
   comm::World world(2);
   world.run([](comm::Communicator& comm) {

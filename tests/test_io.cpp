@@ -333,10 +333,12 @@ TEST(Checkpoint, FindsNewestCompleteAcrossRanks) {
       SnapshotMeta meta;
       meta.step = step;
       meta.rank = r;
+      meta.num_ranks = num_ranks;  // the real writer stamps this
       writers[static_cast<std::size_t>(r)]->write_checkpoint(meta, p);
     }
   }
   for (auto& w : writers) w->drain();
+  EXPECT_EQ(checkpoint_writer_count(tiers.pfs, 3), num_ranks);
   auto latest = latest_complete_checkpoint(tiers.pfs, num_ranks);
   ASSERT_TRUE(latest.has_value());
   EXPECT_EQ(*latest, 3u);
@@ -346,6 +348,52 @@ TEST(Checkpoint, FindsNewestCompleteAcrossRanks) {
   latest = latest_complete_checkpoint(tiers.pfs, num_ranks);
   ASSERT_TRUE(latest.has_value());
   EXPECT_EQ(*latest, 2u);
+}
+
+TEST(Checkpoint, ToleratesDirectoryWrittenByDifferentRankCount) {
+  // A step committed by 3 ranks read by a 2-rank (post-shrink) or 4-rank
+  // (grown) run: the directory's own account of itself says ranks 0..2
+  // constitute a complete commit, so discovery must return the step (and
+  // warn) instead of silently reporting nothing.
+  Tiers tiers;
+  const auto p = sample_particles(12, 21);
+  for (int r = 0; r < 3; ++r) {
+    MultiTierWriter writer(tiers.nvme, tiers.pfs, MultiTierConfig{r, 8});
+    SnapshotMeta meta;
+    meta.step = 5;
+    meta.rank = r;
+    meta.num_ranks = 3;
+    writer.write_checkpoint(meta, p);
+    writer.drain();
+  }
+  for (const int readers : {2, 4}) {
+    const auto latest = latest_complete_checkpoint(tiers.pfs, readers);
+    ASSERT_TRUE(latest.has_value()) << "readers=" << readers;
+    EXPECT_EQ(*latest, 5u) << "readers=" << readers;
+  }
+}
+
+TEST(Checkpoint, PartiallyCommittedStepNeverQualifies) {
+  // Ranks 0 and 1 bled their files but rank 2 died first: every present
+  // file records 3 writers, so the step was never collectively committed
+  // — no reader rank count may select it, including the 2-rank reader
+  // the surviving pair becomes after the shrink.
+  Tiers tiers;
+  const auto p = sample_particles(12, 22);
+  for (int r = 0; r < 2; ++r) {
+    MultiTierWriter writer(tiers.nvme, tiers.pfs, MultiTierConfig{r, 8});
+    SnapshotMeta meta;
+    meta.step = 6;
+    meta.rank = r;
+    meta.num_ranks = 3;
+    writer.write_checkpoint(meta, p);
+    writer.drain();
+  }
+  EXPECT_EQ(checkpoint_writer_count(tiers.pfs, 6), 3);
+  for (const int readers : {2, 3}) {
+    EXPECT_FALSE(latest_complete_checkpoint(tiers.pfs, readers).has_value())
+        << "readers=" << readers;
+  }
 }
 
 TEST(Checkpoint, EmptyStoreHasNoCheckpoint) {
