@@ -34,7 +34,8 @@ Outcome run_mode(bool rebuild_every_substep) {
   std::mutex mutex;
   comm::World world(1);
   world.run([&](comm::Communicator& comm) {
-    core::Simulation sim(comm, config);
+    core::SimContext ctx(config.threads);
+    core::Simulation sim(ctx, comm, config);
     sim.initialize();
     sim.run();
     std::lock_guard<std::mutex> lock(mutex);

@@ -44,7 +44,8 @@ int main() {
 
   comm::World world(ranks);
   world.run([&](comm::Communicator& comm) {
-    core::Simulation sim(comm, config);
+    core::SimContext ctx(config.threads);
+    core::Simulation sim(ctx, comm, config);
     sim.initialize();
     // Capture after the first step (high z) and at the end (low z).
     for (int s = 0; s < config.num_pm_steps; ++s) {

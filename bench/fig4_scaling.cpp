@@ -38,7 +38,8 @@ ScalingPoint run_case(int ranks, const core::SimConfig& config) {
   std::mutex mutex;
   comm::World world(ranks);
   world.run([&](comm::Communicator& comm) {
-    core::Simulation sim(comm, config);
+    core::SimContext ctx(config.threads);
+    core::Simulation sim(ctx, comm, config);
     sim.initialize();
     for (int s = 0; s < config.num_pm_steps; ++s) {
       sim.step();

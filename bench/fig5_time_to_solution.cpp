@@ -74,7 +74,8 @@ int main() {
   world.run([&](comm::Communicator& comm) {
     io::MultiTierWriter writer(*nvmes[static_cast<std::size_t>(comm.rank())],
                                pfs, io::MultiTierConfig{comm.rank(), 3});
-    core::Simulation sim(comm, config);
+    core::SimContext ctx(config.threads);
+    core::Simulation sim(ctx, comm, config);
     sim.initialize();
     double cumulative = 0.0;
     for (int s = 0; s < config.num_pm_steps; ++s) {
@@ -153,7 +154,8 @@ int main() {
     go_config.analysis_every = 0;
     comm::World world2(ranks);
     world2.run([&](comm::Communicator& comm) {
-      core::Simulation sim(comm, go_config);
+      core::SimContext ctx(go_config.threads);
+      core::Simulation sim(ctx, comm, go_config);
       sim.initialize();
       const auto result = sim.run();
       (void)result;

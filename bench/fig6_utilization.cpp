@@ -33,7 +33,8 @@ std::vector<double> run_distribution(int ranks, const core::SimConfig& config) {
   comm::World world(ranks);
   std::mutex mutex;
   world.run([&](comm::Communicator& comm) {
-    core::Simulation sim(comm, config);
+    core::SimContext ctx(config.threads);
+    core::Simulation sim(ctx, comm, config);
     sim.initialize();
     sim.run();
     const double sustained = sim.flops().sustained_gflops();
@@ -74,7 +75,8 @@ int main() {
     double sustained = 0.0;
     comm::World world(1);
     world.run([&](comm::Communicator& comm) {
-      core::Simulation sim(comm, config);
+      core::SimContext ctx(config.threads);
+      core::Simulation sim(ctx, comm, config);
       sim.initialize();
       sim.run();
       sustained = sim.flops().sustained_gflops();

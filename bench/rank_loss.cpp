@@ -79,7 +79,8 @@ void epoch_program(comm::Communicator& comm, const core::CampaignEpoch& epoch,
   const auto me = static_cast<std::size_t>(comm.rank());
   io::MultiTierWriter writer(*epoch.local, pfs,
                              io::MultiTierConfig{comm.rank(), 16});
-  core::Simulation sim(comm, config);
+  core::SimContext ctx(config.threads);
+  core::Simulation sim(ctx, comm, config);
   core::RunResult pre;
   if (epoch.resume) {
     sim.recover(pfs, pre, &writer);
@@ -100,7 +101,7 @@ void epoch_program(comm::Communicator& comm, const core::CampaignEpoch& epoch,
   comm.barrier();
   if (op_end != nullptr) (*op_end)[me] = comm.op_count();
   if (records != nullptr) {
-    core::merge_recovery_counters(result, pre);
+    result.merge(pre);
     epoch.stamp(result);
     auto& record = (*records)[me];
     record.final_particles = sim.particles();

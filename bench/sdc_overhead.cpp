@@ -41,7 +41,8 @@ CasePoint run_case(const core::SimConfig& config) {
   comm::World world(1);
   world.run([&](comm::Communicator& comm) {
     Stopwatch total;
-    core::Simulation sim(comm, config);
+    core::SimContext ctx(config.threads);
+    core::Simulation sim(ctx, comm, config);
     sim.initialize();
     const auto result = sim.run();
     point.wall_seconds = total.seconds();

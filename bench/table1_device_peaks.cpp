@@ -38,7 +38,8 @@ int main() {
   world.run([&](comm::Communicator& comm) {
     auto config = bench::scaled_config(1, 14, /*hydro=*/true);
     config.num_pm_steps = 1;
-    core::Simulation sim(comm, config);
+    core::SimContext ctx(config.threads);
+    core::Simulation sim(ctx, comm, config);
     sim.initialize();
     sim.step();
     const auto& flops = sim.flops();

@@ -52,7 +52,8 @@ ThreadPoint run_case(unsigned threads, const core::SimConfig& base) {
   comm::World world(1);
   world.run([&](comm::Communicator& comm) {
     Stopwatch total;
-    core::Simulation sim(comm, config);
+    core::SimContext ctx(config.threads);
+    core::Simulation sim(ctx, comm, config);
     sim.initialize();
     for (int s = 0; s < config.num_pm_steps; ++s) sim.step();
     point.total_seconds = total.seconds();

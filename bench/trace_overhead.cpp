@@ -78,7 +78,8 @@ RunSample run_sim(const core::SimConfig& config) {
   RunSample sample;
   comm::World world(1);
   world.run([&](comm::Communicator& comm) {
-    core::Simulation sim(comm, config);
+    core::SimContext ctx(config.threads);
+    core::Simulation sim(ctx, comm, config);
     sim.initialize();
     for (int s = 0; s < config.num_pm_steps; ++s) {
       Stopwatch watch;

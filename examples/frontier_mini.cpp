@@ -269,7 +269,8 @@ int main(int argc, char** argv) {
     writer_config.checkpoint_window = 3;
     writer_config.ckpt = config.ckpt;
     io::MultiTierWriter writer(*epoch.local, pfs, writer_config);
-    core::Simulation sim(comm, config);
+    core::SimContext ctx(config.threads);
+    core::Simulation sim(ctx, comm, config);
     core::RunResult pre;  // adoption/audit counters from a shrink resume
     if (epoch.resume) {
       sim.recover(pfs, pre, &writer);
@@ -295,7 +296,10 @@ int main(int argc, char** argv) {
         sim.background().time_of(sim.a_at_step(0));
     const io::FaultInjector fault(campaign_time / 3.0, /*seed=*/2);
     auto result = sim.run(&writer, &pfs, &fault);
-    core::merge_recovery_counters(result, pre);
+    // mem_faults is declared after sim and destructs first; disarm now
+    // (Simulation CHECK-aborts if an armed injector dies before it).
+    sim.set_memory_fault_injector(nullptr);
+    result.merge(pre);
     epoch.stamp(result);
     writer.drain();
     comm.barrier();

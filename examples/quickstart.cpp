@@ -63,7 +63,8 @@ int main(int argc, char** argv) {
 
   comm::World world(ranks);
   world.run([&](comm::Communicator& comm) {
-    core::Simulation sim(comm, config);
+    core::SimContext ctx(config.threads);
+    core::Simulation sim(ctx, comm, config);
     sim.initialize();
     const auto result = sim.run();
 

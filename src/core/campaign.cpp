@@ -9,16 +9,6 @@
 
 namespace crkhacc::core {
 
-void merge_recovery_counters(RunResult& into, const RunResult& pre) {
-  into.recovery_attempts += pre.recovery_attempts;
-  into.checkpoint_fallbacks += pre.checkpoint_fallbacks;
-  into.restarts_from_ics += pre.restarts_from_ics;
-  into.ckpt_audit_runs += pre.ckpt_audit_runs;
-  into.ckpt_audit_damaged_chunks += pre.ckpt_audit_damaged_chunks;
-  into.ckpt_audit_repaired_chunks += pre.ckpt_audit_repaired_chunks;
-  into.adopted_rank_files += pre.adopted_rank_files;
-}
-
 Campaign::Campaign(RankLossPolicy policy,
                    std::vector<io::ThrottledStore*> locals,
                    const comm::WatchdogConfig& watchdog)

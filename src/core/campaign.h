@@ -37,15 +37,13 @@ struct CampaignEpoch {
   std::uint64_t shrink_recoveries = 0;  ///< shrunken relaunches so far
 
   /// Fold the campaign-level loss counters into a rank's RunResult.
+  /// (Counters a pre-run recover() accumulated fold in separately via
+  /// RunResult::merge — see core/simulation.h for the per-field policy.)
   void stamp(RunResult& result) const {
     result.rank_losses = rank_losses;
     result.shrink_recoveries = shrink_recoveries;
   }
 };
-
-/// Fold the counters a pre-run recover() accumulated into the RunResult
-/// Simulation::run produced afterwards (run starts a fresh result).
-void merge_recovery_counters(RunResult& into, const RunResult& pre);
 
 class Campaign {
  public:

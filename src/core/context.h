@@ -1,0 +1,113 @@
+// Shared immutable scenario context.
+//
+// A campaign is a fleet of simulations, not one run: parameter sweeps,
+// ensemble ICs, mock-survey production. Today every Simulation privately
+// owns its thread pool, cooling tables, and IC machinery, so N scenarios
+// cost N x the setup and fight each other for cores. SimContext is the
+// redesigned construction root: it owns the process-wide worker pool and
+// caches of the expensive *immutable* assets —
+//
+//   * the util::ThreadPool every borrowing Simulation schedules on,
+//   * CoolingTable instances keyed bit-exactly on their CoolingConfig,
+//   * primed initial states (the particle state right after
+//     Simulation::initialize(): IC generation + exchange + solver
+//     priming) keyed on every config field that feeds that path,
+//   * FFT plans (process-wide in fft/fft.cpp, keyed by transform
+//     length; surfaced here through asset_stats()).
+//
+// Assets are built once, immutable after build, and handed out as
+// shared_ptr<const T> value-semantics handles — sharing is safe because
+// nothing ever mutates a cached asset. The pool's thread count is
+// deliberately NOT part of any cache key: results are bitwise identical
+// for every thread count (util/thread_pool.h), so a state primed at one
+// width is valid at any other.
+//
+// Concurrency contract: one SimContext serves one rank thread. Share it
+// across the Simulations of that rank (sequentially or slice-interleaved
+// by core::ScenarioService), never across ranks stepping concurrently —
+// ThreadPool regions must not be entered from two external threads at
+// once. The asset caches themselves are mutex-guarded, so concurrent
+// lookups are safe.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+
+#include "core/config.h"
+#include "core/particles.h"
+#include "subgrid/cooling.h"
+#include "util/thread_pool.h"
+
+namespace crkhacc::core {
+
+/// The particle state Simulation::initialize() ends with: ICs generated,
+/// exchanged/overloaded, solver state primed. Immutable once stored.
+struct CachedInitialState {
+  Particles particles;
+  double scale_factor = 0.0;
+};
+
+class SimContext {
+ public:
+  /// Thread-count mapping matches SimConfig::threads: 0 selects hardware
+  /// concurrency, negative values fall back to 1.
+  explicit SimContext(int threads = 1);
+
+  SimContext(const SimContext&) = delete;
+  SimContext& operator=(const SimContext&) = delete;
+
+  util::ThreadPool& thread_pool() { return pool_; }
+  const util::ThreadPool& thread_pool() const { return pool_; }
+
+  /// The cooling/EOS table for `config`, built on first request and
+  /// shared (bit-exact config key) afterwards.
+  std::shared_ptr<const subgrid::CoolingTable> cooling_table(
+      const subgrid::CoolingConfig& config);
+
+  /// Cached initial state lookup; null on miss. Keys come from
+  /// initial_state_key().
+  std::shared_ptr<const CachedInitialState> find_initial_state(
+      const std::string& key);
+
+  /// Publish a freshly primed initial state (first writer wins; a
+  /// concurrent duplicate is dropped).
+  void store_initial_state(const std::string& key, CachedInitialState state);
+
+  /// Bit-exact serialization of every config field that feeds
+  /// initialize(): IC generation (np/box/z_init/seed/species/T_init and
+  /// the full cosmology), the domain (rank, size), the force-split and
+  /// SPH parameters that shape priming, and the kernel launch policy.
+  /// `threads` is deliberately excluded — results are thread-count
+  /// invariant by the pool's determinism contract.
+  static std::string initial_state_key(const SimConfig& config, int rank,
+                                       int size);
+
+  /// Cache accounting, including the process-wide FFT plan cache.
+  struct AssetStats {
+    std::uint64_t cooling_hits = 0;
+    std::uint64_t cooling_misses = 0;
+    std::uint64_t initial_state_hits = 0;
+    std::uint64_t initial_state_misses = 0;
+    std::uint64_t fft_plan_hits = 0;    ///< process-wide (fft/fft.h)
+    std::uint64_t fft_plan_misses = 0;  ///< process-wide (fft/fft.h)
+  };
+  AssetStats asset_stats() const;
+
+ private:
+  util::ThreadPool pool_;
+
+  mutable std::mutex mutex_;
+  std::map<std::string, std::shared_ptr<const subgrid::CoolingTable>>
+      cooling_tables_;
+  std::map<std::string, std::shared_ptr<const CachedInitialState>>
+      initial_states_;
+  std::uint64_t cooling_hits_ = 0;
+  std::uint64_t cooling_misses_ = 0;
+  std::uint64_t initial_state_hits_ = 0;
+  std::uint64_t initial_state_misses_ = 0;
+};
+
+}  // namespace crkhacc::core

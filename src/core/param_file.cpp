@@ -7,6 +7,7 @@
 #include <set>
 #include <sstream>
 
+#include "core/service.h"
 #include "gpu/device.h"
 #include "util/log.h"
 
@@ -24,6 +25,29 @@ std::string lower(std::string s) {
   std::transform(s.begin(), s.end(), s.begin(),
                  [](unsigned char c) { return std::tolower(c); });
   return s;
+}
+
+bool has_service_prefix(const std::string& key) {
+  return key.rfind("service_", 0) == 0;
+}
+
+// Process-wide warn-once state for unknown keys: apply() runs on every
+// rank (and, under ScenarioService, for every job overlay), so a typo'd
+// knob is reported exactly once per process, not once per caller. File
+// scope (not function-local) so unknown_keys_warned() can read it.
+std::mutex g_warned_mutex;
+std::set<std::string>& warned_keys() {
+  static std::set<std::string> keys;
+  return keys;
+}
+
+/// Warn (once per process) and record `key` as unknown.
+void warn_unknown_key(const std::string& key) {
+  std::lock_guard<std::mutex> lock(g_warned_mutex);
+  if (warned_keys().insert(key).second) {
+    HACC_LOG_WARN("param file: unknown key '%s' ignored (defaults used)",
+                  key.c_str());
+  }
 }
 
 }  // namespace
@@ -120,6 +144,7 @@ std::vector<std::string> ParamFile::apply(SimConfig& config) const {
   std::vector<std::string> unknown;
   for (const auto& [key, value] : values_) {
     (void)value;
+    if (has_service_prefix(key)) continue;  // ServiceConfig overload's business
     bool ok = true;
     // Recognized key whose value was rejected (specific error already
     // logged) — reported to the caller without the unknown-key warning.
@@ -354,19 +379,87 @@ std::vector<std::string> ParamFile::apply(SimConfig& config) const {
       // A typo'd knob silently running with its default is exactly the
       // failure mode the sdc_* gates exist to avoid — say so, loudly,
       // but only once per key per process (apply() runs on every rank).
-      static std::mutex warned_mutex;
-      static std::set<std::string> warned;
-      std::lock_guard<std::mutex> lock(warned_mutex);
-      if (warned.insert(key).second) {
-        HACC_LOG_WARN("param file: unknown key '%s' ignored (defaults used)",
-                      key.c_str());
-      }
+      warn_unknown_key(key);
       unknown.push_back(key);
     } else if (rejected) {
       unknown.push_back(key);
     }
   }
   return unknown;
+}
+
+std::vector<std::string> ParamFile::apply(ServiceConfig& config) const {
+  std::vector<std::string> unknown;
+  for (const auto& [key, value] : values_) {
+    (void)value;
+    if (!has_service_prefix(key)) continue;  // SimConfig overload's business
+    bool ok = true;
+    bool rejected = false;
+    if (key == "service_threads") {
+      const auto v = get_int(key);
+      if (v && *v >= 0) {
+        config.threads = static_cast<int>(*v);
+      } else {
+        HACC_LOG_ERROR(
+            "param file: service_threads = '%s' rejected: must be an "
+            "integer >= 0 (0 = hardware concurrency)",
+            get_string(key).value_or("").c_str());
+        rejected = true;
+      }
+    } else if (key == "service_slice_steps") {
+      const auto v = get_int(key);
+      if (v && *v >= 1) {
+        config.slice_steps = static_cast<int>(*v);
+      } else {
+        HACC_LOG_ERROR(
+            "param file: service_slice_steps = '%s' rejected: must be an "
+            "integer >= 1 (PM steps per scheduling slice)",
+            get_string(key).value_or("").c_str());
+        rejected = true;
+      }
+    } else if (key == "service_policy") {
+      const auto v = lower(get_string(key).value_or(""));
+      if (v == "round_robin" || v == "roundrobin" || v == "rr") {
+        config.policy = SchedulePolicy::kRoundRobin;
+      } else if (v == "deficit" || v == "deficit_weighted" || v == "dwrr") {
+        config.policy = SchedulePolicy::kDeficitWeighted;
+      } else {
+        HACC_LOG_ERROR(
+            "param file: service_policy = '%s' rejected: expected "
+            "'round_robin' (equal slices) or 'deficit' (priority-weighted "
+            "slices)",
+            v.c_str());
+        rejected = true;
+      }
+    } else if (key == "service_checkpoint_window") {
+      const auto v = get_int(key);
+      if (v && *v >= 1) {
+        config.checkpoint_window = static_cast<int>(*v);
+      } else {
+        HACC_LOG_ERROR(
+            "param file: service_checkpoint_window = '%s' rejected: must "
+            "be an integer >= 1 (checkpoints kept per job)",
+            get_string(key).value_or("").c_str());
+        rejected = true;
+      }
+    } else if (key == "service_workdir") {
+      if (auto v = get_string(key)) config.workdir = *v;
+    } else {
+      ok = false;
+    }
+    if (!ok) {
+      warn_unknown_key(key);
+      unknown.push_back(key);
+    } else if (rejected) {
+      unknown.push_back(key);
+    }
+  }
+  return unknown;
+}
+
+std::size_t ParamFile::unknown_keys_warned() {
+  std::lock_guard<std::mutex> lock(g_warned_mutex);
+  return warned_keys().size();
 }
 
 }  // namespace crkhacc::core

@@ -7,6 +7,7 @@
 // loudly instead of silently running the wrong universe.
 #pragma once
 
+#include <cstddef>
 #include <map>
 #include <optional>
 #include <string>
@@ -15,6 +16,8 @@
 #include "core/config.h"
 
 namespace crkhacc::core {
+
+struct ServiceConfig;
 
 class ParamFile {
  public:
@@ -38,7 +41,23 @@ class ParamFile {
   /// were not recognized OR whose values were rejected (empty = clean).
   /// Rejected values (e.g. warp_size < 2, an unknown launch_schedule)
   /// leave the config's previous value in place and log an error.
+  /// Keys with the `service_` prefix belong to ScenarioService (see the
+  /// ServiceConfig overload) and are skipped silently, so one param file
+  /// can drive both the farm and the simulations it runs.
   std::vector<std::string> apply(SimConfig& config) const;
+
+  /// Apply the `service_*` keys onto a farm config: service_threads,
+  /// service_slice_steps, service_policy (round_robin | deficit),
+  /// service_checkpoint_window, service_workdir. Non-service keys are
+  /// skipped silently (they are the SimConfig overload's business);
+  /// returns the service_* keys that were unrecognized or rejected.
+  std::vector<std::string> apply(ServiceConfig& config) const;
+
+  /// Distinct unknown keys the warn-once path has reported so far in this
+  /// process, across every ParamFile instance. The warning itself fires
+  /// exactly once per key per process no matter how many ranks call
+  /// apply() concurrently; tests assert on this counter.
+  static std::size_t unknown_keys_warned();
 
  private:
   std::map<std::string, std::string> values_;

@@ -187,6 +187,11 @@ std::uint32_t SdcAuditor::audit(comm::Communicator& comm,
   return verdict;
 }
 
+MemFaultInjector::~MemFaultInjector() {
+  CHECK_MSG(armed_refs_.load(std::memory_order_acquire) == 0,
+            "MemFaultInjector destroyed while still armed on a Simulation");
+}
+
 const char* MemFaultInjector::field_name(std::uint32_t field) {
   static constexpr const char* kNames[kFieldCount] = {
       "x", "y", "z", "vx", "vy", "vz", "u", "mass"};

@@ -24,6 +24,7 @@
 // lives in core/simulation.cpp.
 #pragma once
 
+#include <atomic>
 #include <cstddef>
 #include <cstdint>
 #include <optional>
@@ -156,14 +157,35 @@ class MemFaultInjector {
   /// `rate` = expected flips per opportunity (probability per draw).
   MemFaultInjector(double rate, std::uint64_t seed)
       : rate_(rate), rng_(seed, /*stream=*/0x5DC) {}
-  virtual ~MemFaultInjector() = default;
+
+  /// Aborts (CHECK) if any Simulation still has this injector armed —
+  /// destroying a live drill source would leave a dangling pointer on
+  /// the simulation's hot path. Disarm first
+  /// (set_memory_fault_injector(nullptr)) or destroy the simulation.
+  virtual ~MemFaultInjector();
 
   /// Deterministic: the same opportunity always returns the same draw.
   virtual std::optional<Flip> draw(std::uint64_t opportunity) const;
 
+  /// Simulations currently holding this injector armed (each
+  /// set_memory_fault_injector(this) adds one; disarming or destroying
+  /// the simulation removes it). Exposed for tests.
+  int armed_refs() const {
+    return armed_refs_.load(std::memory_order_acquire);
+  }
+
+  /// Arm/disarm bookkeeping, called by Simulation only.
+  void retain_armed() const {
+    armed_refs_.fetch_add(1, std::memory_order_acq_rel);
+  }
+  void release_armed() const {
+    armed_refs_.fetch_sub(1, std::memory_order_acq_rel);
+  }
+
  private:
   double rate_;
   CounterRng rng_;
+  mutable std::atomic<int> armed_refs_{0};
 };
 
 /// XOR one bit of one guarded field in place; returns a description

@@ -1,0 +1,246 @@
+#include "core/service.h"
+
+#include <algorithm>
+#include <chrono>
+#include <filesystem>
+#include <limits>
+#include <utility>
+
+#include "comm/world.h"
+#include "core/param_file.h"
+#include "util/log.h"
+
+namespace crkhacc::core {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double seconds_since(Clock::time_point t0) {
+  return std::chrono::duration<double>(Clock::now() - t0).count();
+}
+
+}  // namespace
+
+/// Live state of an admitted job. Storage tiers and the writer exist only
+/// when the service has a workdir; the Simulation borrows the service's
+/// SimContext, which is what makes admission cheap for cache-hitting jobs.
+struct ScenarioService::Admitted {
+  std::uint64_t id = 0;
+  int priority = 1;
+  const io::FaultInjector* fault = nullptr;
+  std::unique_ptr<io::ThrottledStore> local;
+  std::unique_ptr<io::ThrottledStore> pfs;
+  std::unique_ptr<io::MultiTierWriter> writer;
+  std::unique_ptr<Simulation> sim;
+  JobResult result;
+};
+
+ScenarioService::ScenarioService(ServiceConfig config)
+    : config_(std::move(config)), ctx_(config_.threads) {
+  if (config_.slice_steps < 1) config_.slice_steps = 1;
+  if (config_.checkpoint_window < 1) config_.checkpoint_window = 1;
+}
+
+std::uint64_t ScenarioService::submit(ScenarioJob job) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const std::uint64_t id = next_id_++;
+  if (job.name.empty()) job.name = "job" + std::to_string(id);
+  if (job.priority < 1) job.priority = 1;
+  queue_.push_back(std::move(job));
+  queue_ids_.push_back(id);
+  live_.insert(id);
+  return id;
+}
+
+bool ScenarioService::request_cancel(std::uint64_t id) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (live_.count(id) == 0) return false;
+  cancelled_.insert(id);
+  return true;
+}
+
+std::size_t ScenarioService::pending() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return live_.size();
+}
+
+ServiceReport ScenarioService::drain() {
+  ServiceReport report;
+  const Clock::time_point t0 = Clock::now();
+
+  // All jobs run on one in-process rank: scenarios are node-scale here,
+  // and one rank thread is what lets N simulations share one pool at
+  // full width instead of splitting it N ways.
+  comm::World world(1);
+  world.run([&](comm::Communicator& comm) {
+    std::vector<std::unique_ptr<Admitted>> active;
+
+    auto finalize = [&](Admitted& a, JobOutcome outcome) {
+      a.result.outcome = outcome;
+      a.result.completion_seconds = seconds_since(t0);
+      if (a.sim != nullptr) {
+        a.sim->finalize_run(a.result.run, a.writer.get());
+        a.result.final_particles = a.sim->particles();
+        a.result.final_scale_factor = a.sim->scale_factor();
+      }
+      if (a.writer != nullptr) a.writer->drain();
+      report.aggregate.merge(a.result.run);
+      {
+        std::lock_guard<std::mutex> lock(mutex_);
+        live_.erase(a.result.id);
+        cancelled_.erase(a.result.id);
+      }
+      report.jobs.push_back(std::move(a.result));
+    };
+
+    // Admit everything currently queued (jobs submitted mid-drain are
+    // picked up at the next round boundary). Admission order == submit
+    // order, which is also the round-robin slice order.
+    auto admit_pending = [&]() {
+      std::vector<ScenarioJob> jobs;
+      std::vector<std::uint64_t> ids;
+      std::set<std::uint64_t> cancelled_now;
+      {
+        std::lock_guard<std::mutex> lock(mutex_);
+        jobs.swap(queue_);
+        ids.swap(queue_ids_);
+        cancelled_now = cancelled_;
+      }
+      for (std::size_t i = 0; i < jobs.size(); ++i) {
+        auto a = std::make_unique<Admitted>();
+        a->id = ids[i];
+        a->priority = jobs[i].priority;
+        a->fault = jobs[i].fault;
+        a->result.id = ids[i];
+        a->result.name = jobs[i].name;
+
+        if (cancelled_now.count(a->id) != 0) {
+          finalize(*a, JobOutcome::kCancelled);
+          continue;
+        }
+
+        // Per-job params overlay. A bad overlay fails the job, not the
+        // farm: sweeps are generated programmatically and one typo must
+        // not take down the other N-1 scenarios.
+        SimConfig config = jobs[i].config;
+        if (!jobs[i].params.empty()) {
+          const auto params = ParamFile::parse(jobs[i].params);
+          if (!params) {
+            a->result.error = "params overlay failed to parse";
+            finalize(*a, JobOutcome::kFailed);
+            continue;
+          }
+          const auto bad = params->apply(config);
+          if (!bad.empty()) {
+            a->result.error = "params overlay rejected key '" + bad.front() +
+                              "'" +
+                              (bad.size() > 1
+                                   ? " (+" + std::to_string(bad.size() - 1) +
+                                         " more)"
+                                   : "");
+            finalize(*a, JobOutcome::kFailed);
+            continue;
+          }
+        }
+        // The farm's pool is the context's; a per-job thread count would
+        // silently be ignored, so normalize it for honest reporting.
+        config.threads =
+            static_cast<int>(ctx_.thread_pool().num_threads());
+
+        if (a->fault != nullptr && config_.workdir.empty()) {
+          a->result.error =
+              "fault injection requires a service workdir (no checkpoint "
+              "tiers to recover from)";
+          finalize(*a, JobOutcome::kFailed);
+          continue;
+        }
+
+        if (!config_.workdir.empty()) {
+          namespace fs = std::filesystem;
+          const fs::path root =
+              fs::path(config_.workdir) / ("job" + std::to_string(a->id));
+          fs::create_directories(root / "local");
+          fs::create_directories(root / "pfs");
+          a->local = std::make_unique<io::ThrottledStore>(
+              io::StoreConfig{(root / "local").string(), 0.0, 0.0, false});
+          a->pfs = std::make_unique<io::ThrottledStore>(
+              io::StoreConfig{(root / "pfs").string(), 0.0, 0.0, true});
+          io::MultiTierConfig mt;
+          mt.rank = comm.rank();
+          mt.checkpoint_window = config_.checkpoint_window;
+          mt.ckpt = config.ckpt;
+          a->writer = std::make_unique<io::MultiTierWriter>(*a->local,
+                                                            *a->pfs, mt);
+        }
+
+        a->sim = std::make_unique<Simulation>(ctx_, comm, config);
+        a->sim->initialize();
+        active.push_back(std::move(a));
+      }
+    };
+
+    for (;;) {
+      admit_pending();
+      if (active.empty()) {
+        std::lock_guard<std::mutex> lock(mutex_);
+        if (queue_.empty()) break;
+        continue;
+      }
+
+      // One scheduling round: every active job gets its slice. Erasure
+      // happens after the sweep so the round order is stable.
+      for (auto& a : active) {
+        bool cancel_now = false;
+        {
+          std::lock_guard<std::mutex> lock(mutex_);
+          cancel_now = cancelled_.count(a->id) != 0;
+        }
+        if (cancel_now) {
+          finalize(*a, JobOutcome::kCancelled);
+          a.reset();
+          continue;
+        }
+
+        const std::uint64_t steps =
+            static_cast<std::uint64_t>(config_.slice_steps) *
+            (config_.policy == SchedulePolicy::kDeficitWeighted
+                 ? static_cast<std::uint64_t>(a->priority)
+                 : 1u);
+        const bool done = a->sim->run_slice(steps, a->result.run,
+                                            a->writer.get(), a->pfs.get(),
+                                            a->fault);
+        const std::uint64_t slice = a->result.slices++;
+        if (config_.on_slice) {
+          SliceEvent event;
+          event.job = a->id;
+          event.name = a->result.name;
+          event.step = a->sim->current_step();
+          event.slice = slice;
+          event.finished = done;
+          config_.on_slice(event);
+        }
+        if (done) {
+          finalize(*a, JobOutcome::kCompleted);
+          a.reset();
+        }
+      }
+      active.erase(std::remove(active.begin(), active.end(), nullptr),
+                   active.end());
+    }
+  });
+
+  report.wall_seconds = seconds_since(t0);
+  report.assets = ctx_.asset_stats();
+  bool all_completed = !report.jobs.empty();
+  for (const auto& j : report.jobs) {
+    all_completed = all_completed && j.outcome == JobOutcome::kCompleted;
+  }
+  report.aggregate.completed = all_completed;
+  // Reports come out in completion order; submission order is the
+  // stable contract (sweeps index into it).
+  std::sort(report.jobs.begin(), report.jobs.end(),
+            [](const JobResult& x, const JobResult& y) { return x.id < y.id; });
+  return report;
+}
+
+}  // namespace crkhacc::core

@@ -1,0 +1,189 @@
+// Scenario farm: N simulations through one shared context.
+//
+// A calibration campaign (emulator training, parameter sweeps, recovery
+// drills) runs many small-to-medium scenarios, not one flagship box. Run
+// them as separate processes and every one pays the same fixed costs:
+// spin up a thread pool, rebuild the cooling tables, re-plan the FFTs,
+// and — for sweeps that vary physics over a common realization — re-draw
+// and re-prime the identical initial condition. ScenarioService amortizes
+// all of that through one core::SimContext: jobs are queued, admitted
+// onto one World, and stepped in interleaved slices through the shared
+// pool, borrowing cached immutable assets instead of rebuilding them.
+//
+// Determinism contract: a job's result is BITWISE identical to running
+// the same SimConfig standalone. This follows from two properties the
+// rest of the repo already enforces:
+//   * slice concatenation — Simulation::run_slice is a pure re-cut of
+//     run()'s step loop, so any interleaving of N jobs' slices executes
+//     each job's exact standalone step sequence;
+//   * context sharing — SimContext assets are immutable after build and
+//     keyed so that only bitwise-identical work unifies (see context.h).
+// Scheduling therefore changes WHEN a job's steps run, never what they
+// compute.
+//
+// Fairness: kRoundRobin gives every active job one slice per round, so
+// equal jobs finish within ~one slice of each other. kDeficitWeighted
+// multiplies a job's slice by its priority, letting urgent scenarios
+// drain faster while the rest still make progress every round.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "core/context.h"
+#include "core/simulation.h"
+#include "io/checkpoint.h"
+#include "io/multi_tier.h"
+#include "io/storage.h"
+
+namespace crkhacc::core {
+
+/// How drain() shares slices among active jobs.
+enum class SchedulePolicy {
+  kRoundRobin,       ///< one slice per active job per round
+  kDeficitWeighted,  ///< priority-weighted slices per round
+};
+
+/// One queued scenario. `params` is an optional "key = value" overlay
+/// (ParamFile syntax) applied over `config` at admission — the sweep
+/// idiom: one base config, per-job overlays. Overlay keys that fail to
+/// parse fail the job (recorded in its JobResult, never thrown).
+struct ScenarioJob {
+  std::string name;        ///< label for reports; defaults to "job<id>"
+  SimConfig config;        ///< base configuration
+  std::string params;      ///< ParamFile overlay text ("" = none)
+  int priority = 1;        ///< kDeficitWeighted slice weight (>= 1)
+  /// Optional storage-fault drill for this job's checkpoint writes.
+  /// Requires a service workdir (jobs with faults but no checkpoint
+  /// tiers are failed at admission). Borrowed; must outlive drain().
+  const io::FaultInjector* fault = nullptr;
+};
+
+/// Progress callback payload: fired after every slice of every job, on
+/// the scheduler thread. Observers may call request_cancel() from here.
+struct SliceEvent {
+  std::uint64_t job = 0;      ///< job id (as returned by submit)
+  std::string name;           ///< job name
+  std::uint64_t step = 0;     ///< job's PM step after this slice
+  std::uint64_t slice = 0;    ///< per-job slice ordinal (0-based)
+  bool finished = false;      ///< this slice completed the job
+};
+
+struct ServiceConfig {
+  int threads = 1;      ///< shared pool width (0 = hardware concurrency)
+  int slice_steps = 1;  ///< PM steps per slice (scheduling granularity)
+  SchedulePolicy policy = SchedulePolicy::kRoundRobin;
+  /// Root for per-job checkpoint tiers (workdir/job<id>/{local,pfs}).
+  /// Empty = no checkpointing: jobs run straight through in memory.
+  std::string workdir;
+  int checkpoint_window = 2;  ///< checkpoints kept per job
+  /// Progress / control hook; see SliceEvent. May be empty.
+  std::function<void(const SliceEvent&)> on_slice;
+};
+
+/// Terminal state of one job.
+enum class JobOutcome {
+  kCompleted,  ///< ran to z_final
+  kCancelled,  ///< request_cancel() honoured before completion
+  kFailed,     ///< bad overlay / invalid job spec (see `error`)
+};
+
+/// One job's result, final state included so callers can compare against
+/// a standalone run bit for bit.
+struct JobResult {
+  std::uint64_t id = 0;
+  std::string name;
+  JobOutcome outcome = JobOutcome::kFailed;
+  std::string error;           ///< empty unless kFailed
+  RunResult run;               ///< per-job physics/recovery/io accounting
+  Particles final_particles;   ///< state at completion (or cancellation)
+  double final_scale_factor = 0.0;
+  std::uint64_t slices = 0;    ///< slices this job consumed
+  /// Wall seconds from drain() start to this job's terminal slice —
+  /// the fairness metric: round-robin keeps the spread of completion
+  /// times tight across equal jobs.
+  double completion_seconds = 0.0;
+};
+
+/// Everything one drain() produced.
+struct ServiceReport {
+  std::vector<JobResult> jobs;   ///< submission order
+  /// Field-wise fold of every job's RunResult (RunResult::merge policy;
+  /// `completed` is true iff every job completed).
+  RunResult aggregate;
+  double wall_seconds = 0.0;     ///< drain() wall time
+  /// Shared-context cache accounting at the end of the drain. Cooling /
+  /// initial-state counters are per-context; the FFT-plan counters are
+  /// process-wide (see SimContext::asset_stats), so they accumulate
+  /// across drains and across other simulations in the process.
+  SimContext::AssetStats assets;
+
+  /// max/mean completion time over completed jobs (1.0 = perfectly
+  /// fair; 0 when fewer than one job completed). The farm bench gates
+  /// on this staying near 1 under round-robin.
+  double fairness_ratio() const {
+    double sum = 0.0, longest = 0.0;
+    std::size_t n = 0;
+    for (const auto& j : jobs) {
+      if (j.outcome != JobOutcome::kCompleted) continue;
+      sum += j.completion_seconds;
+      longest = std::max(longest, j.completion_seconds);
+      ++n;
+    }
+    if (n == 0 || sum <= 0.0) return 0.0;
+    return longest / (sum / static_cast<double>(n));
+  }
+};
+
+class ScenarioService {
+ public:
+  explicit ScenarioService(ServiceConfig config = {});
+
+  ScenarioService(const ScenarioService&) = delete;
+  ScenarioService& operator=(const ScenarioService&) = delete;
+
+  /// Queue a scenario; returns its job id (ids start at 1). Thread-safe;
+  /// submitting during drain() admits the job in a later round.
+  std::uint64_t submit(ScenarioJob job);
+
+  /// Ask for `id` to stop: a pending job is dropped before admission, a
+  /// running job is finalized as kCancelled after its current slice (its
+  /// partial state is still returned). Returns false for unknown or
+  /// already-terminal ids. Thread-safe; callable from on_slice.
+  bool request_cancel(std::uint64_t id);
+
+  /// Jobs submitted but not yet terminal.
+  std::size_t pending() const;
+
+  /// Run every queued job to a terminal state and return the report.
+  /// Drives all jobs through one comm::World(1) rank thread, slicing
+  /// per `policy`. Callable repeatedly: each drain covers the jobs
+  /// queued since the last one.
+  ServiceReport drain();
+
+  /// The shared immutable-asset cache (for stats or pre-warming).
+  SimContext& context() { return ctx_; }
+  const ServiceConfig& config() const { return config_; }
+
+ private:
+  struct Admitted;  // live per-job state, defined in service.cpp
+
+  ServiceConfig config_;
+  SimContext ctx_;
+
+  mutable std::mutex mutex_;
+  std::vector<ScenarioJob> queue_;       // pending, submission order
+  std::vector<std::uint64_t> queue_ids_; // parallel to queue_
+  std::set<std::uint64_t> cancelled_;    // requested, not yet honoured
+  std::set<std::uint64_t> live_;         // submitted, not yet terminal
+  std::uint64_t next_id_ = 1;
+};
+
+}  // namespace crkhacc::core

@@ -53,17 +53,28 @@ SimConfig resolve_config(SimConfig config) {
 
 }  // namespace
 
+Simulation::Simulation(SimContext& ctx, comm::Communicator& comm,
+                       const SimConfig& config)
+    : Simulation(nullptr, &ctx, comm, config) {}
+
 Simulation::Simulation(comm::Communicator& comm, const SimConfig& config)
+    : Simulation(std::make_unique<SimContext>(config.threads), nullptr, comm,
+                 config) {}
+
+Simulation::Simulation(std::unique_ptr<SimContext> owned, SimContext* borrowed,
+                       comm::Communicator& comm, const SimConfig& config)
     : comm_(comm),
       config_(resolve_config(config)),
-      pool_(config_.threads < 0 ? 1u
-                                : static_cast<unsigned>(config_.threads)),
+      private_ctx_(std::move(owned)),
+      ctx_(borrowed != nullptr ? *borrowed : *private_ctx_),
+      pool_(ctx_.thread_pool()),
+      pool_baseline_(pool_.stats()),
       decomp_(comm.size(), config.box),
       bg_(config_.cosmology),
       power_(config_.cosmology),
       pm_(comm, decomp_, pm_config_of(config_)),
       sph_(config_.sph),
-      subgrid_(config_.subgrid),
+      subgrid_(config_.subgrid, ctx_.cooling_table(config_.subgrid.cooling)),
       kdk_(bg_),
       auditor_(config_.sdc),
       snapshot_(config_.sdc.page_bytes),
@@ -85,6 +96,19 @@ Simulation::Simulation(comm::Communicator& comm, const SimConfig& config)
   a_ = cosmo::Background::a_of_z(config_.z_init);
 }
 
+Simulation::~Simulation() {
+  // Disarm the drill on teardown so the injector's armed-reference
+  // count balances however the owner sequences destruction.
+  if (sdc_fault_ != nullptr) sdc_fault_->release_armed();
+}
+
+void Simulation::set_memory_fault_injector(const MemFaultInjector* injector) {
+  if (sdc_fault_ == injector) return;
+  if (sdc_fault_ != nullptr) sdc_fault_->release_armed();
+  if (injector != nullptr) injector->retain_armed();
+  sdc_fault_ = injector;
+}
+
 double Simulation::a_at_step(std::uint64_t s) const {
   const double a_init = cosmo::Background::a_of_z(config_.z_init);
   const double a_final = cosmo::Background::a_of_z(config_.z_final);
@@ -102,6 +126,23 @@ std::vector<std::uint32_t> Simulation::gas_indices() const {
 }
 
 void Simulation::initialize() {
+  // Shared-context fast path: a primed state cached under this config's
+  // key is bitwise the state the code below would produce (the key
+  // covers every input of this path; thread count is excluded by the
+  // pool's determinism contract), so IC generation, the exchange, and
+  // the priming force pass are all skipped. NOTE: the skip elides this
+  // rank's IC/exchange collectives, so in multi-rank runs every rank
+  // must hit or miss together — guaranteed when each rank's context saw
+  // the same scenario sequence (the core/context.h sharing contract).
+  const std::string key =
+      SimContext::initial_state_key(config_, comm_.rank(), comm_.size());
+  if (const auto cached = ctx_.find_initial_state(key)) {
+    particles_ = cached->particles;
+    a_ = cached->scale_factor;
+    step_ = 0;
+    return;
+  }
+
   cosmo::IcConfig ic;
   ic.np = config_.np;
   ic.box = config_.box;
@@ -123,6 +164,8 @@ void Simulation::initialize() {
 
   exchange_and_overload(comm_, decomp_, particles_, overload_);
   prime_solver_state();
+
+  ctx_.store_initial_state(key, CachedInitialState{particles_, a_});
 }
 
 void Simulation::initialize_from(Particles&& particles, std::uint64_t step) {
@@ -766,11 +809,22 @@ void Simulation::recover(io::ThrottledStore& pfs, RunResult& result,
 RunResult Simulation::run(io::MultiTierWriter* writer, io::ThrottledStore* pfs,
                           const io::FaultInjector* fault) {
   RunResult result;
-  std::uint64_t trial = 0;
-  while (step_ < static_cast<std::uint64_t>(config_.num_pm_steps)) {
+  run_slice(std::numeric_limits<std::uint64_t>::max(), result, writer, pfs,
+            fault);
+  finalize_run(result, writer);
+  return result;
+}
+
+bool Simulation::run_slice(std::uint64_t max_steps, RunResult& result,
+                           io::MultiTierWriter* writer, io::ThrottledStore* pfs,
+                           const io::FaultInjector* fault) {
+  std::uint64_t done_this_slice = 0;
+  while (step_ < static_cast<std::uint64_t>(config_.num_pm_steps) &&
+         done_this_slice < max_steps) {
+    ++done_this_slice;
     const double dt_pm =
         kdk_.dt_of(a_at_step(step_), a_at_step(step_ + 1));
-    if (fault && fault->should_fail(trial++, dt_pm)) {
+    if (fault && fault->should_fail(fault_trial_++, dt_pm)) {
       ++result.interruptions;
       CHECK_MSG(writer && pfs, "fault injected without checkpointing");
       // "Machine interruption": all ranks fall back to the newest fully
@@ -822,9 +876,13 @@ RunResult Simulation::run(io::MultiTierWriter* writer, io::ThrottledStore* pfs,
       result.analyses.push_back(run_analysis());
     }
   }
-  result.completed = true;
+  return step_ >= static_cast<std::uint64_t>(config_.num_pm_steps);
+}
+
+void Simulation::finalize_run(RunResult& result, io::MultiTierWriter* writer) {
+  result.completed = step_ >= static_cast<std::uint64_t>(config_.num_pm_steps);
   if (writer) result.io = writer->stats();
-  result.threading = pool_.stats();
+  result.threading = util::stats_since(pool_.stats(), pool_baseline_);
   switch (config_.sph.launch.schedule) {
     case gpu::LaunchSchedule::kLeafOwner:
       result.launch_schedule = "leaf_owner";
@@ -843,7 +901,66 @@ RunResult Simulation::run(io::MultiTierWriter* writer, io::ThrottledStore* pfs,
     result.trace_events = trace_.events_recorded();
     result.trace_dropped = trace_.events_dropped();
   }
-  return result;
+}
+
+void RunResult::merge(const RunResult& other) {
+  steps_done += other.steps_done;
+  interruptions += other.interruptions;
+  recovery_attempts += other.recovery_attempts;
+  checkpoint_fallbacks += other.checkpoint_fallbacks;
+  restarts_from_ics += other.restarts_from_ics;
+  rank_losses += other.rank_losses;
+  shrink_recoveries += other.shrink_recoveries;
+  adopted_rank_files += other.adopted_rank_files;
+  ckpt_audit_runs += other.ckpt_audit_runs;
+  ckpt_audit_damaged_chunks += other.ckpt_audit_damaged_chunks;
+  ckpt_audit_repaired_chunks += other.ckpt_audit_repaired_chunks;
+  io.local_retries += other.io.local_retries;
+  io.pfs_retries += other.io.pfs_retries;
+  io.verify_failures += other.io.verify_failures;
+  io.bleed_failures += other.io.bleed_failures;
+  io.degraded_to_direct = io.degraded_to_direct || other.io.degraded_to_direct;
+  io.full_checkpoints += other.io.full_checkpoints;
+  io.diff_checkpoints += other.io.diff_checkpoints;
+  io.chunks_written += other.io.chunks_written;
+  io.chunks_skipped += other.io.chunks_skipped;
+  io.longest_chain = std::max(io.longest_chain, other.io.longest_chain);
+  sdc_audits += other.sdc_audits;
+  sdc_detections += other.sdc_detections;
+  sdc_rollbacks += other.sdc_rollbacks;
+  sdc_replays += other.sdc_replays;
+  sdc_escalations += other.sdc_escalations;
+  sdc_injected_flips += other.sdc_injected_flips;
+  reports.insert(reports.end(), other.reports.begin(), other.reports.end());
+  analyses.insert(analyses.end(), other.analyses.begin(),
+                  other.analyses.end());
+  for (const PhaseStat& phase : other.phase_stats) {
+    auto it = std::find_if(
+        phase_stats.begin(), phase_stats.end(),
+        [&](const PhaseStat& p) { return p.name == phase.name; });
+    if (it == phase_stats.end()) {
+      phase_stats.push_back(phase);
+    } else {
+      it->mean_seconds += phase.mean_seconds;
+      it->max_seconds += phase.max_seconds;
+    }
+  }
+  trace_events += other.trace_events;
+  trace_dropped += other.trace_dropped;
+  threading.threads = std::max(threading.threads, other.threading.threads);
+  threading.parallel_regions += other.threading.parallel_regions;
+  threading.chunks_executed += other.threading.chunks_executed;
+  threading.steals += other.threading.steals;
+  threading.wall_seconds += other.threading.wall_seconds;
+  if (threading.busy_seconds.size() < other.threading.busy_seconds.size()) {
+    threading.busy_seconds.resize(other.threading.busy_seconds.size(), 0.0);
+  }
+  for (std::size_t i = 0; i < other.threading.busy_seconds.size(); ++i) {
+    threading.busy_seconds[i] += other.threading.busy_seconds[i];
+  }
+  if (!other.launch_schedule.empty()) launch_schedule = other.launch_schedule;
+  if (!other.simd_isa.empty()) simd_isa = other.simd_isa;
+  // `completed` deliberately untouched — see the header's policy table.
 }
 
 MetricsRegistry Simulation::collect_metrics() const {

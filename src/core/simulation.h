@@ -14,6 +14,7 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <optional>
 #include <vector>
 
@@ -25,6 +26,7 @@
 #include "comm/decomposition.h"
 #include "comm/world.h"
 #include "core/config.h"
+#include "core/context.h"
 #include "core/diagnostics.h"
 #include "core/exchange.h"
 #include "core/metrics.h"
@@ -154,14 +156,59 @@ struct RunResult {
   /// instruction set ("avx2" / "scalar"; "none" on SIMD-less builds).
   std::string launch_schedule;
   std::string simd_isa;
+
+  /// Fold `other` into this result — the one merge used everywhere a
+  /// RunResult aggregates (pre-recovery counters folded into the main
+  /// run, per-job results folded into a ScenarioService aggregate,
+  /// campaign epochs). Per-field policy:
+  ///   * counters (steps_done, interruptions, recovery/audit/adoption,
+  ///     rank-loss, sdc_*, trace_*) — SUM;
+  ///   * io — fields sum; degraded_to_direct ORs; longest_chain takes
+  ///     the max;
+  ///   * reports / analyses — APPEND in merge order;
+  ///   * phase_stats — merged by phase name (mean/max both sum: they
+  ///     are per-step accumulations, so summing extends the run);
+  ///   * threading — counters sum, per-worker busy_seconds sum
+  ///     elementwise (resized to the wider pool), threads takes the max;
+  ///   * launch_schedule / simd_isa — keep-newest: `other`'s value wins
+  ///     when non-empty;
+  ///   * completed — KEPT as-is; completion of a merged aggregate is a
+  ///     caller-level judgment (e.g. "all jobs completed"), not a sum.
+  void merge(const RunResult& other);
 };
 
 class Simulation {
  public:
+  /// Borrow a shared immutable context: the context's thread pool runs
+  /// this simulation's parallel regions (its width wins over
+  /// config.threads — results are bitwise thread-count invariant), and
+  /// cooling tables / primed initial states come from the context's
+  /// caches. `ctx` must outlive the simulation and follow the sharing
+  /// contract in core/context.h (one context per rank thread).
+  Simulation(SimContext& ctx, comm::Communicator& comm,
+             const SimConfig& config);
+
+  /// Legacy entry point: builds a PRIVATE context (own pool sized from
+  /// config.threads, no asset sharing) — exactly the pre-context
+  /// semantics. Kept one release for downstream callers; in-repo code
+  /// constructs a SimContext explicitly.
+  [[deprecated(
+      "construct a core::SimContext and use Simulation(ctx, comm, "
+      "config)")]]
   Simulation(comm::Communicator& comm, const SimConfig& config);
+
+  ~Simulation();
+
+  Simulation(const Simulation&) = delete;
+  Simulation& operator=(const Simulation&) = delete;
 
   /// Generate initial conditions and prime the solver state (density /
   /// smoothing lengths / initial force evaluation for bin assignment).
+  /// With a shared context, a primed state cached under this config's
+  /// key (see SimContext::initial_state_key) is adopted instead —
+  /// bitwise the state this method would have produced, because the key
+  /// covers every input of this path and the cached copy was produced by
+  /// a genuine initialize() of the same key.
   void initialize();
 
   /// Resume from restored particle state at PM step `step`.
@@ -179,20 +226,45 @@ class Simulation {
   /// recover().
   StepReport step(io::MultiTierWriter* writer = nullptr);
 
-  /// Arm (or disarm, with nullptr) the memory-fault drill. Not owned;
-  /// must outlive the run. Flips are drawn per injection point from a
-  /// monotonically increasing opportunity counter, so a schedule never
-  /// repeats inside a rollback replay.
-  void set_memory_fault_injector(const MemFaultInjector* injector) {
-    sdc_fault_ = injector;
-  }
+  /// Arm (or disarm, with nullptr) the memory-fault drill. Not owned,
+  /// but the lifetime is now enforced, not just commented: arming
+  /// registers this simulation on the injector's armed-reference count,
+  /// disarming (or this simulation's destruction) releases it, and
+  /// destroying an injector that is still armed anywhere aborts with a
+  /// CHECK — a service tearing jobs down in any order cannot silently
+  /// leave a dangling drill source on another job's hot path. Flips are
+  /// drawn per injection point from a monotonically increasing
+  /// opportunity counter, so a schedule never repeats inside a rollback
+  /// replay.
+  void set_memory_fault_injector(const MemFaultInjector* injector);
 
   /// Full campaign with checkpoint/restart-driven fault tolerance: on an
   /// injected fault the run restarts from the newest complete checkpoint
   /// (requires writer + pfs). Without a writer, faults are fatal.
+  /// Equivalent to run_slice() until done plus finalize_run().
   RunResult run(io::MultiTierWriter* writer = nullptr,
                 io::ThrottledStore* pfs = nullptr,
                 const io::FaultInjector* fault = nullptr);
+
+  /// Execute at most `max_steps` iterations of the campaign loop (each
+  /// committed PM step, injected interruption, or SDC escalation counts
+  /// one), accumulating counters/reports into `result`. Returns true
+  /// once the run has reached num_pm_steps. Slicing is stateless: the
+  /// loop executes the identical step sequence however the run is cut,
+  /// so any partition into slices is bitwise identical to a monolithic
+  /// run() — the property that lets core::ScenarioService interleave N
+  /// scenarios through one pool. Call finalize_run() after the last
+  /// slice (run() does both).
+  bool run_slice(std::uint64_t max_steps, RunResult& result,
+                 io::MultiTierWriter* writer = nullptr,
+                 io::ThrottledStore* pfs = nullptr,
+                 const io::FaultInjector* fault = nullptr);
+
+  /// Stamp end-of-run facts into `result`: completed (did the loop reach
+  /// num_pm_steps), writer I/O stats, per-run threading delta (shared
+  /// pools accumulate across simulations; the delta is since this
+  /// simulation's construction), launch schedule/ISA, trace counters.
+  void finalize_run(RunResult& result, io::MultiTierWriter* writer = nullptr);
 
   /// Collective recovery (all ranks must call together): restore the
   /// newest checkpoint that every rank can validate end to end, falling
@@ -227,6 +299,8 @@ class Simulation {
   double overload_width() const { return overload_; }
   util::ThreadPool& thread_pool() { return pool_; }
   const util::ThreadPool& thread_pool() const { return pool_; }
+  SimContext& context() { return ctx_; }
+  const SimContext& context() const { return ctx_; }
   util::TraceRecorder& trace() { return trace_; }
   const util::TraceRecorder& trace() const { return trace_; }
 
@@ -238,6 +312,12 @@ class Simulation {
   double a_at_step(std::uint64_t s) const;
 
  private:
+  /// Common construction: `owned` is null when borrowing a shared
+  /// context, else the legacy shim's private context (declared first so
+  /// ctx_ can bind to it).
+  Simulation(std::unique_ptr<SimContext> owned, SimContext* borrowed,
+             comm::Communicator& comm, const SimConfig& config);
+
   void prime_solver_state();
   int assign_timestep_bins(double dt_pm);
   /// The actual PM step (phases 1-5), checkpoint excluded so the
@@ -262,9 +342,15 @@ class Simulation {
 
   comm::Communicator& comm_;
   SimConfig config_;
-  /// Declared before the solvers so it is alive whenever they run
-  /// (config_.threads: 0 = hardware concurrency).
-  util::ThreadPool pool_;
+  /// Legacy-shim ownership (null when the caller supplied the context);
+  /// declared before ctx_/pool_ so the references bind to a live object,
+  /// and before the solvers so the pool outlives every parallel region.
+  std::unique_ptr<SimContext> private_ctx_;
+  SimContext& ctx_;
+  util::ThreadPool& pool_;
+  /// Pool accounting at construction: finalize_run reports the delta, so
+  /// a pool shared across simulations still yields per-run numbers.
+  util::ThreadPoolStats pool_baseline_;
   comm::CartDecomposition decomp_;
   cosmo::Background bg_;
   cosmo::PowerSpectrum power_;
@@ -278,6 +364,10 @@ class Simulation {
   std::uint64_t step_ = 0;
   double overload_ = 0.0;
   double cm_bin_width_ = 0.0;
+  /// Fault-injection trial counter for run_slice (monotonic across
+  /// slices, so a sliced run draws the same schedule as a monolithic
+  /// one).
+  std::uint64_t fault_trial_ = 0;
 
   // --- SDC guardrail state (see core/sdc.h) -------------------------------
   SdcAuditor auditor_;

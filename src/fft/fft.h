@@ -10,6 +10,7 @@
 
 #include <complex>
 #include <cstddef>
+#include <cstdint>
 #include <vector>
 
 namespace crkhacc::fft {
@@ -35,5 +36,24 @@ std::size_t next_pow2(std::size_t n);
 /// data[(z*ny + y)*nx + x]. Inverse includes the full 1/(nx*ny*nz) factor.
 void transform_3d(std::vector<Complex>& data, std::size_t nx, std::size_t ny,
                   std::size_t nz, bool inverse);
+
+/// Plan-cache accounting. Transforms acquire immutable plans (per-stage
+/// twiddle tables for radix-2 lengths; chirp + pre-transformed
+/// convolution kernel for Bluestein lengths) from a process-wide cache
+/// keyed on (length, direction). Plans are built once and shared by
+/// every Simulation / SimContext in the process; the tables are
+/// generated with the exact recurrence the uncached loop used, so cached
+/// and uncached transforms are bitwise identical.
+struct PlanCacheStats {
+  std::uint64_t hits = 0;    ///< transforms served by an existing plan
+  std::uint64_t misses = 0;  ///< plans built (one per distinct key)
+};
+
+/// Snapshot of the process-wide plan-cache counters.
+PlanCacheStats plan_cache_stats();
+
+/// Reset the counters (tests / benches). The cached plans themselves are
+/// kept — only the accounting restarts.
+void reset_plan_cache_stats();
 
 }  // namespace crkhacc::fft

@@ -13,7 +13,14 @@
 namespace crkhacc::subgrid {
 
 SubgridModel::SubgridModel(const SubgridConfig& config)
-    : config_(config), cooling_(config.cooling) {}
+    : config_(config),
+      cooling_(std::make_shared<const CoolingTable>(config.cooling)) {}
+
+SubgridModel::SubgridModel(const SubgridConfig& config,
+                           std::shared_ptr<const CoolingTable> cooling)
+    : config_(config), cooling_(std::move(cooling)) {
+  CHECK(cooling_ != nullptr);
+}
 
 double SubgridModel::n_h_of(const Particles& particles, std::size_t i,
                             double a) const {
@@ -86,7 +93,7 @@ SubgridStats SubgridModel::apply(Particles& particles,
     // Radiative cooling (stable exponential update toward the UV floor).
     if (config_.cooling.enabled) {
       particles.u[i] = static_cast<float>(
-          cooling_.cool(particles.u[i], particles.rho[i], particles.metal[i],
+          cooling_->cool(particles.u[i], particles.rho[i], particles.metal[i],
                         a, dt[i]));
     }
 

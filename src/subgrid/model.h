@@ -25,6 +25,7 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <span>
 
 #include "core/particles.h"
@@ -95,10 +96,18 @@ struct SubgridStats {
 
 class SubgridModel {
  public:
+  /// Builds a private cooling table from config.cooling.
   explicit SubgridModel(const SubgridConfig& config);
 
+  /// Borrows a pre-built (immutable) cooling table — the shared-context
+  /// path, where core::SimContext keys tables on their config so N
+  /// scenarios with identical cooling physics build the table once.
+  /// `cooling` must be non-null and match config.cooling.
+  SubgridModel(const SubgridConfig& config,
+               std::shared_ptr<const CoolingTable> cooling);
+
   const SubgridConfig& config() const { return config_; }
-  const CoolingTable& cooling() const { return cooling_; }
+  const CoolingTable& cooling() const { return *cooling_; }
 
   /// Apply one operator-split subgrid step at scale factor a. `dt` gives
   /// each particle's elapsed interval (code time) — under hierarchical
@@ -129,7 +138,7 @@ class SubgridModel {
                       SubgridStats& stats);
 
   SubgridConfig config_;
-  CoolingTable cooling_;
+  std::shared_ptr<const CoolingTable> cooling_;
 };
 
 }  // namespace crkhacc::subgrid

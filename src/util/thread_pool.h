@@ -65,6 +65,28 @@ struct ThreadPoolStats {
   }
 };
 
+/// Accounting delta between two snapshots of the SAME pool (`base` taken
+/// earlier than `now`). A pool shared across simulations accumulates
+/// stats for its whole lifetime; each run reports stats() minus the
+/// snapshot it took at construction, so per-run numbers stay comparable
+/// to the private-pool era.
+inline ThreadPoolStats stats_since(const ThreadPoolStats& now,
+                                   const ThreadPoolStats& base) {
+  ThreadPoolStats d;
+  d.threads = now.threads;
+  d.parallel_regions = now.parallel_regions - base.parallel_regions;
+  d.chunks_executed = now.chunks_executed - base.chunks_executed;
+  d.steals = now.steals - base.steals;
+  d.wall_seconds = now.wall_seconds - base.wall_seconds;
+  d.busy_seconds.resize(now.busy_seconds.size(), 0.0);
+  for (std::size_t i = 0; i < now.busy_seconds.size(); ++i) {
+    const double before =
+        i < base.busy_seconds.size() ? base.busy_seconds[i] : 0.0;
+    d.busy_seconds[i] = now.busy_seconds[i] - before;
+  }
+  return d;
+}
+
 class ThreadPool {
  public:
   /// `threads` = 0 selects std::thread::hardware_concurrency(). The pool

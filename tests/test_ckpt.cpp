@@ -858,7 +858,8 @@ TEST(SimulationCkpt, DiffChainRecoveryBitwiseMatchesFaultFreeRun) {
 
     std::vector<Particles> reference(num_ranks);
     world.run([&](comm::Communicator& comm) {
-      Simulation sim(comm, config);
+      SimContext ctx(config.threads);
+      Simulation sim(ctx, comm, config);
       sim.initialize();
       const auto result = sim.run();
       ASSERT_TRUE(result.completed);
@@ -879,7 +880,8 @@ TEST(SimulationCkpt, DiffChainRecoveryBitwiseMatchesFaultFreeRun) {
       writer_config.ckpt = config.ckpt;
       io::MultiTierWriter writer(
           *nvmes[static_cast<std::size_t>(comm.rank())], pfs, writer_config);
-      Simulation sim(comm, config);
+      SimContext ctx(config.threads);
+      Simulation sim(ctx, comm, config);
       sim.initialize();
       // Steps 1 (full) and 2 (diff) checkpoint, then an interrupt forces
       // recovery from the diff tip at step 2.
@@ -926,7 +928,8 @@ TEST(SimulationCkpt, AuditOnRestoreRepairsDamageAndKeepsNewestStep) {
     writer_config.checkpoint_window = 8;
     writer_config.ckpt = config.ckpt;
     io::MultiTierWriter writer(nvme, pfs, writer_config);
-    Simulation sim(comm, config);
+    SimContext ctx(config.threads);
+    Simulation sim(ctx, comm, config);
     sim.initialize();
     sim.step(&writer);
     sim.step(&writer);

@@ -350,7 +350,8 @@ TEST(Diagnostics, MassConservedThroughHydroRun) {
     config.hydro = true;
     config.subgrid_on = true;
     config.bins.max_depth = 3;
-    Simulation sim(comm, config);
+    SimContext ctx(config.threads);
+    Simulation sim(ctx, comm, config);
     sim.initialize();
     const auto before = measure_conservation(comm, sim.particles());
     sim.run();

@@ -508,7 +508,9 @@ TEST(SimulationRecovery, CorruptNewestCheckpointFallsBackBitExact) {
   // Reference: the same campaign, no faults.
   std::vector<Particles> reference(num_ranks);
   world.run([&](comm::Communicator& comm) {
-    Simulation sim(comm, tiny_config());
+    const auto sim_config = tiny_config();
+    SimContext ctx(sim_config.threads);
+    Simulation sim(ctx, comm, sim_config);
     sim.initialize();
     const auto result = sim.run();
     ASSERT_TRUE(result.completed);
@@ -518,7 +520,9 @@ TEST(SimulationRecovery, CorruptNewestCheckpointFallsBackBitExact) {
   world.run([&](comm::Communicator& comm) {
     io::MultiTierWriter writer(*nvmes[static_cast<std::size_t>(comm.rank())],
                                pfs, io::MultiTierConfig{comm.rank(), 8});
-    Simulation sim(comm, tiny_config());
+    const auto sim_config = tiny_config();
+    SimContext ctx(sim_config.threads);
+    Simulation sim(ctx, comm, sim_config);
     sim.initialize();
     // Steps 1 and 2 complete and checkpoint; then corrupt the newest
     // checkpoint of every rank; then an interrupt strikes at trial 2.
@@ -585,7 +589,9 @@ TEST(SimulationRecovery, AllCheckpointsCorruptRestartsFromIcs) {
   world.run([&](comm::Communicator& comm) {
     io::MultiTierWriter writer(*nvmes[static_cast<std::size_t>(comm.rank())],
                                pfs, io::MultiTierConfig{comm.rank(), 8});
-    Simulation sim(comm, tiny_config());
+    const auto sim_config = tiny_config();
+    SimContext ctx(sim_config.threads);
+    Simulation sim(ctx, comm, sim_config);
     sim.initialize();
     sim.step(&writer);
     writer.drain();

@@ -96,7 +96,8 @@ void run_epoch(comm::Communicator& comm, const CampaignEpoch& epoch,
   // Window large enough that no step is pruned while the campaign runs.
   io::MultiTierWriter writer(*epoch.local, pfs,
                              io::MultiTierConfig{comm.rank(), 8});
-  Simulation sim(comm, config);
+  SimContext ctx(config.threads);
+  Simulation sim(ctx, comm, config);
   RunResult pre;
   if (epoch.resume) {
     sim.recover(pfs, pre, &writer);
@@ -120,7 +121,7 @@ void run_epoch(comm::Communicator& comm, const CampaignEpoch& epoch,
   comm.barrier();
   if (op_end != nullptr) (*op_end)[me] = comm.op_count();
   if (records != nullptr) {
-    merge_recovery_counters(result, pre);
+    result.merge(pre);
     epoch.stamp(result);
     auto& record = (*records)[me];
     record.final_particles = sim.particles();

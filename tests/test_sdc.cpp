@@ -534,7 +534,9 @@ TEST(SdcDrill, RollbackReplayMatchesUninjectedRunBitwise) {
 
   std::vector<Particles> reference(num_ranks);
   world.run([&](comm::Communicator& comm) {
-    core::Simulation sim(comm, drill_config());
+    const auto sim_config = drill_config();
+    core::SimContext ctx(sim_config.threads);
+    core::Simulation sim(ctx, comm, sim_config);
     sim.initialize();
     const auto result = sim.run();
     ASSERT_TRUE(result.completed);
@@ -544,13 +546,16 @@ TEST(SdcDrill, RollbackReplayMatchesUninjectedRunBitwise) {
   });
 
   world.run([&](comm::Communicator& comm) {
-    core::Simulation sim(comm, drill_config());
+    const auto sim_config = drill_config();
+    core::SimContext ctx(sim_config.threads);
+    core::Simulation sim(ctx, comm, sim_config);
     sim.initialize();
     // Each step consumes 2 opportunities (one per drill point); step 0
     // uses {0,1}, step 1 uses {2,3}. Flip once, mid-step-1.
     const ScriptedFlips injector({2});
     sim.set_memory_fault_injector(&injector);
     const auto result = sim.run();
+    sim.set_memory_fault_injector(nullptr);  // injector dies before sim
     ASSERT_TRUE(result.completed);
     EXPECT_EQ(result.sdc_injected_flips, 1u);
     EXPECT_EQ(result.sdc_detections, 1u);
@@ -586,7 +591,8 @@ TEST(SdcDrill, PersistentFlipsExhaustReplayBudgetAndEscalate) {
 
   std::vector<Particles> reference(num_ranks);
   world.run([&](comm::Communicator& comm) {
-    core::Simulation sim(comm, config);
+    core::SimContext ctx(config.threads);
+    core::Simulation sim(ctx, comm, config);
     sim.initialize();
     const auto result = sim.run();
     ASSERT_TRUE(result.completed);
@@ -596,7 +602,8 @@ TEST(SdcDrill, PersistentFlipsExhaustReplayBudgetAndEscalate) {
   world.run([&](comm::Communicator& comm) {
     io::MultiTierWriter writer(*nvmes[static_cast<std::size_t>(comm.rank())],
                                pfs, io::MultiTierConfig{comm.rank(), 8});
-    core::Simulation sim(comm, config);
+    core::SimContext ctx(config.threads);
+    core::Simulation sim(ctx, comm, config);
     sim.initialize();
     // Step 0 is clean ({0,1}) and checkpoints. Step 1's first attempt
     // (drill points {2,3}) and its single replay ({4,5}) are each
@@ -606,6 +613,7 @@ TEST(SdcDrill, PersistentFlipsExhaustReplayBudgetAndEscalate) {
     const ScriptedFlips injector({2, 4});
     sim.set_memory_fault_injector(&injector);
     auto result = sim.run(&writer, &pfs);
+    sim.set_memory_fault_injector(nullptr);  // injector dies before sim
     EXPECT_TRUE(result.completed);
     EXPECT_EQ(result.sdc_detections, 2u);
     EXPECT_EQ(result.sdc_rollbacks, 1u);
@@ -644,7 +652,8 @@ TEST(SdcDrill, EscalationWithCorruptNewestCheckpointFallsBack) {
 
   std::vector<Particles> reference(num_ranks);
   world.run([&](comm::Communicator& comm) {
-    core::Simulation sim(comm, config);
+    core::SimContext ctx(config.threads);
+    core::Simulation sim(ctx, comm, config);
     sim.initialize();
     const auto result = sim.run();
     ASSERT_TRUE(result.completed);
@@ -654,7 +663,8 @@ TEST(SdcDrill, EscalationWithCorruptNewestCheckpointFallsBack) {
   world.run([&](comm::Communicator& comm) {
     io::MultiTierWriter writer(*nvmes[static_cast<std::size_t>(comm.rank())],
                                pfs, io::MultiTierConfig{comm.rank(), 8});
-    core::Simulation sim(comm, config);
+    core::SimContext ctx(config.threads);
+    core::Simulation sim(ctx, comm, config);
     sim.initialize();
     // Steps 0 and 1 run clean and checkpoint (steps 1 and 2 on disk).
     sim.step(&writer);
@@ -686,6 +696,7 @@ TEST(SdcDrill, EscalationWithCorruptNewestCheckpointFallsBack) {
     const ScriptedFlips injector({4, 6});
     sim.set_memory_fault_injector(&injector);
     auto result = sim.run(&writer, &pfs);
+    sim.set_memory_fault_injector(nullptr);  // injector dies before sim
     EXPECT_TRUE(result.completed);
     EXPECT_EQ(result.sdc_escalations, 1u);
     // Newest checkpoint (step 2) failed validation -> fell back to 1.
@@ -712,13 +723,16 @@ TEST(SdcDrill, GuardrailsOffAndOnAgreeBitwiseWithoutFaults) {
   world.run([&](comm::Communicator& comm) {
     auto config = drill_config();
     config.sdc.enabled = false;
-    core::Simulation sim(comm, config);
+    core::SimContext ctx(config.threads);
+    core::Simulation sim(ctx, comm, config);
     sim.initialize();
     ASSERT_TRUE(sim.run().completed);
     reference[static_cast<std::size_t>(comm.rank())] = sim.particles();
   });
   world.run([&](comm::Communicator& comm) {
-    core::Simulation sim(comm, drill_config());
+    const auto sim_config = drill_config();
+    core::SimContext ctx(sim_config.threads);
+    core::Simulation sim(ctx, comm, sim_config);
     sim.initialize();
     const auto result = sim.run();
     ASSERT_TRUE(result.completed);

@@ -59,7 +59,9 @@ class TempDir {
 TEST(Simulation, GravityOnlyRunCompletes) {
   comm::World world(2);
   world.run([](comm::Communicator& comm) {
-    Simulation sim(comm, tiny_config(/*hydro=*/false));
+    const auto sim_config = tiny_config(/*hydro=*/false);
+    SimContext ctx(sim_config.threads);
+    Simulation sim(ctx, comm, sim_config);
     sim.initialize();
     const auto result = sim.run();
     EXPECT_TRUE(result.completed);
@@ -84,7 +86,9 @@ TEST(Simulation, GravityOnlyRunCompletes) {
 TEST(Simulation, HydroRunCompletesWithSaneState) {
   comm::World world(2);
   world.run([](comm::Communicator& comm) {
-    Simulation sim(comm, tiny_config(/*hydro=*/true));
+    const auto sim_config = tiny_config(/*hydro=*/true);
+    SimContext ctx(sim_config.threads);
+    Simulation sim(ctx, comm, sim_config);
     sim.initialize();
     const auto result = sim.run();
     EXPECT_TRUE(result.completed);
@@ -125,7 +129,8 @@ TEST(Simulation, ThreadedRunConservationWithinSerialTolerances) {
     world.run([&](comm::Communicator& comm) {
       auto config = tiny_config(true);
       config.threads = threads;
-      Simulation sim(comm, config);
+      SimContext ctx(config.threads);
+      Simulation sim(ctx, comm, config);
       sim.initialize();
       before = measure_conservation(comm, sim.particles());
       const auto result = sim.run();
@@ -166,7 +171,8 @@ TEST(Simulation, StructureGrowsOverTime) {
   world.run([](comm::Communicator& comm) {
     auto config = tiny_config(false);
     config.num_pm_steps = 4;
-    Simulation sim(comm, config);
+    SimContext ctx(config.threads);
+    Simulation sim(ctx, comm, config);
     sim.initialize();
     auto rms_velocity = [&] {
       const auto& p = sim.particles();
@@ -190,7 +196,9 @@ TEST(Simulation, StructureGrowsOverTime) {
 TEST(Simulation, AdaptiveBinsPopulated) {
   comm::World world(1);
   world.run([](comm::Communicator& comm) {
-    Simulation sim(comm, tiny_config(true));
+    const auto sim_config = tiny_config(true);
+    SimContext ctx(sim_config.threads);
+    Simulation sim(ctx, comm, sim_config);
     sim.initialize();
     const auto report = sim.step();
     EXPECT_GE(report.depth, 0);
@@ -204,7 +212,8 @@ TEST(Simulation, FlatSteppingForcesUniformBins) {
   world.run([](comm::Communicator& comm) {
     auto config = tiny_config(true);
     config.flat_stepping = true;
-    Simulation sim(comm, config);
+    SimContext ctx(config.threads);
+    Simulation sim(ctx, comm, config);
     sim.initialize();
     sim.step();
     const auto& p = sim.particles();
@@ -222,7 +231,8 @@ TEST(Simulation, AnalysisProducesResults) {
     config.z_init = 20.0;
     config.z_final = 2.0;
     config.num_pm_steps = 4;
-    Simulation sim(comm, config);
+    SimContext ctx(config.threads);
+    Simulation sim(ctx, comm, config);
     sim.initialize();
     sim.run();
     const auto analysis = sim.run_analysis();
@@ -238,7 +248,9 @@ TEST(Simulation, AnalysisProducesResults) {
 TEST(Simulation, TimerTaxonomyCoversComponents) {
   comm::World world(1);
   world.run([](comm::Communicator& comm) {
-    Simulation sim(comm, tiny_config(true));
+    const auto sim_config = tiny_config(true);
+    SimContext ctx(sim_config.threads);
+    Simulation sim(ctx, comm, sim_config);
     sim.initialize();
     sim.step();
     auto& timers = sim.timers();
@@ -260,7 +272,9 @@ TEST(Simulation, RankCountInvariantParticleTotals) {
     std::mutex mutex;
     comm::World world(ranks);
     world.run([&](comm::Communicator& comm) {
-      Simulation sim(comm, tiny_config(false));
+      const auto sim_config = tiny_config(false);
+      SimContext ctx(sim_config.threads);
+      Simulation sim(ctx, comm, sim_config);
       sim.initialize();
       sim.run();
       const auto& p = sim.particles();
@@ -297,7 +311,8 @@ TEST(Simulation, CheckpointRestartResumesExactStep) {
                                pfs, io::MultiTierConfig{comm.rank(), 4});
     auto config = tiny_config(false);
     config.num_pm_steps = 3;
-    Simulation sim(comm, config);
+    SimContext ctx(config.threads);
+    Simulation sim(ctx, comm, config);
     sim.initialize();
     sim.step(&writer);
     sim.step(&writer);
@@ -312,7 +327,8 @@ TEST(Simulation, CheckpointRestartResumesExactStep) {
     io::SnapshotMeta meta;
     ASSERT_TRUE(io::restore_checkpoint(pfs, *latest, comm.rank(), meta,
                                        restored));
-    Simulation resumed(comm, config);
+    SimContext ctx_resumed(config.threads);
+    Simulation resumed(ctx_resumed, comm, config);
     resumed.initialize_from(std::move(restored), meta.step);
     EXPECT_EQ(resumed.current_step(), 2u);
     EXPECT_NEAR(resumed.scale_factor(), sim.scale_factor(), 1e-12);
@@ -350,7 +366,8 @@ TEST(Simulation, RestartContinuationIsBitExact) {
                                pfs, io::MultiTierConfig{comm.rank(), 4});
     auto config = tiny_config(/*hydro=*/true);
     config.num_pm_steps = 3;
-    Simulation original(comm, config);
+    SimContext ctx_original(config.threads);
+    Simulation original(ctx_original, comm, config);
     original.initialize();
     original.step(&writer);  // checkpoint at step 1
     writer.drain();
@@ -360,7 +377,8 @@ TEST(Simulation, RestartContinuationIsBitExact) {
     Particles restored;
     io::SnapshotMeta meta;
     ASSERT_TRUE(io::restore_checkpoint(pfs, 1, comm.rank(), meta, restored));
-    Simulation resumed(comm, config);
+    SimContext ctx_resumed(config.threads);
+    Simulation resumed(ctx_resumed, comm, config);
     resumed.initialize_from(std::move(restored), meta.step);
     resumed.step();  // replay step 1 -> 2
 
@@ -396,7 +414,8 @@ TEST(Simulation, FaultInjectionRecoversAndCompletes) {
                                pfs, io::MultiTierConfig{comm.rank(), 4});
     auto config = tiny_config(false);
     config.num_pm_steps = 4;
-    Simulation sim(comm, config);
+    SimContext ctx(config.threads);
+    Simulation sim(ctx, comm, config);
     sim.initialize();
     // MTTI chosen so roughly half the step attempts are interrupted.
     const io::FaultInjector fault(2.0 * sim.background().time_of(1.0), 5);
@@ -413,7 +432,8 @@ TEST(Simulation, AnalysisCadenceCollectsResults) {
     auto config = tiny_config(false);
     config.analysis_every = 2;
     config.num_pm_steps = 4;
-    Simulation sim(comm, config);
+    SimContext ctx(config.threads);
+    Simulation sim(ctx, comm, config);
     sim.initialize();
     const auto result = sim.run();
     EXPECT_EQ(result.analyses.size(), 2u);  // after steps 2 and 4

@@ -331,7 +331,8 @@ TEST(Determinism, FullHydroStepBitwiseAcrossThreadCounts) {
     Particles snapshot;
     comm::World world(1);
     world.run([&](comm::Communicator& comm) {
-      core::Simulation sim(comm, config);
+      core::SimContext ctx(config.threads);
+      core::Simulation sim(ctx, comm, config);
       sim.initialize();
       sim.step();
       sim.step();

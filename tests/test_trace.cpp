@@ -427,7 +427,8 @@ Signature run_and_sign(const SimConfig& config) {
   Signature signature;
   comm::World world(1);
   world.run([&](comm::Communicator& comm) {
-    Simulation sim(comm, config);
+    SimContext ctx(config.threads);
+    Simulation sim(ctx, comm, config);
     sim.initialize();
     for (int s = 0; s < config.num_pm_steps; ++s) {
       const auto report = sim.step();
@@ -468,7 +469,8 @@ TEST(GoldenTrace, StructuralSpansMatchStepReport) {
   auto config = trace_config();
   comm::World world(1);
   world.run([&](comm::Communicator& comm) {
-    Simulation sim(comm, config);
+    SimContext ctx(config.threads);
+    Simulation sim(ctx, comm, config);
     sim.initialize();
     const auto report = sim.step();
     const auto& trace = sim.trace();
@@ -506,7 +508,8 @@ TEST(GoldenTrace, TracingOffLeavesPhysicsAndReportsUnchanged) {
     config.trace.enabled = enabled;
     comm::World world(1);
     world.run([&](comm::Communicator& comm) {
-      Simulation sim(comm, config);
+      SimContext ctx(config.threads);
+      Simulation sim(ctx, comm, config);
       sim.initialize();
       for (int s = 0; s < config.num_pm_steps; ++s) {
         const auto report = sim.step();
