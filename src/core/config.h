@@ -21,6 +21,27 @@ enum class RankLossPolicy {
             ///< domain from its checkpoint chain (ULFM shrink-and-continue)
 };
 
+/// Rank-level dynamic load balancing (core/load_balancer.h): per PM
+/// step, owner-leaf work packets of overloaded ranks execute on
+/// underloaded neighbor ranks. Off by default (threshold = 0): untouched
+/// configs run zero extra collectives and stay bitwise unchanged.
+struct LbConfig {
+  /// Balance when the census imbalance ratio (max/mean short-range cost
+  /// across ranks) exceeds this; <= 0 disables the balancer entirely.
+  /// Meaningful values are > 1 (e.g. 1.25).
+  double threshold = 0.0;
+  /// Hysteresis: once engaged, keep balancing until the ratio falls
+  /// below 1 + hysteresis * (threshold - 1), so a ratio hovering at the
+  /// threshold does not flap the policy on and off.
+  double hysteresis = 0.8;
+  /// Cap on the fraction of a donor's census cost shipped per step.
+  double max_fraction = 0.5;
+  /// Blend the previous step's measured short-range phase seconds into
+  /// the census cost. Only takes effect when tracing is enabled (the
+  /// phase clock exists then); census-only decisions are deterministic.
+  bool use_measured = true;
+};
+
 struct SimConfig {
   cosmo::Parameters cosmology;
 
@@ -71,6 +92,9 @@ struct SimConfig {
   sph::SphConfig sph;
   gravity::GravityConfig gravity;
   subgrid::SubgridConfig subgrid;
+
+  /// Rank-level dynamic load balancing (lb_* parameter-file keys).
+  LbConfig lb;
 
   /// Silent-data-corruption guardrails: per-step snapshot + audit +
   /// rollback-replay (sdc_* parameter-file keys).

@@ -372,6 +372,42 @@ std::vector<std::string> ParamFile::apply(SimConfig& config) const {
       if (auto v = get_bool(key)) config.ckpt.redundant_local = *v;
     } else if (key == "ckpt_audit_on_restore") {
       if (auto v = get_bool(key)) config.ckpt.audit_on_restore = *v;
+    } else if (key == "lb_threshold") {
+      const auto v = get_double(key);
+      if (v && (*v <= 0.0 || *v > 1.0)) {
+        config.lb.threshold = *v;
+      } else {
+        HACC_LOG_ERROR(
+            "param file: lb_threshold = '%s' rejected: must be <= 0 "
+            "(balancer off) or > 1 (max/mean imbalance ratio that engages "
+            "balancing)",
+            get_string(key).value_or("").c_str());
+        rejected = true;
+      }
+    } else if (key == "lb_hysteresis") {
+      const auto v = get_double(key);
+      if (v && *v >= 0.0 && *v <= 1.0) {
+        config.lb.hysteresis = *v;
+      } else {
+        HACC_LOG_ERROR(
+            "param file: lb_hysteresis = '%s' rejected: must be in [0, 1] "
+            "(fraction of the threshold excess at which balancing re-arms)",
+            get_string(key).value_or("").c_str());
+        rejected = true;
+      }
+    } else if (key == "lb_max_fraction") {
+      const auto v = get_double(key);
+      if (v && *v > 0.0 && *v <= 1.0) {
+        config.lb.max_fraction = *v;
+      } else {
+        HACC_LOG_ERROR(
+            "param file: lb_max_fraction = '%s' rejected: must be in (0, 1] "
+            "(cap on the donor cost fraction shipped per step)",
+            get_string(key).value_or("").c_str());
+        rejected = true;
+      }
+    } else if (key == "lb_use_measured") {
+      if (auto v = get_bool(key)) config.lb.use_measured = *v;
     } else {
       ok = false;
     }

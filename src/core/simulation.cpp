@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 #include <limits>
+#include <string>
+#include <unordered_map>
 #include <utility>
 
 #include "analysis/fof.h"
@@ -24,8 +26,8 @@ namespace {
 /// rank-independent; a rank that skipped a phase contributes zero.
 constexpr const char* kStepPhases[] = {
     "exchange",     "tree_build", "tree_refit",   "long_range",
-    "bin_assign",   "short_range", "subgrid",     "sdc_snapshot",
-    "sdc_audit",    "checkpoint_io", "analysis",
+    "bin_assign",   "load_balance", "short_range", "subgrid",
+    "sdc_snapshot", "sdc_audit",  "checkpoint_io", "analysis",
 };
 
 mesh::PMConfig pm_config_of(const SimConfig& config) {
@@ -76,6 +78,7 @@ Simulation::Simulation(std::unique_ptr<SimContext> owned, SimContext* borrowed,
       sph_(config_.sph),
       subgrid_(config_.subgrid, ctx_.cooling_table(config_.subgrid.cooling)),
       kdk_(bg_),
+      lb_(comm, decomp_, config_.lb),
       auditor_(config_.sdc),
       snapshot_(config_.sdc.page_bytes),
       trace_(config_.trace) {
@@ -324,6 +327,24 @@ StepReport Simulation::step_body(SdcStepStats* stats) {
   // --- 5. sub-cycled short-range solve ------------------------------------
   const std::uint64_t nfine = 1ull << depth;
   report.substeps = nfine;
+
+  // Dynamic load-balance decision: collective, census-driven, between
+  // the mesh build and the pair kernels. Disabled (the default) runs
+  // zero collectives here, keeping untouched configs bitwise unchanged
+  // comm-op for comm-op.
+  LbDecision lb;
+  if (lb_.enabled()) {
+    HACC_TRACE_SPAN("load_balance");
+    // The previous step's measured short-range seconds exist only once
+    // tracing has flushed a step; decisions stay census-only otherwise.
+    const double measured =
+        (config_.trace.enabled && step_ > 0)
+            ? trace_.step_seconds(step_ - 1, "short_range")
+            : 0.0;
+    lb = lb_.decide(mesh_all, nfine, measured);
+    report.lb_imbalance_before = lb.imbalance_before;
+    report.lb_imbalance_after = lb.imbalance_after;
+  }
   const double da_fine = (a1 - a0) / static_cast<double>(nfine);
   std::vector<std::uint8_t> active;
   std::vector<double> dt_particle(particles_.size(), 0.0);
@@ -372,9 +393,26 @@ StepReport Simulation::step_body(SdcStepStats* stats) {
           const auto pairs = mesh_all.interaction_pairs(pm_.split().cutoff());
           active_pairs = filter_active_pairs(mesh_all, pairs, active);
         }
-        gravity::compute_short_range(particles_, mesh_all, &pm_.split(),
-                                     config_.gravity, a_sub_mid, active.data(),
-                                     flops_, &active_pairs, &pool_);
+        if (lb.is_donor()) {
+          // Ship the migrated owner tasks, run the rest locally, copy
+          // the helper's accumulations back — bitwise identical to the
+          // unbalanced launch per particle (see core/load_balancer.h).
+          lb_.donor_substep(particles_, mesh_all, active_pairs, &pm_.split(),
+                            config_.gravity, a_sub_mid, active.data(), flops_,
+                            &pool_, lb, s);
+          ++report.lb_packets_migrated;
+        } else {
+          gravity::compute_short_range(particles_, mesh_all, &pm_.split(),
+                                       config_.gravity, a_sub_mid,
+                                       active.data(), flops_, &active_pairs,
+                                       &pool_);
+          // A helper serves its donors' packets for this substep index
+          // right after its own launch (donor and helper sets are
+          // disjoint, so the blocking protocol cannot cycle).
+          if (lb.is_helper()) {
+            lb_.serve(lb, s, &pm_.split(), config_.gravity, flops_, &pool_);
+          }
+        }
       }
       if (config_.hydro && mesh_gas.num_particles() > 0) {
         std::vector<std::pair<std::uint32_t, std::uint32_t>> active_pairs;
@@ -432,6 +470,15 @@ StepReport Simulation::step_body(SdcStepStats* stats) {
         kdk_.drift(particles_, a_s, a_s + da_fine, config_.box, nullptr);
       }
     }
+  }
+
+  // Serve the remaining substeps of donors that sub-cycle deeper than
+  // this rank (their requests are already queued; recv order is FIFO
+  // per donor, so the drain picks up exactly where the loop stopped).
+  if (lb.is_helper()) {
+    ScopedTimer t(timers_, timers::kShortRange);
+    HACC_TRACE_SPAN("short_range");
+    lb_.drain(lb, nfine, &pm_.split(), config_.gravity, flops_, &pool_);
   }
 
   // SDC drill point: after the sub-cycle, right before the audit.
@@ -815,6 +862,31 @@ RunResult Simulation::run(io::MultiTierWriter* writer, io::ThrottledStore* pfs,
   return result;
 }
 
+namespace {
+
+/// Fold `incoming` phase stats into `stats` in a single pass: one index
+/// map lookup per phase instead of a linear name scan (the scan made
+/// long campaigns fold in O(phases^2) per step).
+void fold_phase_stats(std::vector<PhaseStat>& stats,
+                      const std::vector<PhaseStat>& incoming) {
+  std::unordered_map<std::string, std::size_t> index;
+  index.reserve(stats.size() + incoming.size());
+  for (std::size_t i = 0; i < stats.size(); ++i) {
+    index.emplace(stats[i].name, i);
+  }
+  for (const PhaseStat& phase : incoming) {
+    const auto [it, inserted] = index.emplace(phase.name, stats.size());
+    if (inserted) {
+      stats.push_back(phase);
+    } else {
+      stats[it->second].mean_seconds += phase.mean_seconds;
+      stats[it->second].max_seconds += phase.max_seconds;
+    }
+  }
+}
+
+}  // namespace
+
 bool Simulation::run_slice(std::uint64_t max_steps, RunResult& result,
                            io::MultiTierWriter* writer, io::ThrottledStore* pfs,
                            const io::FaultInjector* fault) {
@@ -856,18 +928,12 @@ bool Simulation::run_slice(std::uint64_t max_steps, RunResult& result,
       continue;
     }
     result.reports.push_back(report);
-    for (const PhaseStat& phase : report.phases) {
-      auto it = std::find_if(result.phase_stats.begin(),
-                             result.phase_stats.end(),
-                             [&](const PhaseStat& p) {
-                               return p.name == phase.name;
-                             });
-      if (it == result.phase_stats.end()) {
-        result.phase_stats.push_back(phase);
-      } else {
-        it->mean_seconds += phase.mean_seconds;
-        it->max_seconds += phase.max_seconds;
-      }
+    fold_phase_stats(result.phase_stats, report.phases);
+    result.lb_packets_migrated += report.lb_packets_migrated;
+    if (report.lb_imbalance_before > 0.0) {
+      ++result.lb_steps;
+      result.lb_imbalance_before += report.lb_imbalance_before;
+      result.lb_imbalance_after += report.lb_imbalance_after;
     }
     ++result.steps_done;
     if (config_.analysis_every > 0 &&
@@ -931,20 +997,14 @@ void RunResult::merge(const RunResult& other) {
   sdc_replays += other.sdc_replays;
   sdc_escalations += other.sdc_escalations;
   sdc_injected_flips += other.sdc_injected_flips;
+  lb_packets_migrated += other.lb_packets_migrated;
+  lb_steps += other.lb_steps;
+  lb_imbalance_before += other.lb_imbalance_before;
+  lb_imbalance_after += other.lb_imbalance_after;
   reports.insert(reports.end(), other.reports.begin(), other.reports.end());
   analyses.insert(analyses.end(), other.analyses.begin(),
                   other.analyses.end());
-  for (const PhaseStat& phase : other.phase_stats) {
-    auto it = std::find_if(
-        phase_stats.begin(), phase_stats.end(),
-        [&](const PhaseStat& p) { return p.name == phase.name; });
-    if (it == phase_stats.end()) {
-      phase_stats.push_back(phase);
-    } else {
-      it->mean_seconds += phase.mean_seconds;
-      it->max_seconds += phase.max_seconds;
-    }
-  }
+  fold_phase_stats(phase_stats, other.phase_stats);
   trace_events += other.trace_events;
   trace_dropped += other.trace_dropped;
   threading.threads = std::max(threading.threads, other.threading.threads);
@@ -976,6 +1036,10 @@ MetricsRegistry Simulation::collect_metrics() const {
   m.observe("pool/utilization", pool.utilization());
   m.observe("particles/local", static_cast<double>(particles_.size()));
   m.observe("flops/sustained_gflops", flops_.sustained_gflops());
+  m.add("lb/decisions", static_cast<double>(lb_.decisions()));
+  m.add("lb/migration_steps", static_cast<double>(lb_.migration_steps()));
+  m.add("lb/packets_sent", static_cast<double>(lb_.packets_sent()));
+  m.add("lb/packets_served", static_cast<double>(lb_.packets_served()));
   return m;
 }
 

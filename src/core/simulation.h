@@ -29,6 +29,7 @@
 #include "core/context.h"
 #include "core/diagnostics.h"
 #include "core/exchange.h"
+#include "core/load_balancer.h"
 #include "core/metrics.h"
 #include "core/particles.h"
 #include "core/sdc.h"
@@ -75,6 +76,13 @@ struct StepReport {
   double io_blocked_seconds = 0.0;   ///< sync I/O time (local-tier writes)
   /// SDC guardrail accounting (zeroed when config.sdc.enabled is false).
   SdcStepStats sdc;
+  /// Dynamic load balancing (zeroed when lb_threshold is off). The
+  /// imbalance ratios are the effective-cost max/mean the decision
+  /// collective saw before and (predicted) after migration; packets is
+  /// the number of work packets this rank shipped out as a donor.
+  std::uint64_t lb_packets_migrated = 0;
+  double lb_imbalance_before = 0.0;
+  double lb_imbalance_after = 0.0;
   /// Per-phase cross-rank times for this step (allreduced; empty unless
   /// config.trace.enabled — the collectives only run when tracing is on,
   /// keeping traced-off runs bitwise identical to untraced ones).
@@ -139,6 +147,14 @@ struct RunResult {
   /// Replay budgets exhausted -> checkpoint restore via recover().
   std::uint64_t sdc_escalations = 0;
   std::uint64_t sdc_injected_flips = 0;
+  /// Dynamic load-balancing totals: packets this rank shipped as a
+  /// donor, the summed per-step imbalance ratios over the lb_steps
+  /// steps the decision collective ran (divide by lb_steps for the
+  /// run-average before/after ratios).
+  std::uint64_t lb_packets_migrated = 0;
+  std::uint64_t lb_steps = 0;
+  double lb_imbalance_before = 0.0;
+  double lb_imbalance_after = 0.0;
   std::vector<StepReport> reports;
   std::vector<AnalysisResult> analyses;
   /// Per-phase imbalance accumulated over the run (tracing on only):
@@ -162,7 +178,8 @@ struct RunResult {
   /// run, per-job results folded into a ScenarioService aggregate,
   /// campaign epochs). Per-field policy:
   ///   * counters (steps_done, interruptions, recovery/audit/adoption,
-  ///     rank-loss, sdc_*, trace_*) — SUM;
+  ///     rank-loss, sdc_*, lb_* — the ratio sums included, their shared
+  ///     denominator lb_steps sums alongside — trace_*) — SUM;
   ///   * io — fields sum; degraded_to_direct ORs; longest_chain takes
   ///     the max;
   ///   * reports / analyses — APPEND in merge order;
@@ -358,6 +375,7 @@ class Simulation {
   sph::SphSolver sph_;
   subgrid::SubgridModel subgrid_;
   integrator::Kdk kdk_;
+  LoadBalancer lb_;
 
   Particles particles_;
   double a_ = 0.0;

@@ -51,4 +51,18 @@ LaunchPlan::LaunchPlan(const tree::ChainingMesh& cm,
   entry_begin_.push_back(offset[nleaves]);
 }
 
+LaunchPlan LaunchPlan::from_owner_tasks(std::vector<std::uint32_t> owners,
+                                        std::vector<std::uint32_t> entry_begin,
+                                        std::vector<Entry> entries) {
+  CHECK_MSG(entry_begin.size() == owners.size() + 1,
+            "owner-task CSR offsets must have owners + 1 entries");
+  CHECK_MSG(entry_begin.empty() || entry_begin.back() == entries.size(),
+            "owner-task CSR offsets must cover the entry array");
+  LaunchPlan plan;
+  plan.owners_ = std::move(owners);
+  plan.entry_begin_ = std::move(entry_begin);
+  plan.entries_ = std::move(entries);
+  return plan;
+}
+
 }  // namespace crkhacc::gpu

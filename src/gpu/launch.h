@@ -185,6 +185,16 @@ class LaunchPlan {
   /// canonical pair order) and the deferred-store schedule.
   LaunchPlan(const tree::ChainingMesh& cm, std::span<const Pair> pairs);
 
+  /// Rebuild a plan from pre-extracted owner-task CSRs — the receive
+  /// side of work-packet migration (core/load_balancer.h). The caller
+  /// guarantees the CSRs describe tasks in the donor plan's owner order
+  /// with entries in the donor's per-owner pair order; the resulting
+  /// plan has no pair list, so it can only drive owner-task launches
+  /// (gpu::launch_owner_tasks), never the serial pair-order path.
+  static LaunchPlan from_owner_tasks(std::vector<std::uint32_t> owners,
+                                     std::vector<std::uint32_t> entry_begin,
+                                     std::vector<Entry> entries);
+
   std::size_t num_owners() const { return owners_.size(); }
   std::uint32_t owner(std::size_t t) const { return owners_[t]; }
   std::span<const Entry> entries(std::size_t t) const {

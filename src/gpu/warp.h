@@ -424,6 +424,31 @@ class DeferredStoreKernel {
 /// order — is identical for every pool size.
 inline constexpr std::size_t kPairsPerChunk = 8;
 
+/// Per-thread working-set estimate of a launch under `config` (the
+/// register_bytes_per_thread stat), shared by every launch entry point.
+template <typename Kernel>
+std::size_t register_footprint(const LaunchConfig& config) {
+  std::size_t bytes;
+  if (config.mode == LaunchMode::kNaive) {
+    bytes = 2 * sizeof(typename Kernel::State) +
+            2 * sizeof(typename Kernel::Partial) +
+            sizeof(typename Kernel::Accum);
+  } else {
+    bytes = sizeof(typename Kernel::State) +
+            sizeof(typename Kernel::Partial) + sizeof(typename Kernel::Accum);
+  }
+  if constexpr (detail::SimdPairKernel<Kernel>) {
+    if (config.schedule == LaunchSchedule::kSimd &&
+        config.mode == LaunchMode::kWarpSplit) {
+      // The vector engine's working set: two padded SoA lane buffers
+      // plus the vector accumulator block.
+      bytes = 2 * sizeof(typename Kernel::SimdLanes) +
+              sizeof(typename Kernel::SimdAccum);
+    }
+  }
+  return bytes;
+}
+
 /// Shared implementation behind the public overloads. `plan` may be null
 /// unless the launch takes the parallel leaf-owner path.
 template <typename Kernel>
@@ -437,25 +462,7 @@ LaunchStats launch_impl(
 
   LaunchStats stats;
   Stopwatch watch;
-  if (config.mode == LaunchMode::kNaive) {
-    stats.register_bytes_per_thread =
-        2 * sizeof(typename Kernel::State) +
-        2 * sizeof(typename Kernel::Partial) + sizeof(typename Kernel::Accum);
-  } else {
-    stats.register_bytes_per_thread = sizeof(typename Kernel::State) +
-                                      sizeof(typename Kernel::Partial) +
-                                      sizeof(typename Kernel::Accum);
-  }
-  if constexpr (detail::SimdPairKernel<Kernel>) {
-    if (config.schedule == LaunchSchedule::kSimd &&
-        config.mode == LaunchMode::kWarpSplit) {
-      // The vector engine's working set: two padded SoA lane buffers
-      // plus the vector accumulator block.
-      stats.register_bytes_per_thread =
-          2 * sizeof(typename Kernel::SimdLanes) +
-          sizeof(typename Kernel::SimdAccum);
-    }
-  }
+  stats.register_bytes_per_thread = detail::register_footprint<Kernel>(config);
   if (!pool || pool->num_threads() <= 1) {
     detail::run_pair_range(kernel, cm, pairs, 0, pairs.size(), config, stats);
   } else if (config.schedule == LaunchSchedule::kLeafOwner ||
@@ -546,6 +553,60 @@ LaunchStats launch_pair_kernel(
     return detail::launch_impl(kernel, cm, plan.pairs(), &plan, config, pool);
   }
   return detail::launch_impl(kernel, cm, pairs, nullptr, config, pool);
+}
+
+/// Execute exactly the plan's owner tasks — the one-task-per-owner-leaf
+/// decomposition — skipping tasks flagged in `skip_task` (nullable,
+/// indexed by TASK position t, not by leaf). The work-packet migration
+/// entry point (core/load_balancer.h): the donor launches with its
+/// migrated tasks flagged, the helper launches a packet-rebuilt plan
+/// with no flags.
+///
+/// Unlike launch_pair_kernel, SERIAL launches also run the owner
+/// decomposition rather than the canonical pair order — a subset launch
+/// has no pair-walk equivalent. Per particle this changes nothing: a
+/// particle is stored to only by its owner's task, whose tile order
+/// equals the serial pair order (the leaf-owner bitwise contract), so
+/// results are bitwise identical to a pair-order launch for every
+/// schedule, including kDeferredStore configs (owner tasks write
+/// disjoint particles in place; there is nothing to defer).
+template <typename Kernel>
+LaunchStats launch_owner_tasks(Kernel& kernel, const tree::ChainingMesh& cm,
+                               const LaunchPlan& plan,
+                               const LaunchConfig& config,
+                               const std::uint8_t* skip_task = nullptr,
+                               util::ThreadPool* pool = nullptr) {
+  const char* invalid = config.invalid_reason();
+  CHECK_MSG(invalid == nullptr, (invalid ? invalid : ""));
+
+  LaunchStats stats;
+  Stopwatch watch;
+  stats.register_bytes_per_thread = detail::register_footprint<Kernel>(config);
+  if (!pool || pool->num_threads() <= 1) {
+    for (std::size_t t = 0; t < plan.num_owners(); ++t) {
+      if (skip_task && skip_task[t]) continue;
+      detail::run_owner_entries(kernel, cm, plan, t, config, stats);
+    }
+  } else {
+    std::vector<LaunchStats> owner_stats(plan.num_owners());
+    pool->parallel_for(0, plan.num_owners(), 1,
+                       [&](std::size_t lo, std::size_t hi, std::size_t c) {
+                         for (std::size_t t = lo; t < hi; ++t) {
+                           if (skip_task && skip_task[t]) continue;
+                           detail::run_owner_entries(kernel, cm, plan, t,
+                                                     config, owner_stats[c]);
+                         }
+                       });
+    for (const LaunchStats& s : owner_stats) {
+      stats.merge(s, MergeTiming::kExclusive);
+    }
+  }
+  stats.seconds = watch.seconds();
+  stats.flops = static_cast<double>(stats.interactions) *
+                    Kernel::kFlopsPerInteraction +
+                static_cast<double>(stats.partial_evals) *
+                    Kernel::kFlopsPerPartial;
+  return stats;
 }
 
 }  // namespace crkhacc::gpu

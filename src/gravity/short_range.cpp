@@ -1,5 +1,6 @@
 #include "gravity/short_range.h"
 
+#include <algorithm>
 #include <optional>
 
 #include "cosmology/units.h"
@@ -39,6 +40,86 @@ gpu::LaunchStats compute_short_range(
   }
   flops.add(ShortRangeKernel::kName, stats.flops, stats.seconds);
   return stats;
+}
+
+gpu::LaunchStats compute_short_range_owner_tasks(
+    Particles& particles, const tree::ChainingMesh& mesh,
+    const gpu::LaunchPlan& plan, const mesh::ForceSplit* split,
+    const GravityConfig& config, double a, const std::uint8_t* active,
+    gpu::FlopRegistry& flops, const std::uint8_t* skip_task,
+    util::ThreadPool* pool) {
+  const double cutoff = split ? split->cutoff() : 1e15;
+  const float scale = static_cast<float>(units::kGravity / (a * a));
+  ShortRangeKernel kernel(particles, active, split, scale, config.softening,
+                          static_cast<float>(cutoff));
+  gpu::LaunchStats stats;
+  {
+    HACC_TRACE_SPAN(ShortRangeKernel::kName);
+    stats = gpu::launch_owner_tasks(kernel, mesh, plan, config.launch,
+                                    skip_task, pool);
+  }
+  flops.add(ShortRangeKernel::kName, stats.flops, stats.seconds);
+  return stats;
+}
+
+comm::WorkReply execute_work_packet(const comm::WorkPacket& packet,
+                                    const mesh::ForceSplit* split,
+                                    const GravityConfig& config,
+                                    gpu::FlopRegistry& flops,
+                                    util::ThreadPool* pool) {
+  // Scratch state: the shipped particles in slot order, accelerations
+  // zeroed (= the donor's per-substep zeroed accumulators).
+  Particles scratch;
+  scratch.resize(packet.num_particles());
+  std::copy(packet.x.begin(), packet.x.end(), scratch.x.begin());
+  std::copy(packet.y.begin(), packet.y.end(), scratch.y.begin());
+  std::copy(packet.z.begin(), packet.z.end(), scratch.z.begin());
+  std::copy(packet.mass.begin(), packet.mass.end(), scratch.mass.begin());
+
+  const tree::ChainingMesh mesh = tree::ChainingMesh::adopt(packet.leaf_begin);
+
+  std::vector<gpu::LaunchPlan::Entry> entries(packet.entry_partner.size());
+  for (std::size_t e = 0; e < entries.size(); ++e) {
+    entries[e].partner = packet.entry_partner[e];
+    entries[e].side =
+        static_cast<gpu::LaunchPlan::Side>(packet.entry_side[e]);
+  }
+  const gpu::LaunchPlan plan = gpu::LaunchPlan::from_owner_tasks(
+      packet.task_owner, packet.task_entry_begin, std::move(entries));
+
+  const double cutoff = split ? split->cutoff() : 1e15;
+  const float scale =
+      static_cast<float>(units::kGravity / (packet.a_mid * packet.a_mid));
+  // Every slot is stored (active = nullptr): the donor applies its own
+  // activity mask when it copies the reply back.
+  ShortRangeKernel kernel(scratch, nullptr, split, scale, config.softening,
+                          static_cast<float>(cutoff));
+  gpu::LaunchStats stats;
+  {
+    HACC_TRACE_SPAN(ShortRangeKernel::kName);
+    stats = gpu::launch_owner_tasks(kernel, mesh, plan, config.launch,
+                                    nullptr, pool);
+  }
+  flops.add(ShortRangeKernel::kName, stats.flops, stats.seconds);
+
+  comm::WorkReply reply;
+  reply.substep = packet.substep;
+  std::size_t slots = 0;
+  for (const std::uint32_t l : packet.task_owner) {
+    slots += packet.leaf_begin[l + 1] - packet.leaf_begin[l];
+  }
+  reply.ax.reserve(slots);
+  reply.ay.reserve(slots);
+  reply.az.reserve(slots);
+  for (const std::uint32_t l : packet.task_owner) {
+    for (std::uint32_t s = packet.leaf_begin[l]; s < packet.leaf_begin[l + 1];
+         ++s) {
+      reply.ax.push_back(scratch.ax[s]);
+      reply.ay.push_back(scratch.ay[s]);
+      reply.az.push_back(scratch.az[s]);
+    }
+  }
+  return reply;
 }
 
 void direct_sum_reference(Particles& particles, const mesh::ForceSplit* split,

@@ -11,6 +11,7 @@
 #include <cmath>
 #include <cstdint>
 
+#include "comm/work_packets.h"
 #include "core/particles.h"
 #include "gpu/device.h"
 #include "gpu/simd.h"
@@ -184,6 +185,33 @@ gpu::LaunchStats compute_short_range(
     const std::vector<std::pair<std::uint32_t, std::uint32_t>>* pairs =
         nullptr,
     util::ThreadPool* pool = nullptr);
+
+/// Donor-side launch of a caller-built plan under work-packet migration
+/// (core/load_balancer.h): runs the owner-task decomposition, skipping
+/// the tasks flagged in `skip_task` (indexed by task position, as
+/// passed to gpu::launch_owner_tasks). Kernel construction matches
+/// compute_short_range exactly, so the executed tasks are bitwise
+/// identical to the unbalanced launch per particle.
+gpu::LaunchStats compute_short_range_owner_tasks(
+    Particles& particles, const tree::ChainingMesh& mesh,
+    const gpu::LaunchPlan& plan, const mesh::ForceSplit* split,
+    const GravityConfig& config, double a, const std::uint8_t* active,
+    gpu::FlopRegistry& flops, const std::uint8_t* skip_task,
+    util::ThreadPool* pool = nullptr);
+
+/// Helper-side execution of a migrated work packet: rebuild the donor's
+/// leaf ranges (tree::ChainingMesh::adopt) and owner tasks
+/// (gpu::LaunchPlan::from_owner_tasks) on scratch particle state, run
+/// the identical kernel (split/softening/launch policy are global
+/// config, a comes with the packet), and return the owner-slot
+/// accelerations. Scratch accumulators start at 0.0f — the same value
+/// the donor's zeroed accumulators hold — so the returned values equal
+/// the ones the donor's own launch would have produced, bit for bit.
+comm::WorkReply execute_work_packet(const comm::WorkPacket& packet,
+                                    const mesh::ForceSplit* split,
+                                    const GravityConfig& config,
+                                    gpu::FlopRegistry& flops,
+                                    util::ThreadPool* pool = nullptr);
 
 /// Reference O(N^2) Newtonian (or split) direct sum, for accuracy tests.
 void direct_sum_reference(Particles& particles, const mesh::ForceSplit* split,

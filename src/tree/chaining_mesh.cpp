@@ -242,6 +242,35 @@ ChainingMesh::interaction_pairs(double radius) const {
   return pairs;
 }
 
+std::uint64_t ChainingMesh::bin_particle_count(std::size_t b) const {
+  std::uint64_t count = 0;
+  for (std::uint32_t l = bin_leaf_begin_[b]; l < bin_leaf_begin_[b + 1]; ++l) {
+    count += leaves_[l].size();
+  }
+  return count;
+}
+
+ChainingMesh ChainingMesh::adopt(std::span<const std::uint32_t> leaf_begin) {
+  CHECK(!leaf_begin.empty());
+  comm::Box3 unit;
+  unit.lo = {0.0, 0.0, 0.0};
+  unit.hi = {1.0, 1.0, 1.0};
+  ChainingMesh mesh(unit, ChainingMeshConfig{});
+  const std::size_t num_leaves = leaf_begin.size() - 1;
+  const std::uint32_t num_particles = leaf_begin[num_leaves];
+  mesh.perm_.resize(num_particles);
+  for (std::uint32_t s = 0; s < num_particles; ++s) mesh.perm_[s] = s;
+  mesh.leaves_.resize(num_leaves);
+  for (std::size_t l = 0; l < num_leaves; ++l) {
+    CHECK(leaf_begin[l] <= leaf_begin[l + 1]);
+    mesh.leaves_[l].begin = leaf_begin[l];
+    mesh.leaves_[l].end = leaf_begin[l + 1];
+  }
+  mesh.bin_leaf_begin_ = {0, static_cast<std::uint32_t>(num_leaves)};
+  mesh.leaf_bin_.assign(num_leaves, 0);
+  return mesh;
+}
+
 OccupancyStats bin_occupancy(const comm::Box3& domain, double bin_width,
                              const Particles& particles, double slack,
                              double period) {

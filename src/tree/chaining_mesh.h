@@ -89,6 +89,23 @@ class ChainingMesh {
   const std::array<int, 3>& dims() const { return dims_; }
   std::size_t num_bins() const { return bin_leaf_begin_.size() - 1; }
 
+  /// CM bin that leaf l was built into (constant between builds).
+  std::uint32_t leaf_bin(std::size_t l) const { return leaf_bin_[l]; }
+
+  /// Particles assigned to bin b at build time (bins own contiguous
+  /// leaf and permutation ranges). Feeds the load-balancer's
+  /// pair-count census (core/load_balancer.h).
+  std::uint64_t bin_particle_count(std::size_t b) const;
+
+  /// Adoption mesh for migrated work packets (comm/work_packets.h): a
+  /// degenerate single-bin mesh whose leaves are consecutive particle
+  /// ranges of the packet's flat arrays (leaf l = [leaf_begin[l],
+  /// leaf_begin[l+1])) with an identity permutation. Only the leaf
+  /// ranges and the permutation are meaningful — the launch drivers
+  /// (gpu/warp.h) read nothing else — so neighbor queries and AABBs of
+  /// an adopted mesh must not be used.
+  static ChainingMesh adopt(std::span<const std::uint32_t> leaf_begin);
+
   /// Smallest bin width (radius limit for for_each_in_radius).
   double min_bin_width() const {
     return *std::min_element(width_.begin(), width_.end());

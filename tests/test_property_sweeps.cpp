@@ -12,6 +12,7 @@
 #include "gpu/warp.h"
 #include "gravity/short_range.h"
 #include "sph/solver.h"
+#include "support/clustered_ic.h"
 #include "tree/chaining_mesh.h"
 #include "util/rng.h"
 
@@ -185,6 +186,47 @@ TEST_P(ThreadedSweepTest, ShortRangePipelineBitwiseEqualToSerial) {
       ASSERT_EQ(threaded.rho[i], serial.rho[i]) << "particle " << i;
       ASSERT_EQ(threaded.du[i], serial.du[i]) << "particle " << i;
     }
+  }
+}
+
+TEST_P(ThreadedSweepTest, ClusteredIcPipelineBitwiseEqualToSerial) {
+  // Same invariant on the load-balancer's worst case: two Plummer
+  // spheres pile most pair work into a few bins, producing leaf sizes
+  // and tile shapes a uniform cloud never exercises.
+  const auto [n, threads, seed] = GetParam();
+  const double box = 12.0;
+  testsupport::ClusteredIcConfig ic;
+  ic.box = box;
+  ic.count = n;
+  ic.scale = 1.0;
+  ic.seed = seed;
+  ic.center_a = {3.0, 3.0, 6.0};
+  ic.center_b = {9.0, 9.0, 6.0};
+  ic.species = Species::kGas;
+  const Particles base = testsupport::clustered_two_sphere_ic(ic);
+
+  tree::ChainingMesh serial_mesh(cube(box), {2.0, 24});
+  serial_mesh.build(base);
+  util::ThreadPool pool(threads);
+  tree::ChainingMesh threaded_mesh(cube(box), {2.0, 24});
+  threaded_mesh.build(base, &pool);
+  ASSERT_EQ(threaded_mesh.permutation(), serial_mesh.permutation());
+
+  auto evaluate = [&](const tree::ChainingMesh& mesh,
+                      util::ThreadPool* p_pool) {
+    Particles p = base;
+    gpu::FlopRegistry flops;
+    gravity::GravityConfig gravity_config;
+    gravity::compute_short_range(p, mesh, nullptr, gravity_config, 1.0,
+                                 nullptr, flops, nullptr, p_pool);
+    return p;
+  };
+  const Particles serial = evaluate(serial_mesh, nullptr);
+  const Particles threaded = evaluate(threaded_mesh, &pool);
+  for (std::size_t i = 0; i < serial.size(); ++i) {
+    ASSERT_EQ(threaded.ax[i], serial.ax[i]) << "particle " << i;
+    ASSERT_EQ(threaded.ay[i], serial.ay[i]) << "particle " << i;
+    ASSERT_EQ(threaded.az[i], serial.az[i]) << "particle " << i;
   }
 }
 

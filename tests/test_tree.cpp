@@ -239,5 +239,72 @@ TEST(Bvh, DuplicatePointsAllFound) {
   EXPECT_EQ(bvh.count_within(1.0f, 1.0f, 1.0f, 0.1f), 10u);
 }
 
+// --- bin occupancy census edge cases -----------------------------------------
+
+TEST(BinOccupancy, EmptyRankCountsNothing) {
+  const Particles none;
+  const auto stats = bin_occupancy(unit_box(10.0), 2.0, none, 0.5);
+  EXPECT_EQ(stats.counted, 0u);
+  EXPECT_EQ(stats.out_of_domain, 0u);
+  EXPECT_EQ(stats.max_bin, 0u);
+  EXPECT_EQ(stats.mean_bin, 0.0);
+  EXPECT_GT(stats.bins, 0u);
+}
+
+TEST(BinOccupancy, SingleOccupiedBinHoldsEveryParticle) {
+  // All particles at the same position: max_bin must equal counted.
+  Particles p;
+  for (std::size_t i = 0; i < 25; ++i) {
+    p.push_back(i, Species::kDarkMatter, 3.1f, 3.1f, 3.1f, 0, 0, 0, 1.0f);
+  }
+  const auto stats = bin_occupancy(unit_box(10.0), 2.0, p, 0.5);
+  EXPECT_EQ(stats.counted, 25u);
+  EXPECT_EQ(stats.max_bin, 25u);
+  EXPECT_EQ(stats.out_of_domain, 0u);
+}
+
+TEST(BinOccupancy, BinWiderThanDomainCollapsesToOneBin) {
+  const auto p = random_particles(40, 4.0, 11);
+  const auto stats = bin_occupancy(unit_box(4.0), 100.0, p, 0.5);
+  EXPECT_EQ(stats.bins, 1u);
+  EXPECT_EQ(stats.counted, 40u);
+  EXPECT_EQ(stats.max_bin, 40u);
+  EXPECT_EQ(stats.mean_bin, 40.0);
+}
+
+// --- load-balancer support accessors -----------------------------------------
+
+TEST(ChainingMesh, BinParticleCountAndLeafBinAgreeWithLeaves) {
+  const auto p = random_particles(300, 10.0, 21);
+  ChainingMesh mesh(unit_box(10.0), {2.0, 16});
+  mesh.build(p);
+  std::uint64_t total = 0;
+  std::vector<std::uint64_t> by_bin(mesh.num_bins(), 0);
+  for (std::size_t l = 0; l < mesh.num_leaves(); ++l) {
+    ASSERT_LT(mesh.leaf_bin(l), mesh.num_bins());
+    by_bin[mesh.leaf_bin(l)] += mesh.leaf(l).size();
+  }
+  for (std::size_t b = 0; b < mesh.num_bins(); ++b) {
+    EXPECT_EQ(mesh.bin_particle_count(b), by_bin[b]) << "bin " << b;
+    total += mesh.bin_particle_count(b);
+  }
+  EXPECT_EQ(total, p.size());
+}
+
+TEST(ChainingMesh, AdoptRebuildsLeafRangesWithIdentityPermutation) {
+  const std::vector<std::uint32_t> leaf_begin{0, 3, 3, 7};
+  const ChainingMesh mesh = ChainingMesh::adopt(leaf_begin);
+  ASSERT_EQ(mesh.num_leaves(), 3u);
+  EXPECT_EQ(mesh.leaf(0).begin, 0u);
+  EXPECT_EQ(mesh.leaf(0).end, 3u);
+  EXPECT_EQ(mesh.leaf(1).size(), 0u);
+  EXPECT_EQ(mesh.leaf(2).begin, 3u);
+  EXPECT_EQ(mesh.leaf(2).end, 7u);
+  ASSERT_EQ(mesh.permutation().size(), 7u);
+  for (std::uint32_t i = 0; i < 7; ++i) {
+    EXPECT_EQ(mesh.permutation()[i], i);
+  }
+}
+
 }  // namespace
 }  // namespace crkhacc::tree
